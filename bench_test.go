@@ -1,0 +1,342 @@
+package positron
+
+// One benchmark per table and figure of the paper (regenerating the
+// artifact end to end), plus microbenchmarks of the arithmetic kernels
+// and the ablation benches called out in DESIGN.md §5.
+//
+// The accuracy benches evaluate truncated inference sets (the full
+// 190/50/2708 splits are exercised by `go run ./cmd/positron -limit 0`);
+// benchEvalLimit keeps a full `go test -bench=.` run to a few minutes.
+
+import (
+	"testing"
+
+	"repro/internal/emac"
+	"repro/internal/experiments"
+	"repro/internal/posit"
+	"repro/internal/rng"
+)
+
+const benchEvalLimit = 150
+
+// warm triggers the one-time float64 training so that per-iteration
+// timings measure the experiment itself.
+func warm(b *testing.B) {
+	b.Helper()
+	experiments.Datasets()
+	b.ResetTimer()
+}
+
+// --- one bench per table/figure ---
+
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.Table1()
+		if len(rows) != 6 {
+			b.Fatal("table I rows")
+		}
+	}
+}
+
+func BenchmarkFig2(b *testing.B) {
+	warm(b)
+	for i := 0; i < b.N; i++ {
+		res, _ := experiments.Fig2()
+		if res.PositInUnit <= 0 {
+			b.Fatal("fig2")
+		}
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reports, _ := experiments.Fig6(32)
+		if len(reports) == 0 {
+			b.Fatal("fig6")
+		}
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		curves, _ := experiments.Fig7(32)
+		if len(curves) != 3 {
+			b.Fatal("fig7")
+		}
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		curves, _ := experiments.Fig8(32)
+		if len(curves) != 3 {
+			b.Fatal("fig8")
+		}
+	}
+}
+
+func BenchmarkTableII(b *testing.B) {
+	warm(b)
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.Table2(benchEvalLimit)
+		if len(rows) != 3 {
+			b.Fatal("table II")
+		}
+	}
+}
+
+func BenchmarkSweep(b *testing.B) {
+	warm(b)
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.Sweep(benchEvalLimit)
+		if len(rows) == 0 {
+			b.Fatal("sweep")
+		}
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	warm(b)
+	for i := 0; i < b.N; i++ {
+		pts, _ := experiments.Fig9(benchEvalLimit)
+		if len(pts) == 0 {
+			b.Fatal("fig9")
+		}
+	}
+}
+
+// --- arithmetic microbenchmarks ---
+
+func randomPosits(f posit.Format, n int, seed uint64) []posit.Posit {
+	r := rng.New(seed)
+	out := make([]posit.Posit, n)
+	for i := range out {
+		for {
+			p := f.FromBits(r.Uint64() & f.Mask())
+			if !p.IsNaR() {
+				out[i] = p
+				break
+			}
+		}
+	}
+	return out
+}
+
+func BenchmarkPositMul8(b *testing.B) {
+	f := posit.MustFormat(8, 1)
+	xs := randomPosits(f, 1024, 1)
+	b.ResetTimer()
+	var sink posit.Posit
+	for i := 0; i < b.N; i++ {
+		sink = xs[i%1024].Mul(xs[(i+7)%1024])
+	}
+	_ = sink
+}
+
+func BenchmarkPositAdd8(b *testing.B) {
+	f := posit.MustFormat(8, 1)
+	xs := randomPosits(f, 1024, 2)
+	b.ResetTimer()
+	var sink posit.Posit
+	for i := 0; i < b.N; i++ {
+		sink = xs[i%1024].Add(xs[(i+7)%1024])
+	}
+	_ = sink
+}
+
+func BenchmarkPositDiv8(b *testing.B) {
+	f := posit.MustFormat(8, 1)
+	xs := randomPosits(f, 1024, 3)
+	b.ResetTimer()
+	var sink posit.Posit
+	for i := 0; i < b.N; i++ {
+		sink = xs[i%1024].Div(xs[(i+7)%1024])
+	}
+	_ = sink
+}
+
+func BenchmarkPositFromFloat64(b *testing.B) {
+	f := posit.MustFormat(8, 0)
+	var sink posit.Posit
+	for i := 0; i < b.N; i++ {
+		sink = f.FromFloat64(float64(i%1000) * 0.37)
+	}
+	_ = sink
+}
+
+func BenchmarkQuireMulAdd(b *testing.B) {
+	f := posit.MustFormat(8, 0)
+	xs := randomPosits(f, 1024, 4)
+	q := posit.NewQuire(f, 1<<20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.MulAdd(xs[i%1024], xs[(i+3)%1024])
+	}
+}
+
+func BenchmarkQuireDot256(b *testing.B) {
+	f := posit.MustFormat(8, 0)
+	w := randomPosits(f, 256, 5)
+	x := randomPosits(f, 256, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		posit.DotProduct(w, x)
+	}
+}
+
+func benchMAC(b *testing.B, a emac.Arithmetic) {
+	r := rng.New(9)
+	k := 64
+	w := make([]emac.Code, k)
+	x := make([]emac.Code, k)
+	for i := range w {
+		w[i] = a.Quantize(r.NormMS(0, 1))
+		x[i] = a.Quantize(r.NormMS(0, 1))
+	}
+	mac := a.NewMAC(k)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mac.Reset(0)
+		for j := 0; j < k; j++ {
+			mac.Step(w[j], x[j])
+		}
+		if mac.Result() == 0xdeadbeef {
+			b.Fatal("unreachable")
+		}
+	}
+}
+
+func BenchmarkEMACPosit8(b *testing.B)   { benchMAC(b, emac.NewPosit(8, 0)) }
+func BenchmarkEMACPosit8e2(b *testing.B) { benchMAC(b, emac.NewPosit(8, 2)) }
+func BenchmarkEMACFloat8(b *testing.B)   { benchMAC(b, emac.NewFloatN(8, 4)) }
+func BenchmarkEMACFixed8(b *testing.B)   { benchMAC(b, emac.NewFixed(8, 4)) }
+func BenchmarkMACFloat32(b *testing.B)   { benchMAC(b, emac.Float32Arith{}) }
+
+// --- inference benchmarks ---
+
+func BenchmarkInferIris(b *testing.B) {
+	experiments.Datasets()
+	iris := experiments.Datasets()[1]
+	for _, arith := range []emac.Arithmetic{
+		emac.NewPosit(8, 0), emac.NewFloatN(8, 4), emac.NewFixed(8, 4), emac.Float32Arith{},
+	} {
+		b.Run(arith.Name(), func(b *testing.B) {
+			dp := QuantizeNetwork(iris.Net, arith)
+			x := iris.Test.X[0]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dp.Infer(x)
+			}
+		})
+	}
+}
+
+// BenchmarkStreamInfer measures the cycle-level streaming simulator
+// (32 Iris inferences pipelined through the layer FSMs).
+func BenchmarkStreamInfer(b *testing.B) {
+	experiments.Datasets()
+	iris := experiments.Datasets()[1]
+	dp := QuantizeNetwork(iris.Net, emac.NewPosit(8, 0))
+	inputs := iris.Test.X[:32]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dp.StreamInfer(inputs, false)
+	}
+}
+
+// BenchmarkMixedInfer measures mixed-precision inference with the
+// format-conversion units at layer boundaries.
+func BenchmarkMixedInfer(b *testing.B) {
+	experiments.Datasets()
+	iris := experiments.Datasets()[1]
+	m := QuantizeMixed(iris.Net, []emac.Arithmetic{
+		emac.NewPosit(8, 0), emac.NewPosit(6, 0), emac.NewPosit(8, 0),
+	})
+	x := iris.Test.X[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Infer(x)
+	}
+}
+
+// BenchmarkNetworkSynthesis measures the full-accelerator estimate table
+// (the `hw` experiment).
+func BenchmarkNetworkSynthesis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.NetworkReports()
+		if len(rows) == 0 {
+			b.Fatal("hw")
+		}
+	}
+}
+
+// BenchmarkDecimalAccuracy measures the quantisation-fidelity sweep.
+func BenchmarkDecimalAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.DecimalAccuracy(1000)
+		if len(rows) == 0 {
+			b.Fatal("decimals")
+		}
+	}
+}
+
+// --- ablation benches (DESIGN.md §5) ---
+
+// BenchmarkAblationExactVsNaive times the exact (quire) accumulation
+// against the sequentially rounded scalar chain — the cost of the
+// paper's exactness guarantee in software.
+func BenchmarkAblationExactVsNaive(b *testing.B) {
+	f := posit.MustFormat(8, 0)
+	w := randomPosits(f, 128, 11)
+	x := randomPosits(f, 128, 12)
+	b.Run("exact-quire", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			posit.DotProduct(w, x)
+		}
+	})
+	b.Run("naive-rounded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			acc := f.Zero()
+			for j := range w {
+				acc = acc.Add(w[j].Mul(x[j]))
+			}
+		}
+	})
+}
+
+// BenchmarkAblationFixedRounding times the paper's post-shift truncation
+// against the round-to-nearest-even variant.
+func BenchmarkAblationFixedRounding(b *testing.B) {
+	trunc := emac.NewFixed(8, 4)
+	rne := emac.NewFixed(8, 4)
+	rne.RoundNearest = true
+	b.Run("truncate", func(b *testing.B) { benchMAC(b, trunc) })
+	b.Run("round-nearest", func(b *testing.B) { benchMAC(b, rne) })
+}
+
+// BenchmarkAblationQuireWidth times quires sized for different capacities
+// (eq. (4)'s clog2(k) term changes the register word count).
+func BenchmarkAblationQuireWidth(b *testing.B) {
+	f := posit.MustFormat(8, 2)
+	xs := randomPosits(f, 256, 13)
+	for _, k := range []int{16, 256, 65536} {
+		b.Run(sizeName(k), func(b *testing.B) {
+			q := posit.NewQuire(f, k)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q.MulAdd(xs[i%256], xs[(i+5)%256])
+			}
+		})
+	}
+}
+
+func sizeName(k int) string {
+	switch {
+	case k >= 1<<16:
+		return "k64Ki"
+	case k >= 256:
+		return "k256"
+	default:
+		return "k16"
+	}
+}

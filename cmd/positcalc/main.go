@@ -1,0 +1,146 @@
+// Command positcalc is a posit-format calculator and explorer.
+//
+// Usage:
+//
+//	positcalc -n 8 -es 0 enc 3.14          # encode a decimal into a posit
+//	positcalc -n 8 -es 0 dec 01010010      # decode a bit pattern
+//	positcalc -n 6 -es 1 table             # list every value of a format
+//	positcalc -n 8 -es 0 info              # format characteristics
+//	positcalc -n 8 -es 0 mul 1.5 2.25      # arithmetic (mul/add/sub/div/sqrt)
+//	positcalc -n 8 -es 0 dot 1,2,3 0.5,4,-1  # exact quire dot product
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/posit"
+)
+
+func main() {
+	n := flag.Uint("n", 8, "posit width in bits (3..32)")
+	es := flag.Uint("es", 0, "exponent field width (0..5)")
+	flag.Parse()
+
+	f, err := posit.NewFormat(*n, *es)
+	if err != nil {
+		fatal(err)
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: positcalc [-n N] [-es ES] enc|dec|table|info|mul|add|sub|div|sqrt|dot ...")
+		os.Exit(2)
+	}
+	switch args[0] {
+	case "enc":
+		needArgs(args, 2)
+		x := parseFloat(args[1])
+		p := f.FromFloat64(x)
+		fmt.Printf("%s\nbits: %s (0x%0*x)\nvalue: %g\nerror: %g\n",
+			p, p.BitString(), int(*n+3)/4, p.Bits(), p.Float64(), p.Float64()-x)
+	case "dec":
+		needArgs(args, 2)
+		p, err := f.ParseBits(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		describe(p)
+	case "table":
+		for _, p := range f.Posits() {
+			if p.IsNaR() {
+				fmt.Printf("%0*b  NaR\n", *n, p.Bits())
+				continue
+			}
+			fmt.Printf("%0*b  %- 14g %s\n", *n, p.Bits(), p.Float64(), p.BitString())
+		}
+	case "info":
+		fmt.Printf("format:        %s\n", f)
+		fmt.Printf("useed:         %g\n", f.USeed())
+		fmt.Printf("maxpos:        %g\n", f.MaxPos().Float64())
+		fmt.Printf("minpos:        %g\n", f.MinPos().Float64())
+		fmt.Printf("dynamic range: %.2f decades\n", f.DynamicRangeLog10())
+		fmt.Printf("patterns:      %d (incl. 0 and NaR)\n", f.Count())
+		if f.FastSigmoidValid() {
+			fmt.Printf("fast sigmoid:  available (es=0)\n")
+		}
+		qs := posit.QuireSize(f, 64)
+		fmt.Printf("quire (k=64):  %d bits\n", qs)
+	case "mul", "add", "sub", "div":
+		needArgs(args, 3)
+		a := f.FromFloat64(parseFloat(args[1]))
+		b := f.FromFloat64(parseFloat(args[2]))
+		var r posit.Posit
+		switch args[0] {
+		case "mul":
+			r = a.Mul(b)
+		case "add":
+			r = a.Add(b)
+		case "sub":
+			r = a.Sub(b)
+		case "div":
+			r = a.Div(b)
+		}
+		fmt.Printf("%g %s %g = %g   (operands rounded to %g, %g)\n",
+			parseFloat(args[1]), args[0], parseFloat(args[2]),
+			r.Float64(), a.Float64(), b.Float64())
+		describe(r)
+	case "sqrt":
+		needArgs(args, 2)
+		a := f.FromFloat64(parseFloat(args[1]))
+		describe(a.Sqrt())
+	case "dot":
+		needArgs(args, 3)
+		w := parseVector(f, args[1])
+		a := parseVector(f, args[2])
+		if len(w) != len(a) {
+			fatal(fmt.Errorf("vector lengths differ: %d vs %d", len(w), len(a)))
+		}
+		r := posit.DotProduct(w, a)
+		fmt.Printf("exact dot product (single rounding): %g\n", r.Float64())
+		describe(r)
+	default:
+		fatal(fmt.Errorf("unknown command %q", args[0]))
+	}
+}
+
+func describe(p posit.Posit) {
+	if p.IsNaR() {
+		fmt.Println("NaR (Not a Real)")
+		return
+	}
+	fmt.Printf("bits:  %s\nvalue: %g\n", p.BitString(), p.Float64())
+	if sign, k, e, frac, fw, ok := p.Decode(); ok {
+		fmt.Printf("sign=%v regime=%d exp=%d frac=0b%0*b (%d bits)\n", sign, k, e, int(fw), frac, fw)
+	}
+}
+
+func parseFloat(s string) float64 {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		fatal(err)
+	}
+	return v
+}
+
+func parseVector(f posit.Format, s string) []posit.Posit {
+	parts := strings.Split(s, ",")
+	out := make([]posit.Posit, len(parts))
+	for i, p := range parts {
+		out[i] = f.FromFloat64(parseFloat(strings.TrimSpace(p)))
+	}
+	return out
+}
+
+func needArgs(args []string, n int) {
+	if len(args) < n {
+		fatal(fmt.Errorf("%s needs %d argument(s)", args[0], n-1))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "positcalc:", err)
+	os.Exit(1)
+}

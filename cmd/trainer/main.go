@@ -1,0 +1,53 @@
+// Command trainer trains the paper's three networks in float64, reports
+// the 32-bit baselines, and optionally saves the models as JSON for
+// later quantised evaluation.
+//
+// Usage:
+//
+//	trainer [-out DIR] [-verbose]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/nn"
+)
+
+func main() {
+	out := flag.String("out", "", "directory to save trained models (JSON); empty = don't save")
+	flag.Parse()
+
+	fmt.Println("training the Deep Positron evaluation networks (float64, SGD+momentum)...")
+	for _, tr := range experiments.Datasets() {
+		fmt.Printf("%-24s %s  train=%d test=%d\n", tr.Name, tr.Net, tr.Train.Len(), tr.Test.Len())
+		fmt.Printf("  float64 accuracy: %6.2f%%\n", 100*tr.Acc64)
+		fmt.Printf("  float32 accuracy: %6.2f%%  (paper Table II baseline column)\n", 100*tr.Acc32)
+		st := tr.Net.Stats()
+		fmt.Printf("  weights: %d params, %.1f%% in [-1,1], range [%.3g, %.3g]\n",
+			st.Count, 100*st.FracInUnit, st.Min, st.Max)
+		cm := nn.Confusion(tr.Net.Predict, tr.Test)
+		for _, line := range strings.Split(cm.String(), "\n") {
+			fmt.Printf("  %s\n", line)
+		}
+		if *out != "" {
+			if err := os.MkdirAll(*out, 0o755); err != nil {
+				fatal(err)
+			}
+			path := filepath.Join(*out, tr.Name+".json")
+			if err := tr.Net.Save(path); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  saved to %s\n", path)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "trainer:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,62 @@
+// EMAC trade-off: walk the accuracy-vs-energy design space on the
+// Wisconsin Breast Cancer task — the paper's Fig. 9 analysis as a
+// library workflow. The deployed network consumes raw clinical features
+// (standardization folded into the first layer), which is the regime
+// where the three number systems separate sharply.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	positron "repro"
+)
+
+func main() {
+	train, test := positron.BreastCancerSplit(0x5690)
+	std := positron.FitStandardizer(train)
+
+	net := positron.NewMLP([]int{30, 16, 8, 2}, 101)
+	cfg := positron.DefaultTrainConfig()
+	cfg.Epochs = 120
+	cfg.LR = 0.02
+	positron.Train(net, std.Apply(train), cfg)
+	net.FoldInputAffine(std.InputAffine())
+
+	acc32 := positron.Accuracy32(net, test)
+	fmt.Printf("WBC float32 baseline: %.2f%% (190 inference samples)\n\n", 100*acc32)
+
+	type point struct {
+		arith positron.Arithmetic
+		acc   float64
+		edp   float64
+	}
+	var pts []point
+	for n := uint(5); n <= 8; n++ {
+		posits, floats, fixeds := positron.Candidates(n)
+		for _, cands := range [][]positron.Arithmetic{posits, floats, fixeds} {
+			for _, a := range cands {
+				dp := positron.QuantizeNetwork(net, a)
+				rep, ok := positron.Synthesize(a, 32)
+				if !ok {
+					continue
+				}
+				pts = append(pts, point{a, dp.Accuracy(test), rep.EDP})
+			}
+		}
+	}
+
+	// Pareto frontier: highest accuracy for increasing energy budget.
+	sort.Slice(pts, func(i, j int) bool { return pts[i].edp < pts[j].edp })
+	fmt.Println("accuracy/EDP Pareto frontier (all formats, n in [5,8]):")
+	fmt.Printf("%-18s %-10s %-12s %s\n", "arithmetic", "bits", "EDP (J·s)", "accuracy")
+	bestSoFar := -1.0
+	for _, p := range pts {
+		if p.acc > bestSoFar {
+			bestSoFar = p.acc
+			fmt.Printf("%-18s %-10d %-12.3g %6.2f%%\n",
+				p.arith.Name(), p.arith.BitWidth(), p.edp, 100*p.acc)
+		}
+	}
+	fmt.Printf("\n(float32 reference: %6.2f%%)\n", 100*acc32)
+}

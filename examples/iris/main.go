@@ -1,0 +1,62 @@
+// Iris: train a small MLP in float64, lower it onto Deep Positron at
+// 8 bits in all three number systems, and compare accuracy plus hardware
+// cost — a miniature version of the paper's Table II workflow.
+package main
+
+import (
+	"fmt"
+
+	positron "repro"
+)
+
+func main() {
+	// The paper's split: 100 training samples, 50 inference samples.
+	train, test := positron.IrisSplit(0x1715)
+	strain, stest := positron.Standardize(train, test)
+
+	net := positron.NewMLP([]int{4, 10, 6, 3}, 7)
+	cfg := positron.DefaultTrainConfig()
+	cfg.Epochs = 150
+	cfg.LR = 0.05
+	cfg.LRDecay = 0.99
+	positron.Train(net, strain, cfg)
+
+	fmt.Printf("trained %v\n", net)
+	fmt.Printf("float64 accuracy: %.1f%%   float32 accuracy: %.1f%%\n\n",
+		100*positron.Accuracy(net, stest), 100*positron.Accuracy32(net, stest))
+
+	fmt.Println("8-bit Deep Positron inference (50 samples):")
+	fmt.Printf("%-16s %-9s %-12s %-10s %-12s\n", "arithmetic", "accuracy", "fmax (MHz)", "LUTs", "EDP (J·s)")
+	for _, arith := range []positron.Arithmetic{
+		positron.PositArith(8, 0),
+		positron.PositArith(8, 1),
+		positron.FloatArith(8, 3),
+		positron.FloatArith(8, 4),
+		positron.FixedArith(8, 4),
+		positron.FixedArith(8, 5),
+	} {
+		dp := positron.QuantizeNetwork(net, arith)
+		acc := dp.Accuracy(stest)
+		line := fmt.Sprintf("%-16s %7.1f%%", arith.Name(), 100*acc)
+		if rep, ok := positron.Synthesize(arith, 16); ok {
+			line += fmt.Sprintf("  %-12.0f %-10.0f %-12.3g", rep.FMaxMHz, rep.LUTs, rep.EDP)
+		}
+		fmt.Println(line)
+	}
+
+	// Full-sweep: let the library pick the best configuration per family,
+	// exactly like the paper's §IV-B grid.
+	fmt.Println("\nbest configuration per family at 8 bits:")
+	posits, floats, fixeds := positron.Candidates(8)
+	for _, cands := range [][]positron.Arithmetic{posits, floats, fixeds} {
+		best := positron.BestConfig(net, stest, cands)
+		fmt.Printf("  %-20s %.1f%%\n", best.Arith.Name(), 100*best.Accuracy)
+	}
+
+	// Memory: the paper stores parameters in on-chip memory next to the
+	// EMACs; 8-bit posits need 4× less of it than float32.
+	dp8 := positron.QuantizeNetwork(net, positron.PositArith(8, 0))
+	dp32 := positron.QuantizeNetwork(net, positron.Float32Baseline())
+	fmt.Printf("\non-chip parameter memory: %d bits at posit(8,0) vs %d bits at float32\n",
+		dp8.MemoryBits(), dp32.MemoryBits())
+}

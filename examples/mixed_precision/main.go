@@ -1,0 +1,56 @@
+// Mixed precision: extend Deep Positron's "precision-adaptable" EMACs to
+// one format per layer. The experiment deploys the Breast Cancer network
+// with an 8-bit posit front layer (which must swallow the wide-range
+// folded weights) and narrower posits deeper in the network, and runs the
+// per-layer fixed-point search that repairs the Table II fixed-point
+// collapse. It also exercises the cycle-level streaming simulator.
+package main
+
+import (
+	"fmt"
+
+	positron "repro"
+)
+
+func main() {
+	train, test := positron.BreastCancerSplit(0x5690)
+	std := positron.FitStandardizer(train)
+	net := positron.NewMLP([]int{30, 16, 8, 2}, 101)
+	cfg := positron.DefaultTrainConfig()
+	cfg.Epochs = 120
+	cfg.LR = 0.02
+	positron.Train(net, std.Apply(train), cfg)
+	net.FoldInputAffine(std.InputAffine())
+
+	fmt.Printf("WBC float32 baseline: %.2f%%\n\n", 100*positron.Accuracy32(net, test))
+
+	// Uniform 8-bit posit vs mixed-width posits.
+	uniform := positron.QuantizeNetwork(net, positron.PositArith(8, 2))
+	fmt.Printf("%-46s %6.2f%%  (%d weight-memory bits)\n",
+		"uniform posit(8,2)", 100*uniform.Accuracy(test), uniform.MemoryBits())
+	for _, mix := range [][]positron.Arithmetic{
+		{positron.PositArith(8, 2), positron.PositArith(6, 1), positron.PositArith(6, 1)},
+		{positron.PositArith(8, 2), positron.PositArith(5, 1), positron.PositArith(5, 1)},
+	} {
+		m := positron.QuantizeMixed(net, mix)
+		fmt.Printf("%-46s %6.2f%%  (%d weight-memory bits)\n",
+			m.String(), 100*m.Accuracy(test), m.MemoryBits())
+	}
+
+	// Per-layer fixed-point: one shared Q-format collapses on this net
+	// (Table II); per-layer q recovers part of the loss.
+	fixeds := make([]positron.Arithmetic, 0)
+	_, _, fx := positron.Candidates(8)
+	fixeds = append(fixeds, fx...)
+	global := positron.BestConfig(net, test, fixeds)
+	perLayer, qs := positron.SearchPerLayerFixed(net, test, 8)
+	fmt.Printf("\nfixed(8) global best   %s: %6.2f%%\n", global.Arith.Name(), 100*global.Accuracy)
+	fmt.Printf("fixed(8) per-layer q=%v: %6.2f%%\n", qs, 100*perLayer.Accuracy(test))
+
+	// Streaming: throughput vs single-shot latency on the same engine.
+	dp := positron.QuantizeNetwork(net, positron.PositArith(8, 2))
+	_, stats, _ := dp.StreamInfer(test.X[:64], false)
+	fmt.Printf("\nstreaming 64 inferences: first-out after %d cycles, then one per %d cycles (%.2f serial speedup)\n",
+		stats.FirstLatency, stats.SteadyInterval,
+		float64(dp.Cycles()*stats.Inputs)/float64(stats.TotalCycles))
+}

@@ -1,0 +1,59 @@
+// Quickstart: a five-minute tour of the posit number system and the
+// exact multiply-and-accumulate (EMAC) semantics the paper builds on.
+package main
+
+import (
+	"fmt"
+
+	positron "repro"
+)
+
+func main() {
+	// A posit format is (n, es): n total bits, es exponent bits.
+	p8 := positron.MustPositFormat(8, 0)
+	fmt.Printf("format %v: maxpos=%g minpos=%g useed=%g dynamic range=%.1f decades\n",
+		p8, p8.MaxPos().Float64(), p8.MinPos().Float64(), p8.USeed(), p8.DynamicRangeLog10())
+
+	// Values round to nearest (ties to even), saturating at maxpos/minpos.
+	x := p8.FromFloat64(3.14159)
+	fmt.Printf("π  -> %s (pattern %s, error %+.4f)\n", x, x.BitString(), x.Float64()-3.14159)
+
+	// Scalar arithmetic is correctly rounded.
+	a, b := p8.FromFloat64(1.5), p8.FromFloat64(2.25)
+	fmt.Printf("%g * %g = %g;  %g + %g = %g;  sqrt(2) ≈ %g\n",
+		a.Float64(), b.Float64(), a.Mul(b).Float64(),
+		a.Float64(), b.Float64(), a.Add(b).Float64(),
+		p8.FromFloat64(2).Sqrt().Float64())
+
+	// The quire: a wide fixed-point register (paper eq. (4)) that holds
+	// dot products EXACTLY, rounding once at the end. This is what makes
+	// the EMAC "exact".
+	q := positron.NewQuire(p8, 3)
+	fmt.Printf("quire width for k=3: %d bits\n", q.Width())
+
+	w := []positron.Posit{p8.FromFloat64(0.0625), p8.FromFloat64(32), p8.FromFloat64(-32)}
+	v := []positron.Posit{p8.FromFloat64(0.0625), p8.FromFloat64(1), p8.FromFloat64(1)}
+	// 0.0625² + 32 - 32: a naive sequentially-rounded MAC loses the tiny
+	// first product; the quire keeps it.
+	naive := p8.Zero()
+	for i := range w {
+		naive = naive.Add(w[i].Mul(v[i]))
+	}
+	exact := positron.PositDot(w, v)
+	fmt.Printf("0.0625² + 32 - 32:  naive MAC = %g,  exact EMAC = %g\n",
+		naive.Float64(), exact.Float64())
+
+	// The same EMAC abstraction covers fixed point and minifloats too.
+	for _, arith := range []positron.Arithmetic{
+		positron.PositArith(8, 0),
+		positron.FloatArith(8, 4),
+		positron.FixedArith(8, 4),
+	} {
+		mac := arith.NewMAC(3)
+		mac.Reset(arith.Quantize(0))
+		for i := 0; i < 3; i++ {
+			mac.Step(arith.Quantize(1.25), arith.Quantize(2))
+		}
+		fmt.Printf("%-16s 3 × (1.25×2) = %g\n", arith.Name(), arith.Decode(mac.Result()))
+	}
+}

@@ -1,0 +1,46 @@
+// Sigmoid: Gustafson's zero-arithmetic sigmoid approximation for es=0
+// posits — flip the sign bit, shift right by two. This is the hardware
+// bonus the posit-DNN literature highlights: a full activation function
+// for the cost of two wire operations.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	positron "repro"
+)
+
+func main() {
+	f := positron.MustPositFormat(8, 0)
+	fmt.Println("fast sigmoid on posit(8,0): σ(x) ≈ bits(x) XOR 0x80 >> 2")
+	fmt.Printf("%-8s %-12s %-12s %-10s\n", "x", "fast σ(x)", "exact σ(x)", "|error|")
+	maxErr := 0.0
+	for _, x := range []float64{-16, -8, -4, -2, -1, -0.5, 0, 0.5, 1, 2, 4, 8, 16} {
+		p := f.FromFloat64(x)
+		fast := p.FastSigmoid().Float64()
+		exact := 1 / (1 + math.Exp(-p.Float64()))
+		err := math.Abs(fast - exact)
+		if err > maxErr {
+			maxErr = err
+		}
+		fmt.Printf("%-8g %-12g %-12.4f %-10.4f\n", p.Float64(), fast, exact, err)
+	}
+	fmt.Printf("\nmax |error| on the sample grid: %.4f\n", maxErr)
+
+	// Use it as the hidden activation of a Deep Positron network.
+	train, test := positron.IrisSplit(0x1715)
+	strain, stest := positron.Standardize(train, test)
+	net := positron.NewMLP([]int{4, 10, 6, 3}, 7)
+	cfg := positron.DefaultTrainConfig()
+	cfg.Epochs = 150
+	positron.Train(net, strain, cfg)
+
+	relu := positron.QuantizeNetwork(net, positron.PositArith(8, 0))
+	sig := positron.QuantizeNetwork(net, positron.PositArith(8, 0))
+	sig.Sigmoid = true
+	fmt.Printf("\nIris, posit(8,0) Deep Positron:\n")
+	fmt.Printf("  ReLU hidden activations:         %.1f%%\n", 100*relu.Accuracy(stest))
+	fmt.Printf("  fast-sigmoid hidden activations: %.1f%% (net was trained with ReLU)\n",
+		100*sig.Accuracy(stest))
+}

@@ -1,0 +1,89 @@
+package bitutil
+
+// Writer assembles a fixed-width bit pattern most-significant-bit first and
+// tracks the guard and sticky information for everything that falls off the
+// end. It is the software analogue of the shift-and-round datapath at the
+// tail of the paper's Algorithm 2 ("Convergent Rounding & Encoding"): the
+// regime, exponent and fraction fields are streamed in, the first Width bits
+// are kept, the next bit becomes the round (guard) bit, and all later bits
+// collapse into sticky.
+type Writer struct {
+	width  uint   // number of pattern bits to keep
+	acc    uint64 // pattern bits followed by the guard bit (width+1 total)
+	n      uint   // bits accepted so far, capped at width+1
+	sticky bool
+}
+
+// NewWriter returns a Writer that keeps width pattern bits plus one guard
+// bit. width must be <= 63.
+func NewWriter(width uint) *Writer {
+	if width > 63 {
+		panic("bitutil: Writer width must be <= 63")
+	}
+	return &Writer{width: width}
+}
+
+// WriteBit appends a single bit (0 or 1).
+func (w *Writer) WriteBit(b uint64) {
+	b &= 1
+	if w.n < w.width+1 {
+		w.acc = w.acc<<1 | b
+		w.n++
+		return
+	}
+	if b != 0 {
+		w.sticky = true
+	}
+}
+
+// WriteBits appends the low count bits of v, most significant first.
+// count must be <= 64.
+func (w *Writer) WriteBits(v uint64, count uint) {
+	if count > 64 {
+		panic("bitutil: WriteBits count must be <= 64")
+	}
+	for i := int(count) - 1; i >= 0; i-- {
+		w.WriteBit(v >> uint(i))
+	}
+}
+
+// WriteRun appends count copies of bit b. Large runs are handled without
+// looping once the writer is saturated.
+func (w *Writer) WriteRun(b uint64, count uint) {
+	b &= 1
+	for count > 0 && w.n < w.width+1 {
+		w.WriteBit(b)
+		count--
+	}
+	if count > 0 && b != 0 {
+		w.sticky = true
+	}
+}
+
+// StickyOr merges an externally computed sticky condition (for example,
+// fraction bits that were pre-truncated before streaming).
+func (w *Writer) StickyOr(s bool) {
+	if s {
+		w.sticky = true
+	}
+}
+
+// Finish pads with zeros to the full width and returns the pattern, the
+// guard bit and the sticky flag. The pattern occupies the low width bits.
+func (w *Writer) Finish() (pattern uint64, guard, sticky bool) {
+	for w.n < w.width+1 {
+		w.acc <<= 1
+		w.n++
+	}
+	pattern = (w.acc >> 1) & Mask(w.width)
+	guard = w.acc&1 == 1
+	return pattern, guard, w.sticky
+}
+
+// Round completes the writer and applies round-to-nearest-even, returning
+// the rounded pattern. The pattern may overflow into bit `width` (e.g.
+// 0111 -> 1000); callers clamp per their format's saturation rule.
+func (w *Writer) Round() uint64 {
+	pattern, guard, sticky := w.Finish()
+	return RoundNearestEven(pattern, guard, sticky)
+}

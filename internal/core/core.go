@@ -1,0 +1,184 @@
+// Package core implements Deep Positron (paper §III-E): a feed-forward
+// DNN accelerator in which every layer owns dedicated exact
+// multiply-and-accumulate units with local weight/bias memory, layers
+// stream activations to one another under a control FSM, hidden layers
+// apply ReLU and the readout layer is affine. The same architecture is
+// instantiated for any emac.Arithmetic — posit, minifloat, fixed point or
+// the float32 baseline — which is how the paper compares the three
+// number systems at identical bit width.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/datasets"
+	"repro/internal/emac"
+	"repro/internal/nn"
+)
+
+// Layer is one Deep Positron layer: quantised weights and biases held in
+// the layer's local memory (the paper stores parameters on-chip next to
+// the EMACs to avoid off-chip accesses), plus one EMAC per neuron.
+type Layer struct {
+	In, Out int
+	// W[j][i] is the code of the weight from input i to neuron j.
+	W [][]emac.Code
+	B []emac.Code
+	// macs holds one EMAC unit per neuron, reused across inputs exactly
+	// like the hardware units are.
+	macs []emac.MAC
+}
+
+// Network is a Deep Positron instance.
+type Network struct {
+	Arith  emac.Arithmetic
+	Layers []*Layer
+	// Sigmoid selects the posit fast-sigmoid activation instead of ReLU
+	// on hidden layers (extension; requires a posit arithmetic with
+	// es=0).
+	Sigmoid bool
+}
+
+// Quantize lowers a trained float64 network into the target arithmetic.
+// Every weight and bias is rounded once; activations are quantised on the
+// fly by the EMAC result rounding, exactly as in the hardware.
+func Quantize(src *nn.Network, a emac.Arithmetic) *Network {
+	net := &Network{Arith: a}
+	for _, l := range src.Layers {
+		ql := &Layer{In: l.In, Out: l.Out}
+		ql.W = make([][]emac.Code, l.Out)
+		for j, row := range l.W {
+			qrow := make([]emac.Code, l.In)
+			for i, w := range row {
+				qrow[i] = a.Quantize(w)
+			}
+			ql.W[j] = qrow
+		}
+		ql.B = make([]emac.Code, l.Out)
+		for j, b := range l.B {
+			ql.B[j] = a.Quantize(b)
+		}
+		ql.macs = make([]emac.MAC, l.Out)
+		for j := range ql.macs {
+			ql.macs[j] = a.NewMAC(l.In)
+		}
+		net.Layers = append(net.Layers, ql)
+	}
+	return net
+}
+
+// QuantizeInput converts a raw feature vector into activation codes.
+func (n *Network) QuantizeInput(x []float64) []emac.Code {
+	codes := make([]emac.Code, len(x))
+	for i, v := range x {
+		codes[i] = n.Arith.Quantize(v)
+	}
+	return codes
+}
+
+// Infer runs one input through the network and returns the decoded output
+// logits. The compute follows the paper's dataflow: each layer's EMACs
+// reset to their bias, consume one activation per cycle, and the layer
+// fires when its predecessor finishes.
+func (n *Network) Infer(x []float64) []float64 {
+	act := n.QuantizeInput(x)
+	for li, layer := range n.Layers {
+		if len(act) != layer.In {
+			panic(fmt.Sprintf("core: layer %d expects %d inputs, got %d", li, layer.In, len(act)))
+		}
+		next := make([]emac.Code, layer.Out)
+		for j := 0; j < layer.Out; j++ {
+			mac := layer.macs[j]
+			mac.Reset(layer.B[j])
+			wrow := layer.W[j]
+			for i, a := range act {
+				mac.Step(wrow[i], a)
+			}
+			out := mac.Result()
+			if li < len(n.Layers)-1 {
+				out = n.activate(out)
+			}
+			next[j] = out
+		}
+		act = next
+	}
+	logits := make([]float64, len(act))
+	for i, c := range act {
+		logits[i] = n.Arith.Decode(c)
+	}
+	return logits
+}
+
+// activate applies the hidden-layer nonlinearity on a code.
+func (n *Network) activate(c emac.Code) emac.Code {
+	if n.Sigmoid {
+		pa, ok := n.Arith.(emac.PositArith)
+		if !ok || !pa.F.FastSigmoidValid() {
+			panic("core: Sigmoid activation requires a posit arithmetic with es=0")
+		}
+		return emac.Code(pa.F.FromBits(uint64(c)).FastSigmoid().Bits())
+	}
+	return n.Arith.ReLU(c)
+}
+
+// Predict returns the argmax class for one input.
+func (n *Network) Predict(x []float64) int { return nn.Argmax(n.Infer(x)) }
+
+// Accuracy evaluates classification accuracy on a dataset.
+func (n *Network) Accuracy(ds *datasets.Dataset) float64 {
+	correct := 0
+	for i := range ds.X {
+		if n.Predict(ds.X[i]) == ds.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len())
+}
+
+// Shape returns the per-layer fan-ins and widths (for the hardware cost
+// model).
+func (n *Network) Shape() (fanins, widths []int) {
+	for _, l := range n.Layers {
+		fanins = append(fanins, l.In)
+		widths = append(widths, l.Out)
+	}
+	return fanins, widths
+}
+
+// Cycles returns the streaming inference latency in EMAC cycles: each
+// layer consumes fan-in cycles plus the pipeline depth before its
+// successor may start (sequential layer triggering per the control FSM).
+func (n *Network) Cycles() int {
+	cycles := 0
+	for _, l := range n.Layers {
+		cycles += l.In + pipelineDepth
+	}
+	return cycles
+}
+
+// pipelineDepth mirrors hw.PipelineDepth without importing the package
+// (kept in sync by a cross-check in the tests).
+const pipelineDepth = 4
+
+// MemoryBits returns the on-chip parameter storage the network needs:
+// every weight and bias at the arithmetic's bit width (the paper's local
+// memory blocks).
+func (n *Network) MemoryBits() int {
+	params := 0
+	for _, l := range n.Layers {
+		params += l.In*l.Out + l.Out
+	}
+	return params * int(n.Arith.BitWidth())
+}
+
+// String renders like "DeepPositron[posit(8,0): 30-16-8-2]".
+func (n *Network) String() string {
+	s := fmt.Sprintf("DeepPositron[%s:", n.Arith.Name())
+	if len(n.Layers) > 0 {
+		s += fmt.Sprintf(" %d", n.Layers[0].In)
+		for _, l := range n.Layers {
+			s += fmt.Sprintf("-%d", l.Out)
+		}
+	}
+	return s + "]"
+}

@@ -1,0 +1,140 @@
+package core
+
+// Failure-injection tests: poisoned inputs, saturating values and
+// degenerate networks must produce well-defined results, never panics or
+// silently-propagating NaR/NaN garbage.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/emac"
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+func TestNaNInputPoisoning(t *testing.T) {
+	net, test := trainedIris(t)
+	for _, a := range []emac.Arithmetic{
+		emac.NewPosit(8, 0), emac.NewFloatN(8, 4), emac.NewFixed(8, 4),
+	} {
+		q := Quantize(net, a)
+		x := append([]float64(nil), test.X[0]...)
+		x[2] = math.NaN()
+		logits := q.Infer(x) // must not panic
+		for j, v := range logits {
+			if math.IsInf(v, 0) {
+				t.Errorf("%s: Inf logit %d from NaN input", a.Name(), j)
+			}
+		}
+		// The posit arm maps NaR through ReLU to zero, so downstream
+		// layers see a clean value; prediction stays in range.
+		if c := q.Predict(x); c < 0 || c > 2 {
+			t.Errorf("%s: class %d out of range", a.Name(), c)
+		}
+	}
+}
+
+func TestInfInputSaturates(t *testing.T) {
+	net, test := trainedIris(t)
+	for _, a := range []emac.Arithmetic{
+		emac.NewPosit(8, 1), emac.NewFloatN(8, 4), emac.NewFixed(8, 4),
+	} {
+		q := Quantize(net, a)
+		x := append([]float64(nil), test.X[0]...)
+		x[0] = math.Inf(1)
+		logits := q.Infer(x)
+		for j, v := range logits {
+			if math.IsInf(v, 0) {
+				t.Errorf("%s: Inf escaped to logit %d", a.Name(), j)
+			}
+		}
+	}
+}
+
+func TestHugeInputsSaturateNotWrap(t *testing.T) {
+	net, test := trainedIris(t)
+	for _, a := range []emac.Arithmetic{
+		emac.NewPosit(8, 0), emac.NewFixed(8, 4),
+	} {
+		q := Quantize(net, a)
+		x := make([]float64, len(test.X[0]))
+		for i := range x {
+			x[i] = 1e12 // far beyond every format's range
+		}
+		logits := q.Infer(x)
+		for _, v := range logits {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%s: degenerate logit %v", a.Name(), v)
+			}
+		}
+	}
+}
+
+func TestDegenerateSingleLayerNetwork(t *testing.T) {
+	// A network with no hidden layers (pure affine classifier).
+	r := rng.New(3)
+	src := nn.NewMLP([]int{4, 3}, r)
+	q := Quantize(src, emac.NewPosit(8, 0))
+	out := q.Infer([]float64{1, 2, 3, 4})
+	if len(out) != 3 {
+		t.Fatalf("%d outputs", len(out))
+	}
+	if q.Cycles() != 4+pipelineDepth {
+		t.Errorf("cycles = %d", q.Cycles())
+	}
+	// streaming a single-layer net works too
+	outs, stats, _ := q.StreamInfer([][]float64{{1, 2, 3, 4}, {0, 0, 0, 0}}, false)
+	if len(outs) != 2 || stats.Inputs != 2 {
+		t.Error("single-layer streaming")
+	}
+}
+
+func TestAllZeroWeights(t *testing.T) {
+	// A freshly zeroed network must classify everything as class 0
+	// (all-equal logits, argmax ties to the lowest index).
+	src := nn.NewMLP([]int{4, 3, 2}, rng.New(1))
+	for _, l := range src.Layers {
+		for j := range l.W {
+			for i := range l.W[j] {
+				l.W[j][i] = 0
+			}
+		}
+		for j := range l.B {
+			l.B[j] = 0
+		}
+	}
+	q := Quantize(src, emac.NewPosit(8, 0))
+	if c := q.Predict([]float64{1, -1, 2, -2}); c != 0 {
+		t.Errorf("zero net predicts %d", c)
+	}
+}
+
+func TestTinyFormatsStillRun(t *testing.T) {
+	// 5-bit formats are the paper's lower bound; even a 4- or 3-bit
+	// posit must execute without panicking (accuracy aside).
+	net, test := trainedIris(t)
+	for _, a := range []emac.Arithmetic{
+		emac.NewPosit(4, 0), emac.NewPosit(3, 0), emac.NewFixed(3, 1),
+	} {
+		q := Quantize(net, a)
+		if acc := q.Accuracy(test.Head(10)); acc < 0 || acc > 1 {
+			t.Errorf("%s: accuracy %v", a.Name(), acc)
+		}
+	}
+}
+
+func TestMACReuseIsClean(t *testing.T) {
+	// EMAC units are reused across inputs; state must not leak between
+	// inferences.
+	net, test := trainedIris(t)
+	q := Quantize(net, emac.NewPosit(8, 1))
+	a := q.Infer(test.X[0])
+	_ = q.Infer(test.X[1]) // interleave a different input
+	b := q.Infer(test.X[0])
+	for j := range a {
+		if a[j] != b[j] {
+			t.Fatalf("MAC state leaked: %v vs %v", a, b)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/emac"
+)
+
+// Serialization of quantised networks: the deployment artifact a Deep
+// Positron bitstream would consume — a format descriptor plus the raw
+// weight/bias codes for each layer's local memory. Codes are stored as
+// integers (each at most 32 bits wide), so the JSON is portable and
+// diff-able.
+
+// arithDescriptor names an Arithmetic in the model file.
+type arithDescriptor struct {
+	Family string `json:"family"` // "posit" | "float" | "fixed" | "float32"
+	N      uint   `json:"n,omitempty"`
+	ES     uint   `json:"es,omitempty"`
+	WE     uint   `json:"we,omitempty"`
+	Q      uint   `json:"q,omitempty"`
+	// QuireDrop preserves the truncated-quire ablation setting.
+	QuireDrop uint `json:"quireDrop,omitempty"`
+}
+
+func describeArith(a emac.Arithmetic) (arithDescriptor, error) {
+	switch arm := a.(type) {
+	case emac.PositArith:
+		return arithDescriptor{Family: "posit", N: arm.F.N(), ES: arm.F.ES(), QuireDrop: arm.QuireDrop}, nil
+	case emac.FloatArith:
+		return arithDescriptor{Family: "float", N: arm.F.N(), WE: arm.F.WE()}, nil
+	case emac.FixedArith:
+		return arithDescriptor{Family: "fixed", N: arm.F.N(), Q: arm.F.Q()}, nil
+	case emac.Float32Arith:
+		return arithDescriptor{Family: "float32"}, nil
+	default:
+		return arithDescriptor{}, fmt.Errorf("core: unserialisable arithmetic %T", a)
+	}
+}
+
+func (d arithDescriptor) build() (emac.Arithmetic, error) {
+	switch d.Family {
+	case "posit":
+		a := emac.NewPosit(d.N, d.ES)
+		a.QuireDrop = d.QuireDrop
+		return a, nil
+	case "float":
+		return emac.NewFloatN(d.N, d.WE), nil
+	case "fixed":
+		return emac.NewFixed(d.N, d.Q), nil
+	case "float32":
+		return emac.Float32Arith{}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown arithmetic family %q", d.Family)
+	}
+}
+
+type layerJSON struct {
+	In  int        `json:"in"`
+	Out int        `json:"out"`
+	W   [][]uint64 `json:"w"` // codes, W[out][in]
+	B   []uint64   `json:"b"`
+}
+
+type netJSON struct {
+	Arith   arithDescriptor `json:"arith"`
+	Sigmoid bool            `json:"sigmoid,omitempty"`
+	Layers  []layerJSON     `json:"layers"`
+}
+
+// MarshalJSON implements json.Marshaler for the quantised network.
+func (n *Network) MarshalJSON() ([]byte, error) {
+	desc, err := describeArith(n.Arith)
+	if err != nil {
+		return nil, err
+	}
+	out := netJSON{Arith: desc, Sigmoid: n.Sigmoid}
+	for _, l := range n.Layers {
+		lj := layerJSON{In: l.In, Out: l.Out, B: make([]uint64, len(l.B))}
+		lj.W = make([][]uint64, len(l.W))
+		for j, row := range l.W {
+			cr := make([]uint64, len(row))
+			for i, c := range row {
+				cr[i] = uint64(c)
+			}
+			lj.W[j] = cr
+		}
+		for j, c := range l.B {
+			lj.B[j] = uint64(c)
+		}
+		out.Layers = append(out.Layers, lj)
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler with structural validation.
+func (n *Network) UnmarshalJSON(data []byte) error {
+	var in netJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	arith, err := in.Arith.build()
+	if err != nil {
+		return err
+	}
+	mask := ^uint64(0)
+	if w := arith.BitWidth(); w < 64 {
+		mask = (uint64(1) << w) - 1
+	}
+	net := Network{Arith: arith, Sigmoid: in.Sigmoid}
+	prevOut := -1
+	for li, lj := range in.Layers {
+		if lj.In <= 0 || lj.Out <= 0 || len(lj.W) != lj.Out || len(lj.B) != lj.Out {
+			return fmt.Errorf("core: layer %d malformed", li)
+		}
+		if prevOut >= 0 && lj.In != prevOut {
+			return fmt.Errorf("core: layer %d input %d does not match previous output %d", li, lj.In, prevOut)
+		}
+		prevOut = lj.Out
+		l := &Layer{In: lj.In, Out: lj.Out, B: make([]emac.Code, lj.Out)}
+		l.W = make([][]emac.Code, lj.Out)
+		for j, row := range lj.W {
+			if len(row) != lj.In {
+				return fmt.Errorf("core: layer %d row %d has %d codes", li, j, len(row))
+			}
+			cr := make([]emac.Code, lj.In)
+			for i, c := range row {
+				if c&^mask != 0 {
+					return fmt.Errorf("core: layer %d code %#x exceeds %d bits", li, c, arith.BitWidth())
+				}
+				cr[i] = emac.Code(c)
+			}
+			l.W[j] = cr
+		}
+		for j, c := range lj.B {
+			if c&^mask != 0 {
+				return fmt.Errorf("core: layer %d bias code %#x exceeds %d bits", li, c, arith.BitWidth())
+			}
+			l.B[j] = emac.Code(c)
+		}
+		l.macs = make([]emac.MAC, lj.Out)
+		for j := range l.macs {
+			l.macs[j] = arith.NewMAC(lj.In)
+		}
+		net.Layers = append(net.Layers, l)
+	}
+	if len(net.Layers) == 0 {
+		return fmt.Errorf("core: model has no layers")
+	}
+	*n = net
+	return nil
+}
+
+// Save writes the quantised model as JSON.
+func (n *Network) Save(path string) error {
+	data, err := json.MarshalIndent(n, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load reads a quantised model saved by Save.
+func Load(path string) (*Network, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	net := new(Network)
+	if err := json.Unmarshal(data, net); err != nil {
+		return nil, fmt.Errorf("core: loading %s: %w", path, err)
+	}
+	return net, nil
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/emac"
+)
+
+func TestQuantizedSaveLoadRoundTrip(t *testing.T) {
+	net, test := trainedIris(t)
+	dir := t.TempDir()
+	for _, a := range []emac.Arithmetic{
+		emac.NewPosit(8, 1), emac.NewFloatN(8, 4), emac.NewFixed(8, 4), emac.Float32Arith{},
+	} {
+		q := Quantize(net, a)
+		path := filepath.Join(dir, a.Name()+".json")
+		if err := q.Save(path); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := Load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if loaded.Arith.Name() != a.Name() {
+			t.Fatalf("arith %s -> %s", a.Name(), loaded.Arith.Name())
+		}
+		// bit-identical inference
+		for i := 0; i < 10; i++ {
+			la := q.Infer(test.X[i])
+			lb := loaded.Infer(test.X[i])
+			for j := range la {
+				if la[j] != lb[j] {
+					t.Fatalf("%s: loaded model diverges at sample %d", a.Name(), i)
+				}
+			}
+		}
+	}
+}
+
+func TestQuantizedSaveLoadPreservesQuireDrop(t *testing.T) {
+	net, test := trainedIris(t)
+	a := emac.NewPosit(8, 1)
+	a.QuireDrop = 12
+	q := Quantize(net, a)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trunc.json")
+	if err := q.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arm, ok := loaded.Arith.(emac.PositArith)
+	if !ok || arm.QuireDrop != 12 {
+		t.Fatalf("quire drop lost: %+v", loaded.Arith)
+	}
+	if got, want := loaded.Accuracy(test), q.Accuracy(test); got != want {
+		t.Fatalf("accuracy %v != %v after reload", got, want)
+	}
+}
+
+func TestLoadRejectsCorruptModels(t *testing.T) {
+	dir := t.TempDir()
+	bad := func(name, content string) {
+		path := filepath.Join(dir, name)
+		os.WriteFile(path, []byte(content), 0o644)
+		if _, err := Load(path); err == nil {
+			t.Errorf("%s: corrupt model accepted", name)
+		}
+	}
+	bad("garbage.json", "not json")
+	bad("family.json", `{"arith":{"family":"quaternion","n":8},"layers":[{"in":1,"out":1,"w":[[0]],"b":[0]}]}`)
+	bad("shape.json", `{"arith":{"family":"posit","n":8},"layers":[{"in":2,"out":1,"w":[[0]],"b":[0]}]}`)
+	bad("chain.json", `{"arith":{"family":"posit","n":8},"layers":[
+		{"in":2,"out":3,"w":[[0,0],[0,0],[0,0]],"b":[0,0,0]},
+		{"in":4,"out":1,"w":[[0,0,0,0]],"b":[0]}]}`)
+	bad("overflow.json", `{"arith":{"family":"posit","n":8},"layers":[{"in":1,"out":1,"w":[[512]],"b":[0]}]}`)
+	bad("empty.json", `{"arith":{"family":"posit","n":8},"layers":[]}`)
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestSaveRejectsCustomArith(t *testing.T) {
+	net, _ := trainedIris(t)
+	q := Quantize(net, emac.NewPosit(8, 0))
+	q.Arith = fakeArith{}
+	if _, err := q.MarshalJSON(); err == nil {
+		t.Error("unknown arithmetic must not serialise")
+	}
+}
+
+// fakeArith is an Arithmetic the serializer cannot describe.
+type fakeArith struct{ emac.PositArith }
+
+func (fakeArith) Name() string { return "fake" }

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/datasets"
+	"repro/internal/emac"
+	"repro/internal/nn"
+)
+
+// MixedNetwork is a Deep Positron variant with per-layer arithmetic — the
+// natural generalisation of the paper's "precision-adaptable" EMACs
+// (every layer already owns its own EMAC array and local memory, so
+// nothing in the architecture requires a single global format). At layer
+// boundaries activations are re-encoded into the next layer's format by a
+// format-conversion unit (decode → round), the same single-rounding step
+// the EMAC output stage already performs.
+type MixedNetwork struct {
+	Ariths []emac.Arithmetic // one per layer
+	Layers []*Layer
+}
+
+// QuantizeMixed lowers a trained float64 network with one arithmetic per
+// layer. len(ariths) must equal the number of layers.
+func QuantizeMixed(src *nn.Network, ariths []emac.Arithmetic) *MixedNetwork {
+	if len(ariths) != len(src.Layers) {
+		panic(fmt.Sprintf("core: %d arithmetics for %d layers", len(ariths), len(src.Layers)))
+	}
+	net := &MixedNetwork{Ariths: ariths}
+	for li, l := range src.Layers {
+		a := ariths[li]
+		ql := &Layer{In: l.In, Out: l.Out}
+		ql.W = make([][]emac.Code, l.Out)
+		for j, row := range l.W {
+			qrow := make([]emac.Code, l.In)
+			for i, w := range row {
+				qrow[i] = a.Quantize(w)
+			}
+			ql.W[j] = qrow
+		}
+		ql.B = make([]emac.Code, l.Out)
+		for j, b := range l.B {
+			ql.B[j] = a.Quantize(b)
+		}
+		ql.macs = make([]emac.MAC, l.Out)
+		for j := range ql.macs {
+			ql.macs[j] = a.NewMAC(l.In)
+		}
+		net.Layers = append(net.Layers, ql)
+	}
+	return net
+}
+
+// Infer runs one input through the mixed-precision pipeline.
+func (n *MixedNetwork) Infer(x []float64) []float64 {
+	if len(x) != n.Layers[0].In {
+		panic("core: mixed input size mismatch")
+	}
+	// quantise input in the first layer's format
+	act := make([]emac.Code, len(x))
+	for i, v := range x {
+		act[i] = n.Ariths[0].Quantize(v)
+	}
+	for li, layer := range n.Layers {
+		a := n.Ariths[li]
+		next := make([]emac.Code, layer.Out)
+		for j := 0; j < layer.Out; j++ {
+			mac := layer.macs[j]
+			mac.Reset(layer.B[j])
+			wrow := layer.W[j]
+			for i, c := range act {
+				mac.Step(wrow[i], c)
+			}
+			out := mac.Result()
+			if li < len(n.Layers)-1 {
+				out = a.ReLU(out)
+			}
+			next[j] = out
+		}
+		if li < len(n.Layers)-1 {
+			// format-conversion unit at the layer boundary
+			to := n.Ariths[li+1]
+			if to != a {
+				for j, c := range next {
+					next[j] = to.Quantize(a.Decode(c))
+				}
+			}
+		}
+		act = next
+	}
+	last := n.Ariths[len(n.Ariths)-1]
+	logits := make([]float64, len(act))
+	for i, c := range act {
+		logits[i] = last.Decode(c)
+	}
+	return logits
+}
+
+// Predict returns the argmax class.
+func (n *MixedNetwork) Predict(x []float64) int { return nn.Argmax(n.Infer(x)) }
+
+// Accuracy evaluates classification accuracy.
+func (n *MixedNetwork) Accuracy(ds *datasets.Dataset) float64 {
+	correct := 0
+	for i := range ds.X {
+		if n.Predict(ds.X[i]) == ds.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len())
+}
+
+// MemoryBits returns the per-layer-format parameter storage.
+func (n *MixedNetwork) MemoryBits() int {
+	total := 0
+	for li, l := range n.Layers {
+		total += (l.In*l.Out + l.Out) * int(n.Ariths[li].BitWidth())
+	}
+	return total
+}
+
+// String renders like "DeepPositron[posit(8,0)|posit(6,1)|posit(8,0)]".
+func (n *MixedNetwork) String() string {
+	s := "DeepPositron["
+	for i, a := range n.Ariths {
+		if i > 0 {
+			s += "|"
+		}
+		s += a.Name()
+	}
+	return s + "]"
+}
+
+// SearchPerLayerFixed performs one pass of coordinate descent over
+// per-layer fixed-point fraction widths at total width n: start from the
+// best global q, then re-optimise each layer's q holding the others
+// fixed. A single shared Q-format must compromise between layers whose
+// activations live at different scales; per-layer q removes that
+// compromise (the global-q collapse on WBC is the paper's Table II
+// fixed-point story).
+func SearchPerLayerFixed(src *nn.Network, test *datasets.Dataset, n uint) (*MixedNetwork, []uint) {
+	_, _, fixeds := Candidates(n)
+	globalBest := Best(src, test, fixeds)
+	globalQ := globalBest.Arith.(emac.FixedArith).F.Q()
+
+	qs := make([]uint, len(src.Layers))
+	for i := range qs {
+		qs[i] = globalQ
+	}
+	build := func(qs []uint) *MixedNetwork {
+		ariths := make([]emac.Arithmetic, len(qs))
+		for i, q := range qs {
+			ariths[i] = emac.NewFixed(n, q)
+		}
+		return QuantizeMixed(src, ariths)
+	}
+	bestAcc := build(qs).Accuracy(test)
+	for li := range qs {
+		for q := uint(1); q < n; q++ {
+			if q == qs[li] {
+				continue
+			}
+			trial := append([]uint(nil), qs...)
+			trial[li] = q
+			if acc := build(trial).Accuracy(test); acc > bestAcc {
+				bestAcc = acc
+				qs = trial
+			}
+		}
+	}
+	return build(qs), qs
+}

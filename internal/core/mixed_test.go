@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/emac"
+)
+
+func TestMixedUniformMatchesPlain(t *testing.T) {
+	// A mixed network with the same arithmetic everywhere must classify
+	// identically to the plain quantised network.
+	net, test := trainedIris(t)
+	a := emac.NewPosit(8, 1)
+	plain := Quantize(net, a)
+	mixed := QuantizeMixed(net, []emac.Arithmetic{a, a, a})
+	for i := range test.X {
+		pa := plain.Infer(test.X[i])
+		mb := mixed.Infer(test.X[i])
+		for j := range pa {
+			if pa[j] != mb[j] {
+				t.Fatalf("sample %d logit %d: plain %g mixed %g", i, j, pa[j], mb[j])
+			}
+		}
+	}
+}
+
+func TestMixedFormatsConvert(t *testing.T) {
+	net, test := trainedIris(t)
+	// 8-bit first layer, 6-bit middle, 8-bit readout: must still work
+	// and stay well above chance.
+	mixed := QuantizeMixed(net, []emac.Arithmetic{
+		emac.NewPosit(8, 0), emac.NewPosit(6, 0), emac.NewPosit(8, 0),
+	})
+	if acc := mixed.Accuracy(test); acc < 0.7 {
+		t.Errorf("mixed accuracy %.3f", acc)
+	}
+	// cross-family mixing works too
+	hetero := QuantizeMixed(net, []emac.Arithmetic{
+		emac.NewPosit(8, 0), emac.NewFloatN(8, 4), emac.NewFixed(8, 4),
+	})
+	if acc := hetero.Accuracy(test); acc < 0.7 {
+		t.Errorf("heterogeneous accuracy %.3f", acc)
+	}
+}
+
+func TestMixedMemorySavings(t *testing.T) {
+	net, _ := trainedIris(t)
+	uniform := QuantizeMixed(net, []emac.Arithmetic{
+		emac.NewPosit(8, 0), emac.NewPosit(8, 0), emac.NewPosit(8, 0),
+	})
+	slim := QuantizeMixed(net, []emac.Arithmetic{
+		emac.NewPosit(8, 0), emac.NewPosit(5, 0), emac.NewPosit(5, 0),
+	})
+	if slim.MemoryBits() >= uniform.MemoryBits() {
+		t.Error("narrower layers must save memory")
+	}
+}
+
+func TestMixedValidation(t *testing.T) {
+	net, _ := trainedIris(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong arity must panic")
+		}
+	}()
+	QuantizeMixed(net, []emac.Arithmetic{emac.NewPosit(8, 0)})
+}
+
+func TestMixedString(t *testing.T) {
+	net, _ := trainedIris(t)
+	m := QuantizeMixed(net, []emac.Arithmetic{
+		emac.NewPosit(8, 0), emac.NewPosit(6, 1), emac.NewPosit(8, 0),
+	})
+	want := "DeepPositron[posit(8,0)|posit(6,1)|posit(8,0)]"
+	if m.String() != want {
+		t.Errorf("String = %s", m.String())
+	}
+}
+
+func TestSearchPerLayerFixedNotWorse(t *testing.T) {
+	// Coordinate descent on per-layer q must never end below the best
+	// global q (it starts there).
+	net, test := trainedIris(t)
+	_, _, fixeds := Candidates(8)
+	global := Best(net, test, fixeds)
+	mixed, qs := SearchPerLayerFixed(net, test, 8)
+	if len(qs) != 3 {
+		t.Fatalf("qs = %v", qs)
+	}
+	if acc := mixed.Accuracy(test); acc < global.Accuracy {
+		t.Errorf("per-layer fixed %.3f below global %.3f", acc, global.Accuracy)
+	} else {
+		t.Logf("fixed(8): global %s %.3f -> per-layer q=%v %.3f",
+			global.Arith.Name(), global.Accuracy, qs, acc)
+	}
+}

@@ -1,0 +1,175 @@
+// Package datasets provides deterministic synthetic stand-ins for the
+// three low-dimensional UCI datasets the paper evaluates on (Table II):
+// Wisconsin Breast Cancer (569 samples, 30 features, 2 classes), Iris
+// (150 samples, 4 features, 3 classes) and Mushroom (8124 samples, 22
+// categorical features, 2 classes). The module is offline, so instead of
+// shipping the UCI files we generate datasets with the published
+// class-conditional feature statistics, identical sample counts and the
+// paper's train/inference splits (379/190, 100/50, 5416/2708). What the
+// experiments need from the data — dimensionality, feature-scale
+// heterogeneity, class structure and difficulty — is preserved; see
+// DESIGN.md §2 for the substitution rationale.
+package datasets
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Dataset is a dense numeric classification dataset.
+type Dataset struct {
+	Name       string
+	NumClasses int
+	X          [][]float64
+	Y          []int
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// Dim returns the feature dimensionality.
+func (d *Dataset) Dim() int {
+	if len(d.X) == 0 {
+		return 0
+	}
+	return len(d.X[0])
+}
+
+// Validate checks structural invariants.
+func (d *Dataset) Validate() error {
+	if len(d.X) != len(d.Y) {
+		return fmt.Errorf("datasets: %s: %d samples vs %d labels", d.Name, len(d.X), len(d.Y))
+	}
+	dim := d.Dim()
+	for i, row := range d.X {
+		if len(row) != dim {
+			return fmt.Errorf("datasets: %s: row %d has %d features, want %d", d.Name, i, len(row), dim)
+		}
+	}
+	for i, y := range d.Y {
+		if y < 0 || y >= d.NumClasses {
+			return fmt.Errorf("datasets: %s: label %d out of range at %d", d.Name, y, i)
+		}
+	}
+	return nil
+}
+
+// Split deterministically shuffles and splits off the last testN samples
+// (the paper's "inference size").
+func (d *Dataset) Split(testN int, seed uint64) (train, test *Dataset) {
+	if testN <= 0 || testN >= d.Len() {
+		panic("datasets: bad test size")
+	}
+	r := rng.New(seed)
+	perm := r.Perm(d.Len())
+	mk := func(idx []int) *Dataset {
+		out := &Dataset{Name: d.Name, NumClasses: d.NumClasses}
+		for _, i := range idx {
+			out.X = append(out.X, d.X[i])
+			out.Y = append(out.Y, d.Y[i])
+		}
+		return out
+	}
+	cut := d.Len() - testN
+	return mk(perm[:cut]), mk(perm[cut:])
+}
+
+// Head returns a view of the first n samples (or the whole dataset when
+// n <= 0 or n >= Len). Splits are pre-shuffled, so a head is an unbiased
+// subsample; the unit tests use it to keep sweep runtimes small.
+func (d *Dataset) Head(n int) *Dataset {
+	if n <= 0 || n >= d.Len() {
+		return d
+	}
+	return &Dataset{Name: d.Name, NumClasses: d.NumClasses, X: d.X[:n], Y: d.Y[:n]}
+}
+
+// ClassCounts tallies samples per class.
+func (d *Dataset) ClassCounts() []int {
+	c := make([]int, d.NumClasses)
+	for _, y := range d.Y {
+		c[y]++
+	}
+	return c
+}
+
+// Standardizer is a fitted per-feature affine normalisation z = (x-μ)/σ.
+// The deployed Deep Positron networks fold this transform into their
+// first-layer weights (training-time trick); keeping μ/σ explicit lets
+// the experiments do that folding.
+type Standardizer struct {
+	Mean []float64
+	Std  []float64
+}
+
+// FitStandardizer estimates per-feature mean and standard deviation.
+// Constant features get unit scale.
+func FitStandardizer(train *Dataset) *Standardizer {
+	dim := train.Dim()
+	s := &Standardizer{Mean: make([]float64, dim), Std: make([]float64, dim)}
+	for _, row := range train.X {
+		for j, v := range row {
+			s.Mean[j] += v
+		}
+	}
+	n := float64(train.Len())
+	for j := range s.Mean {
+		s.Mean[j] /= n
+	}
+	for _, row := range train.X {
+		for j, v := range row {
+			dlt := v - s.Mean[j]
+			s.Std[j] += dlt * dlt
+		}
+	}
+	for j := range s.Std {
+		s.Std[j] = sqrt(s.Std[j] / n)
+		if s.Std[j] == 0 {
+			s.Std[j] = 1
+		}
+	}
+	return s
+}
+
+// Apply returns a standardized copy of the dataset.
+func (s *Standardizer) Apply(d *Dataset) *Dataset {
+	dim := len(s.Mean)
+	out := &Dataset{Name: d.Name, NumClasses: d.NumClasses, Y: d.Y}
+	out.X = make([][]float64, len(d.X))
+	for i, row := range d.X {
+		nr := make([]float64, dim)
+		for j, v := range row {
+			nr[j] = (v - s.Mean[j]) / s.Std[j]
+		}
+		out.X[i] = nr
+	}
+	return out
+}
+
+// InputAffine returns the (scale, shift) pair such that z = scale·x +
+// shift reproduces the standardization — the form consumed by
+// nn.Network.FoldInputAffine.
+func (s *Standardizer) InputAffine() (scale, shift []float64) {
+	scale = make([]float64, len(s.Mean))
+	shift = make([]float64, len(s.Mean))
+	for j := range s.Mean {
+		scale[j] = 1 / s.Std[j]
+		shift[j] = -s.Mean[j] / s.Std[j]
+	}
+	return scale, shift
+}
+
+// Standardize fits on train and applies to both splits.
+func Standardize(train, test *Dataset) (trainOut, testOut *Dataset) {
+	s := FitStandardizer(train)
+	return s.Apply(train), s.Apply(test)
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}

@@ -1,0 +1,283 @@
+package datasets
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIrisShape(t *testing.T) {
+	d := Iris(IrisSeed)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 150 || d.Dim() != 4 || d.NumClasses != 3 {
+		t.Fatalf("shape: %d×%d, %d classes", d.Len(), d.Dim(), d.NumClasses)
+	}
+	for c, n := range d.ClassCounts() {
+		if n != 50 {
+			t.Errorf("class %d has %d samples", c, n)
+		}
+	}
+}
+
+func TestIrisStatisticsMatchPublished(t *testing.T) {
+	d := Iris(IrisSeed)
+	// sample means per class must land near the published values
+	for c := 0; c < 3; c++ {
+		var sum [4]float64
+		n := 0
+		for i := range d.X {
+			if d.Y[i] != c {
+				continue
+			}
+			for j := 0; j < 4; j++ {
+				sum[j] += d.X[i][j]
+			}
+			n++
+		}
+		for j := 0; j < 4; j++ {
+			got := sum[j] / float64(n)
+			want := irisStats[c].mean[j]
+			tol := 3.5 * irisStats[c].std[j] / math.Sqrt(float64(n))
+			if math.Abs(got-want) > tol {
+				t.Errorf("class %d feature %d: mean %.3f want %.3f ± %.3f", c, j, got, want, tol)
+			}
+		}
+	}
+}
+
+func TestIrisClassStructure(t *testing.T) {
+	// setosa must separate linearly from the others on petal length
+	// (feature 2) — the defining property of Iris.
+	d := Iris(IrisSeed)
+	maxSetosa, minOthers := -1.0, 1e9
+	for i := range d.X {
+		pl := d.X[i][2]
+		if d.Y[i] == 0 && pl > maxSetosa {
+			maxSetosa = pl
+		}
+		if d.Y[i] != 0 && pl < minOthers {
+			minOthers = pl
+		}
+	}
+	if maxSetosa >= minOthers {
+		t.Errorf("setosa petal length overlaps others: %.2f vs %.2f", maxSetosa, minOthers)
+	}
+}
+
+func TestWBCShape(t *testing.T) {
+	d := BreastCancer(WBCSeed)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 569 || d.Dim() != 30 || d.NumClasses != 2 {
+		t.Fatalf("shape: %d×%d", d.Len(), d.Dim())
+	}
+	counts := d.ClassCounts()
+	if counts[0] != 357 || counts[1] != 212 {
+		t.Errorf("class counts %v want [357 212]", counts)
+	}
+}
+
+func TestWBCScaleHeterogeneity(t *testing.T) {
+	// The property driving the fixed-point failure: feature scales span
+	// ~4 orders of magnitude (area ~655 vs fractal dimension ~0.06).
+	d := BreastCancer(WBCSeed)
+	var areaMean, fracMean float64
+	for i := range d.X {
+		areaMean += d.X[i][3]
+		fracMean += d.X[i][9]
+	}
+	areaMean /= float64(d.Len())
+	fracMean /= float64(d.Len())
+	if areaMean/fracMean < 1000 {
+		t.Errorf("scale ratio %.0f too small; want >1000", areaMean/fracMean)
+	}
+}
+
+func TestWBCClassSignal(t *testing.T) {
+	// Malignant means must exceed benign means on the loaded features
+	// (e.g. worst concave points, index 20+7).
+	d := BreastCancer(WBCSeed)
+	var mal, ben float64
+	var nm, nb int
+	for i := range d.X {
+		v := d.X[i][27]
+		if d.Y[i] == 1 {
+			mal += v
+			nm++
+		} else {
+			ben += v
+			nb++
+		}
+	}
+	if mal/float64(nm) <= ben/float64(nb) {
+		t.Error("malignant class must have larger worst-concave-points")
+	}
+}
+
+func TestMushroomShape(t *testing.T) {
+	d := Mushroom(MushroomSeed)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 8124 || d.NumClasses != 2 {
+		t.Fatalf("len %d", d.Len())
+	}
+	if d.Dim() != MushroomOneHotDim() {
+		t.Fatalf("dim %d want %d", d.Dim(), MushroomOneHotDim())
+	}
+	counts := d.ClassCounts()
+	if counts[0] != 4208 || counts[1] != 3916 {
+		t.Errorf("counts %v", counts)
+	}
+	// rows are valid one-hot blocks: exactly 22 ones
+	for i := 0; i < 50; i++ {
+		ones := 0.0
+		for _, v := range d.X[i] {
+			ones += v
+		}
+		if ones != 22 {
+			t.Fatalf("row %d has %v ones, want 22", i, ones)
+		}
+	}
+}
+
+func TestMushroomOdorSignal(t *testing.T) {
+	// "odor" must be highly class-informative, as in the real data:
+	// a one-feature classifier on odor should approach ~97%+.
+	d := Mushroom(MushroomSeed)
+	// odor block offset
+	off := 0
+	for _, f := range mushroomSchema {
+		if f.name == "odor" {
+			break
+		}
+		off += f.card
+	}
+	// majority class per odor category
+	counts := make([][2]int, 9)
+	for i := range d.X {
+		for c := 0; c < 9; c++ {
+			if d.X[i][off+c] == 1 {
+				counts[c][d.Y[i]]++
+			}
+		}
+	}
+	correct := 0
+	for _, c := range counts {
+		if c[0] > c[1] {
+			correct += c[0]
+		} else {
+			correct += c[1]
+		}
+	}
+	acc := float64(correct) / float64(d.Len())
+	// Strong but deliberately imperfect (the generator keeps residual
+	// class overlap so the MLP lands near the paper's ~96.8% rather
+	// than saturating).
+	if acc < 0.90 || acc > 0.97 {
+		t.Errorf("odor-only accuracy %.3f; want in [0.90, 0.97]", acc)
+	}
+	t.Logf("odor-only classifier accuracy: %.3f", acc)
+}
+
+func TestSplitsMatchPaperSizes(t *testing.T) {
+	tr, te := IrisSplit(IrisSeed)
+	if tr.Len() != 100 || te.Len() != 50 {
+		t.Errorf("iris split %d/%d", tr.Len(), te.Len())
+	}
+	tr, te = BreastCancerSplit(WBCSeed)
+	if tr.Len() != 379 || te.Len() != 190 {
+		t.Errorf("wbc split %d/%d", tr.Len(), te.Len())
+	}
+	tr, te = MushroomSplit(MushroomSeed)
+	if tr.Len() != 5416 || te.Len() != 2708 {
+		t.Errorf("mushroom split %d/%d", tr.Len(), te.Len())
+	}
+}
+
+func TestSplitDeterminism(t *testing.T) {
+	a1, b1 := IrisSplit(7)
+	a2, b2 := IrisSplit(7)
+	for i := range a1.X {
+		if a1.X[i][0] != a2.X[i][0] {
+			t.Fatal("split not deterministic")
+		}
+	}
+	if b1.Y[0] != b2.Y[0] {
+		t.Fatal("split not deterministic")
+	}
+	// different seed shuffles differently
+	a3, _ := IrisSplit(8)
+	same := true
+	for i := range a1.Y {
+		if a1.Y[i] != a3.Y[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should shuffle differently")
+	}
+}
+
+func TestStandardize(t *testing.T) {
+	tr, te := BreastCancerSplit(WBCSeed)
+	str, ste := Standardize(tr, te)
+	// train features ~ zero mean unit variance
+	dim := str.Dim()
+	for j := 0; j < dim; j++ {
+		var mean, varsum float64
+		for i := range str.X {
+			mean += str.X[i][j]
+		}
+		mean /= float64(str.Len())
+		for i := range str.X {
+			d := str.X[i][j] - mean
+			varsum += d * d
+		}
+		sd := math.Sqrt(varsum / float64(str.Len()))
+		if math.Abs(mean) > 1e-9 {
+			t.Fatalf("feature %d mean %g", j, mean)
+		}
+		if math.Abs(sd-1) > 1e-9 {
+			t.Fatalf("feature %d std %g", j, sd)
+		}
+	}
+	// test transformed with train statistics (not exactly standardized)
+	if ste.Len() != te.Len() {
+		t.Error("test length changed")
+	}
+	// original datasets untouched
+	if tr.X[0][3] < 10 {
+		t.Error("Standardize must not mutate its inputs")
+	}
+}
+
+func TestSplitPanics(t *testing.T) {
+	d := Iris(1)
+	for _, bad := range []int{0, 150, 300} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Split(%d) must panic", bad)
+				}
+			}()
+			d.Split(bad, 1)
+		}()
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	d := Iris(1)
+	d.Y[0] = 99
+	if err := d.Validate(); err == nil {
+		t.Error("bad label must fail validation")
+	}
+	d = Iris(1)
+	d.X[3] = d.X[3][:2]
+	if err := d.Validate(); err == nil {
+		t.Error("ragged rows must fail validation")
+	}
+}

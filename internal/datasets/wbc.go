@@ -1,0 +1,93 @@
+package datasets
+
+import "repro/internal/rng"
+
+// WDBC base-feature statistics (the 10 cell-nucleus measurements; the
+// full dataset reports mean / standard-error / worst for each, giving 30
+// features). Values follow the published WDBC summary statistics, which
+// are strongly heterogeneous in scale (area ~655 vs fractal dimension
+// ~0.06) — the property that matters for the fixed-vs-posit comparison.
+var wbcBase = []struct {
+	name    string
+	mean    float64 // population mean
+	scale   float64 // population std
+	loading float64 // correlation with malignancy severity
+}{
+	{"radius", 14.13, 3.52, 0.73},
+	{"texture", 19.29, 4.30, 0.42},
+	{"perimeter", 91.97, 24.30, 0.74},
+	{"area", 654.89, 351.91, 0.71},
+	{"smoothness", 0.096, 0.014, 0.36},
+	{"compactness", 0.104, 0.053, 0.60},
+	{"concavity", 0.089, 0.080, 0.70},
+	{"concave_points", 0.049, 0.039, 0.78},
+	{"symmetry", 0.181, 0.027, 0.33},
+	{"fractal_dimension", 0.063, 0.007, 0.01},
+}
+
+// WBCSeed is the canonical generator seed.
+const WBCSeed = 0x5690
+
+// BreastCancer generates the 569-sample Wisconsin Diagnostic Breast
+// Cancer stand-in: 357 benign (class 0) and 212 malignant (class 1)
+// samples, 30 features (mean, SE, worst × 10 base measurements), driven
+// by a latent severity factor with the published per-feature loadings.
+func BreastCancer(seed uint64) *Dataset {
+	r := rng.New(seed)
+	d := &Dataset{Name: "WisconsinBreastCancer", NumClasses: 2}
+	counts := []int{357, 212}
+	for class, n := range counts {
+		for i := 0; i < n; i++ {
+			// latent severity: benign centred at -0.5, malignant at
+			// +1.2 (in population-std units), overlapping tails keep
+			// the task at the paper's ~90% float32 difficulty.
+			var t float64
+			if class == 0 {
+				t = r.NormMS(-0.5, 0.6)
+			} else {
+				t = r.NormMS(1.2, 0.9)
+			}
+			row := make([]float64, 0, 30)
+			// block 1: means of the 10 measurements
+			for _, b := range wbcBase {
+				z := b.loading*t + sqrt(1-b.loading*b.loading)*r.Norm()
+				v := b.mean + b.scale*z
+				if v < 0 {
+					v = 0
+				}
+				row = append(row, v)
+			}
+			// block 2: standard errors (scaled-down, noisier echoes)
+			for _, b := range wbcBase {
+				l := b.loading * 0.5
+				z := l*t + sqrt(1-l*l)*r.Norm()
+				v := b.mean/10 + (b.scale/6)*z
+				if v < 0 {
+					v = 0
+				}
+				row = append(row, v)
+			}
+			// block 3: worst (largest) values — stronger loadings
+			for _, b := range wbcBase {
+				l := b.loading * 1.08
+				if l > 0.95 {
+					l = 0.95
+				}
+				z := l*t + sqrt(1-l*l)*r.Norm()
+				v := b.mean*1.25 + b.scale*1.4*z
+				if v < 0 {
+					v = 0
+				}
+				row = append(row, v)
+			}
+			d.X = append(d.X, row)
+			d.Y = append(d.Y, class)
+		}
+	}
+	return d
+}
+
+// BreastCancerSplit returns the paper's split: 379 train / 190 inference.
+func BreastCancerSplit(seed uint64) (train, test *Dataset) {
+	return BreastCancer(seed).Split(190, seed^0x9e37)
+}

@@ -1,0 +1,278 @@
+// Package dyadic implements exact arbitrary-precision dyadic rationals —
+// numbers of the form m × 2^e with integer m and e. Every value
+// representable in any posit, minifloat or fixed-point format is dyadic,
+// and sums/products of dyadics are dyadic, so this package serves as the
+// exact oracle against which every rounding path in the repository is
+// verified, and as the reference implementation for the exact
+// multiply-and-accumulate semantics the paper mandates (round once, after
+// the whole dot product).
+package dyadic
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+)
+
+// D is an exact dyadic rational m × 2^e. The zero value represents 0.
+// D is normalized so that m is odd or zero (zero has e == 0); this gives a
+// canonical representation where equality is field-wise.
+type D struct {
+	m big.Int // mantissa
+	e int     // binary exponent
+}
+
+// Zero returns the dyadic zero.
+func Zero() D { return D{} }
+
+// New returns m × 2^e, normalized.
+func New(m int64, e int) D {
+	var d D
+	d.m.SetInt64(m)
+	d.e = e
+	d.normalize()
+	return d
+}
+
+// FromBig returns m × 2^e for a big mantissa, normalized. m is copied.
+func FromBig(m *big.Int, e int) D {
+	var d D
+	d.m.Set(m)
+	d.e = e
+	d.normalize()
+	return d
+}
+
+func (d *D) normalize() {
+	if d.m.Sign() == 0 {
+		d.e = 0
+		return
+	}
+	// strip trailing zero bits from m into e
+	tz := trailingZeros(&d.m)
+	if tz > 0 {
+		d.m.Rsh(&d.m, tz)
+		d.e += int(tz)
+	}
+}
+
+func trailingZeros(m *big.Int) uint {
+	if m.Sign() == 0 {
+		return 0
+	}
+	var tz uint
+	for m.Bit(int(tz)) == 0 {
+		tz++
+	}
+	return tz
+}
+
+// FromFloat64 converts a float64 exactly. It panics on NaN or ±Inf; callers
+// dealing with IEEE specials must check first (the EMACs never see them:
+// the paper excludes NaN/Inf inputs).
+func FromFloat64(x float64) D {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		panic("dyadic: cannot represent NaN or Inf")
+	}
+	if x == 0 {
+		return D{}
+	}
+	bits := math.Float64bits(x)
+	sign := bits >> 63
+	exp := int((bits >> 52) & 0x7ff)
+	frac := bits & ((uint64(1) << 52) - 1)
+	var m int64
+	var e int
+	if exp == 0 { // subnormal
+		m = int64(frac)
+		e = -1074
+	} else {
+		m = int64(frac | 1<<52)
+		e = exp - 1075
+	}
+	if sign == 1 {
+		m = -m
+	}
+	return New(m, e)
+}
+
+// Float64 converts d to the nearest float64 (round-to-nearest-even),
+// returning ±Inf on overflow. Exact when d fits, which holds for all
+// low-precision format values in this repository.
+func (d D) Float64() float64 {
+	if d.m.Sign() == 0 {
+		return 0
+	}
+	f := new(big.Float).SetPrec(200).SetInt(&d.m)
+	f.SetMantExp(f, d.e) // f = m × 2^e (SetMantExp adds e to f's exponent)
+	out, _ := f.Float64()
+	return out
+}
+
+// IsZero reports whether d == 0.
+func (d D) IsZero() bool { return d.m.Sign() == 0 }
+
+// Sign returns -1, 0 or +1.
+func (d D) Sign() int { return d.m.Sign() }
+
+// Neg returns -d.
+func (d D) Neg() D {
+	var out D
+	out.m.Neg(&d.m)
+	out.e = d.e
+	return out
+}
+
+// Abs returns |d|.
+func (d D) Abs() D {
+	var out D
+	out.m.Abs(&d.m)
+	out.e = d.e
+	return out
+}
+
+// Add returns d + o exactly.
+func (d D) Add(o D) D {
+	if d.IsZero() {
+		return o.clone()
+	}
+	if o.IsZero() {
+		return d.clone()
+	}
+	var a, b big.Int
+	a.Set(&d.m)
+	b.Set(&o.m)
+	e := d.e
+	switch {
+	case d.e > o.e:
+		a.Lsh(&a, uint(d.e-o.e))
+		e = o.e
+	case o.e > d.e:
+		b.Lsh(&b, uint(o.e-d.e))
+	}
+	var out D
+	out.m.Add(&a, &b)
+	out.e = e
+	out.normalize()
+	return out
+}
+
+// Sub returns d - o exactly.
+func (d D) Sub(o D) D { return d.Add(o.Neg()) }
+
+// Mul returns d × o exactly.
+func (d D) Mul(o D) D {
+	var out D
+	out.m.Mul(&d.m, &o.m)
+	out.e = d.e + o.e
+	out.normalize()
+	return out
+}
+
+// MulPow2 returns d × 2^k exactly.
+func (d D) MulPow2(k int) D {
+	if d.IsZero() {
+		return D{}
+	}
+	out := d.clone()
+	out.e += k
+	return out
+}
+
+// Cmp compares d and o: -1, 0, +1.
+func (d D) Cmp(o D) int {
+	return d.Sub(o).Sign()
+}
+
+// CmpAbs compares |d| and |o|.
+func (d D) CmpAbs(o D) int {
+	return d.Abs().Cmp(o.Abs())
+}
+
+func (d D) clone() D {
+	var out D
+	out.m.Set(&d.m)
+	out.e = d.e
+	return out
+}
+
+// MantExp decomposes |d| as sig × 2^(exp) with sig an odd positive big.Int,
+// also returning the sign. For zero it returns (nil, 0, 0).
+func (d D) MantExp() (sig *big.Int, exp int, sign int) {
+	if d.IsZero() {
+		return nil, 0, 0
+	}
+	sig = new(big.Int).Abs(&d.m)
+	return sig, d.e, d.m.Sign()
+}
+
+// Scale returns floor(log2 |d|): the exponent of the leading binary digit.
+// Panics on zero.
+func (d D) Scale() int {
+	if d.IsZero() {
+		panic("dyadic: Scale of zero")
+	}
+	return d.m.BitLen() - 1 + d.e
+}
+
+// TopBits extracts the most significant `count` bits of |d| as a uint64
+// with the implicit leading 1 included, plus a sticky flag covering all
+// lower-order bits. This is the bridge from an exact value into the
+// uint64-based rounding encoders. count must be in [1,64]. Panics on zero.
+func (d D) TopBits(count uint) (sig uint64, sticky bool) {
+	if count == 0 || count > 64 {
+		panic("dyadic: TopBits count must be in [1,64]")
+	}
+	if d.IsZero() {
+		panic("dyadic: TopBits of zero")
+	}
+	mag := new(big.Int).Abs(&d.m)
+	bl := uint(mag.BitLen())
+	if bl <= count {
+		return new(big.Int).Lsh(mag, count-bl).Uint64(), false
+	}
+	shift := bl - count
+	top := new(big.Int).Rsh(mag, shift)
+	rem := new(big.Int).And(mag, new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), shift), big.NewInt(1)))
+	return top.Uint64(), rem.Sign() != 0
+}
+
+// Dot returns the exact dot product Σ w[i]·a[i].
+func Dot(w, a []D) D {
+	if len(w) != len(a) {
+		panic("dyadic: Dot length mismatch")
+	}
+	sum := Zero()
+	for i := range w {
+		sum = sum.Add(w[i].Mul(a[i]))
+	}
+	return sum
+}
+
+// Sum returns the exact sum of xs.
+func Sum(xs []D) D {
+	sum := Zero()
+	for _, x := range xs {
+		sum = sum.Add(x)
+	}
+	return sum
+}
+
+// String renders the exact value, e.g. "-13*2^-4".
+func (d D) String() string {
+	if d.IsZero() {
+		return "0"
+	}
+	return fmt.Sprintf("%s*2^%d", d.m.String(), d.e)
+}
+
+// Rat returns the exact value as a big.Rat (useful for decimal printing).
+func (d D) Rat() *big.Rat {
+	r := new(big.Rat).SetInt(&d.m)
+	if d.e >= 0 {
+		scale := new(big.Int).Lsh(big.NewInt(1), uint(d.e))
+		return r.Mul(r, new(big.Rat).SetInt(scale))
+	}
+	scale := new(big.Int).Lsh(big.NewInt(1), uint(-d.e))
+	return r.Quo(r, new(big.Rat).SetInt(scale))
+}

@@ -1,0 +1,225 @@
+package dyadic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewNormalization(t *testing.T) {
+	// 12 * 2^0 normalizes to 3 * 2^2
+	d := New(12, 0)
+	sig, exp, sign := d.MantExp()
+	if sig.Int64() != 3 || exp != 2 || sign != 1 {
+		t.Errorf("New(12,0) = %v (sig=%v exp=%d sign=%d)", d, sig, exp, sign)
+	}
+	z := New(0, 57)
+	if !z.IsZero() {
+		t.Error("New(0,57) must be zero")
+	}
+	if _, _, s := z.MantExp(); s != 0 {
+		t.Error("zero MantExp sign")
+	}
+}
+
+func TestFromFloat64Exact(t *testing.T) {
+	cases := map[float64]string{
+		0.5:    "1*2^-1",
+		-0.75:  "-3*2^-2",
+		1:      "1*2^0",
+		1.5:    "3*2^-1",
+		-6:     "-3*2^1",
+		0.1:    "3602879701896397*2^-55",
+		1e-310: "", // subnormal: just roundtrip check
+	}
+	for x, s := range cases {
+		d := FromFloat64(x)
+		if s != "" && d.String() != s {
+			t.Errorf("FromFloat64(%g) = %v want %s", x, d, s)
+		}
+		if got := d.Float64(); got != x {
+			t.Errorf("roundtrip %g -> %g", x, got)
+		}
+	}
+}
+
+func TestFromFloat64PanicsOnSpecials(t *testing.T) {
+	for _, x := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("FromFloat64(%v) must panic", x)
+				}
+			}()
+			FromFloat64(x)
+		}()
+	}
+}
+
+func TestArithmeticExact(t *testing.T) {
+	a := New(3, -2) // 0.75
+	b := New(5, -3) // 0.625
+	sum := a.Add(b) // 1.375 = 11*2^-3
+	if sum.String() != "11*2^-3" {
+		t.Errorf("sum = %v", sum)
+	}
+	prod := a.Mul(b) // 15 * 2^-5
+	if prod.String() != "15*2^-5" {
+		t.Errorf("prod = %v", prod)
+	}
+	diff := a.Sub(b) // 1*2^-3
+	if diff.String() != "1*2^-3" {
+		t.Errorf("diff = %v", diff)
+	}
+	if got := a.Sub(a); !got.IsZero() {
+		t.Errorf("a-a = %v", got)
+	}
+}
+
+func TestCmp(t *testing.T) {
+	a := New(1, 10)
+	b := New(1023, 0)
+	if a.Cmp(b) != 1 || b.Cmp(a) != -1 || a.Cmp(a) != 0 {
+		t.Error("Cmp ordering")
+	}
+	neg := New(-1, 100)
+	if neg.Cmp(Zero()) != -1 {
+		t.Error("negative < 0")
+	}
+	if a.CmpAbs(neg) != -1 {
+		t.Error("CmpAbs: 2^10 < |-(2^100)|")
+	}
+}
+
+func TestScale(t *testing.T) {
+	if got := New(1, 0).Scale(); got != 0 {
+		t.Errorf("Scale(1) = %d", got)
+	}
+	if got := New(3, -2).Scale(); got != 0 { // 0.75: leading bit at 2^-1? 3=11b: 3*2^-2 = 1.5*2^-1 -> scale -1
+		// 3*2^-2 = 0.75, floor(log2 0.75) = -1
+		if got != -1 {
+			t.Errorf("Scale(0.75) = %d want -1", got)
+		}
+	} else {
+		t.Errorf("Scale(0.75) = 0, want -1")
+	}
+	if got := FromFloat64(1024.5).Scale(); got != 10 {
+		t.Errorf("Scale(1024.5) = %d", got)
+	}
+}
+
+func TestTopBits(t *testing.T) {
+	d := New(0b101101, 0) // 45 (normalized to 45*2^0; odd)
+	sig, sticky := d.TopBits(6)
+	if sig != 0b101101 || sticky {
+		t.Errorf("TopBits(6) = %b sticky=%v", sig, sticky)
+	}
+	sig, sticky = d.TopBits(4)
+	if sig != 0b1011 || !sticky {
+		t.Errorf("TopBits(4) = %b sticky=%v", sig, sticky)
+	}
+	sig, sticky = d.TopBits(8) // left-pad
+	if sig != 0b10110100 || sticky {
+		t.Errorf("TopBits(8) = %b sticky=%v", sig, sticky)
+	}
+	// exact cut with zero tail: 44 = 101100b; top 4 = 1011, rest "00" -> sticky false...
+	e := New(44, 0) // normalizes to 11*2^2
+	sig, sticky = e.TopBits(4)
+	if sig != 0b1011 || sticky {
+		t.Errorf("TopBits(44,4) = %b sticky=%v", sig, sticky)
+	}
+}
+
+func TestDotSum(t *testing.T) {
+	w := []D{New(1, -1), New(-3, 0), New(1, 2)}
+	a := []D{New(1, 1), New(1, -2), New(1, 0)}
+	// 0.5*2 + (-3)*0.25 + 4*1 = 1 - 0.75 + 4 = 4.25
+	got := Dot(w, a)
+	if got.Float64() != 4.25 {
+		t.Errorf("Dot = %v", got)
+	}
+	if s := Sum(w); s.Float64() != -0.5+2 {
+		t.Errorf("Sum = %v", s)
+	}
+}
+
+func TestRat(t *testing.T) {
+	d := New(-3, -2)
+	if got := d.Rat().RatString(); got != "-3/4" {
+		t.Errorf("Rat = %s", got)
+	}
+	d = New(3, 2)
+	if got := d.Rat().RatString(); got != "12" {
+		t.Errorf("Rat = %s", got)
+	}
+}
+
+func TestMulPow2(t *testing.T) {
+	d := New(5, 0)
+	if got := d.MulPow2(3).Float64(); got != 40 {
+		t.Errorf("MulPow2 = %v", got)
+	}
+	if got := Zero().MulPow2(5); !got.IsZero() {
+		t.Error("0 * 2^5 must stay zero")
+	}
+}
+
+func TestPropAddCommutesAssociates(t *testing.T) {
+	prop := func(a, b, c int32, ea, eb, ec int8) bool {
+		da := New(int64(a), int(ea))
+		db := New(int64(b), int(eb))
+		dc := New(int64(c), int(ec))
+		if da.Add(db).Cmp(db.Add(da)) != 0 {
+			return false
+		}
+		return da.Add(db).Add(dc).Cmp(da.Add(db.Add(dc))) == 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropMulDistributes(t *testing.T) {
+	prop := func(a, b, c int32, ea, eb, ec int8) bool {
+		da := New(int64(a), int(ea))
+		db := New(int64(b), int(eb))
+		dc := New(int64(c), int(ec))
+		l := da.Mul(db.Add(dc))
+		r := da.Mul(db).Add(da.Mul(dc))
+		return l.Cmp(r) == 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropFloat64RoundTrip(t *testing.T) {
+	prop := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		return FromFloat64(x).Float64() == x
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNegAbs(t *testing.T) {
+	d := New(-7, 3)
+	if d.Neg().Float64() != 56 || d.Abs().Float64() != 56 {
+		t.Error("Neg/Abs")
+	}
+	if d.Sign() != -1 || d.Neg().Sign() != 1 || Zero().Sign() != 0 {
+		t.Error("Sign")
+	}
+}
+
+func TestTopBitsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TopBits(0) on zero must panic")
+		}
+	}()
+	Zero().TopBits(4)
+}

@@ -1,0 +1,241 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// evalLimit keeps the unit-test sweeps fast; the cmd/positron and bench
+// harnesses run the full inference sizes.
+const evalLimit = 250
+
+func TestTrainedBaselines(t *testing.T) {
+	for _, tr := range Datasets() {
+		if tr.Acc32 < 0.8 {
+			t.Errorf("%s: float32 baseline %.3f too low", tr.Name, tr.Acc32)
+		}
+		if math.Abs(tr.Acc32-tr.Acc64) > 0.03 {
+			t.Errorf("%s: float32 %.3f far from float64 %.3f", tr.Name, tr.Acc32, tr.Acc64)
+		}
+	}
+	// Per-dataset difficulty near the paper's Table II baselines
+	// (90.1% / 98% / 96.8%).
+	ds := Datasets()
+	if ds[0].Acc32 < 0.80 || ds[0].Acc32 > 0.95 {
+		t.Errorf("WBC baseline %.3f outside the paper's difficulty band", ds[0].Acc32)
+	}
+	if ds[1].Acc32 < 0.92 {
+		t.Errorf("Iris baseline %.3f too low", ds[1].Acc32)
+	}
+	if ds[2].Acc32 < 0.94 || ds[2].Acc32 > 0.995 {
+		t.Errorf("Mushroom baseline %.3f outside the paper's difficulty band", ds[2].Acc32)
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	rows, tab := Table1()
+	want := map[string]int{"0001": -3, "001": -2, "01": -1, "10": 0, "110": 1, "1110": 2}
+	if len(rows) != len(want) {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if want[r.Binary] != r.Regime {
+			t.Errorf("regime(%s) = %d want %d", r.Binary, r.Regime, want[r.Binary])
+		}
+	}
+	if !strings.Contains(tab.String(), "Regime") {
+		t.Error("table rendering")
+	}
+}
+
+func TestFig2Clustering(t *testing.T) {
+	res, tab := Fig2()
+	if res.PositInUnit < 0.5 {
+		t.Errorf("posit(7,0) unit-range fraction %.3f", res.PositInUnit)
+	}
+	if res.WeightStats.FracInUnit < 0.5 {
+		t.Errorf("trained weights unit-range fraction %.3f", res.WeightStats.FracInUnit)
+	}
+	// both histograms must put their mass in the central bins
+	center := res.PositCounts[3] + res.PositCounts[4] + res.PositCounts[5]
+	total := 0
+	for _, c := range res.PositCounts {
+		total += c
+	}
+	if float64(center)/float64(total) < 0.5 {
+		t.Error("posit histogram not centred")
+	}
+	if tab.Len() == 0 {
+		t.Error("empty table")
+	}
+}
+
+func TestFig6Reproduction(t *testing.T) {
+	reports, fig := Fig6(32)
+	if len(reports) == 0 || len(fig.Series) != 3 {
+		t.Fatal("missing series")
+	}
+	// fixed must be the fastest family at every n
+	best := map[uint]float64{}
+	for _, r := range reports {
+		if r.Family == "fixed" {
+			best[r.N] = r.FMaxMHz
+		}
+	}
+	for _, r := range reports {
+		if r.Family != "fixed" && r.FMaxMHz > best[r.N] {
+			t.Errorf("%s beats fixed at n=%d", r.Name, r.N)
+		}
+	}
+}
+
+func TestFig7Reproduction(t *testing.T) {
+	curves, fig := Fig7(32)
+	if len(fig.Series) != 3 {
+		t.Fatal("series")
+	}
+	for i := range curves["fixed"] {
+		fx, fl, po := curves["fixed"][i], curves["float"][i], curves["posit"][i]
+		if !(fx.EDP < fl.EDP && fx.EDP < po.EDP) {
+			t.Errorf("n=%d: fixed EDP must win", fx.N)
+		}
+		if r := po.EDP / fl.EDP; r < 0.1 || r > 10 {
+			t.Errorf("n=%d: posit/float EDP ratio %.2f", po.N, r)
+		}
+	}
+}
+
+func TestFig8Reproduction(t *testing.T) {
+	curves, _ := Fig8(32)
+	for i := range curves["fixed"] {
+		fx, fl, po := curves["fixed"][i], curves["float"][i], curves["posit"][i]
+		if !(po.LUTs > fl.LUTs && fl.LUTs > fx.LUTs) {
+			t.Errorf("n=%d: LUT ordering posit>float>fixed violated", fx.N)
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	rows, tab := Table2(evalLimit)
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if tab.Len() != 3 {
+		t.Error("table rows")
+	}
+	const oneSample = 0.021 // one flipped prediction on the smallest split
+	for _, r := range rows {
+		// Paper's Table II ordering: posit >= float >= fixed (posit
+		// "either outperforms or matches" the others on every dataset).
+		if r.Posit.Accuracy < r.Float.Accuracy-oneSample {
+			t.Errorf("%s: posit %.3f below float %.3f", r.Dataset, r.Posit.Accuracy, r.Float.Accuracy)
+		}
+		if r.Posit.Accuracy < r.Fixed.Accuracy-oneSample {
+			t.Errorf("%s: posit %.3f below fixed %.3f", r.Dataset, r.Posit.Accuracy, r.Fixed.Accuracy)
+		}
+		// posit stays within a few percent of the 32-bit baseline
+		if r.Float32-r.Posit.Accuracy > 0.05 {
+			t.Errorf("%s: posit %.3f degrades more than 5%% from float32 %.3f",
+				r.Dataset, r.Posit.Accuracy, r.Float32)
+		}
+	}
+	// The WBC fixed-point collapse (paper: 57.8% vs 90.1%): at least 15
+	// points below the float32 baseline.
+	wbc := rows[0]
+	if wbc.Float32-wbc.Fixed.Accuracy < 0.15 {
+		t.Errorf("WBC fixed-point should collapse: fixed %.3f vs float32 %.3f",
+			wbc.Fixed.Accuracy, wbc.Float32)
+	}
+	t.Logf("\n%s", tab)
+}
+
+func TestSweepDegradationBand(t *testing.T) {
+	rows, _ := Sweep(evalLimit)
+	if len(rows) != 3*4*3 {
+		t.Fatalf("%d sweep rows", len(rows))
+	}
+	// Paper §IV-B: best sub-8-bit performance drops 0-4.21% vs 32-bit.
+	// Check the posit family's best per dataset across n in [5,8)
+	// stays within a loose version of that band (one-sample slack on
+	// the small splits).
+	bestSub8 := map[string]float64{}
+	acc32 := map[string]float64{}
+	for _, r := range rows {
+		if r.Family != "posit" || r.N == 8 {
+			continue
+		}
+		if r.Best.Accuracy > bestSub8[r.Dataset] {
+			bestSub8[r.Dataset] = r.Best.Accuracy
+		}
+		acc32[r.Dataset] = r.Acc32
+	}
+	for ds, best := range bestSub8 {
+		drop := acc32[ds] - best
+		if drop > 0.08 {
+			t.Errorf("%s: best sub-8-bit posit drops %.1f%% (>8%%)", ds, 100*drop)
+		}
+	}
+}
+
+func TestFig9Reproduction(t *testing.T) {
+	pts, fig := Fig9(evalLimit)
+	if len(fig.Series) != 3 {
+		t.Fatal("series")
+	}
+	if len(pts) == 0 {
+		t.Fatal("no points")
+	}
+	// posit's 8-bit point must have degradation <= fixed's 8-bit point
+	// (the paper's "posits achieve better performance at moderate cost").
+	var posit8, fixed8, float8 *Fig9Point
+	for i := range pts {
+		p := &pts[i]
+		if p.N != 8 {
+			continue
+		}
+		switch p.Family {
+		case "posit":
+			posit8 = p
+		case "fixed":
+			fixed8 = p
+		case "float":
+			float8 = p
+		}
+	}
+	if posit8 == nil || fixed8 == nil || float8 == nil {
+		t.Fatal("missing 8-bit points")
+	}
+	if posit8.AvgDegradation > fixed8.AvgDegradation {
+		t.Errorf("posit 8-bit degradation %.2f%% above fixed %.2f%%",
+			posit8.AvgDegradation, fixed8.AvgDegradation)
+	}
+	if posit8.AvgDegradation > float8.AvgDegradation+0.7 {
+		t.Errorf("posit 8-bit degradation %.2f%% well above float %.2f%%",
+			posit8.AvgDegradation, float8.AvgDegradation)
+	}
+	// fixed sits at the lowest EDP
+	if !(fixed8.EDP < posit8.EDP && fixed8.EDP < float8.EDP) {
+		t.Error("fixed must have lowest EDP")
+	}
+}
+
+func TestHardwareConfigsCoverage(t *testing.T) {
+	rs := HardwareConfigs(8, 32)
+	fams := map[string]int{}
+	for _, r := range rs {
+		fams[r.Family]++
+	}
+	if fams["posit"] != 3 || fams["float"] != 2 || fams["fixed"] != 1 {
+		t.Errorf("config counts: %v", fams)
+	}
+	// n=5: posit es in {0,1,2}, float we=3 only
+	rs = HardwareConfigs(5, 32)
+	fams = map[string]int{}
+	for _, r := range rs {
+		fams[r.Family]++
+	}
+	if fams["float"] != 1 {
+		t.Errorf("n=5 float configs: %d", fams["float"])
+	}
+}

@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/emac"
+)
+
+func TestMemoryOnlyQuantization(t *testing.T) {
+	rows, tab := MemoryOnly(evalLimit)
+	if len(rows) != 3*4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// The cited claim ([21], related work): 7-bit posit weight storage
+	// costs <1% accuracy with float32 compute. That claim is about
+	// networks with conventional weight distributions (clustered in
+	// [-1,1], like Iris and Mushroom here); our WBC network is deployed
+	// with standardisation folded into its first layer, giving weights
+	// spanning 1e-3..355 — an adversarial storage case where 7-bit
+	// posits genuinely lose accuracy, so we assert it only at 8 bits.
+	for _, r := range rows {
+		if r.Arith.BitWidth() < 7 {
+			continue
+		}
+		if r.Dataset == "WisconsinBreastCancer" && r.Arith.BitWidth() < 8 {
+			continue
+		}
+		if r.Acc32-r.Accuracy > 0.012+0.021 {
+			t.Errorf("%s @%s: memory-only degradation %.3f exceeds ~1%%",
+				r.Dataset, r.Arith.Name(), r.Acc32-r.Accuracy)
+		}
+	}
+	// Memory saving is purely structural.
+	for _, r := range rows {
+		want := 1 - float64(r.Arith.BitWidth())/32
+		if r.MemorySaving != want {
+			t.Errorf("saving %v want %v", r.MemorySaving, want)
+		}
+	}
+	t.Logf("\n%s", tab)
+}
+
+func TestQuantizationAwareTraining(t *testing.T) {
+	rows, tab := QuantizationAwareTraining(0)
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	improved := 0
+	for _, r := range rows {
+		// QAT must never end catastrophically below PTQ (one-sample
+		// slack), and should improve at least one configuration.
+		if r.QAT < r.PTQ-0.0401 {
+			t.Errorf("%s: QAT %.3f well below PTQ %.3f", r.Arith.Name(), r.QAT, r.PTQ)
+		}
+		if r.QAT > r.PTQ {
+			improved++
+		}
+	}
+	if improved == 0 {
+		t.Error("QAT should improve at least one low-width configuration")
+	}
+	t.Logf("\n%s", tab)
+}
+
+func TestQuireAblation(t *testing.T) {
+	rows, tab := QuireAblation(evalLimit)
+	if len(rows) != 3*5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// drop=0 must equal the exact-quire accuracy; moderate drops must
+	// not catastrophically destroy accuracy (posit products of ±O(1)
+	// values live near the top of the register); extreme drops may.
+	for _, r := range rows {
+		if r.Accuracy < 0 || r.Accuracy > 1 {
+			t.Fatalf("degenerate accuracy %v", r.Accuracy)
+		}
+	}
+	byDataset := map[string][]QuireAblationRow{}
+	for _, r := range rows {
+		byDataset[r.Dataset] = append(byDataset[r.Dataset], r)
+	}
+	for ds, rs := range byDataset {
+		exact := rs[0]
+		half := rs[2] // fracDepth/2 dropped
+		if exact.Drop != 0 {
+			t.Fatalf("row order changed")
+		}
+		if exact.Accuracy-half.Accuracy > 0.10 {
+			t.Errorf("%s: half-depth quire loses %.1f points (>10)", ds,
+				100*(exact.Accuracy-half.Accuracy))
+		}
+	}
+	t.Logf("\n%s", tab)
+}
+
+func TestRobustnessAcrossSeeds(t *testing.T) {
+	// Two alternative seeds, the two fast datasets: the qualitative
+	// orderings must survive re-generation and re-training.
+	rows, tab := RobustnessCheck([]uint64{21, 1234}, []string{"WisconsinBreastCancer", "Iris"}, evalLimit)
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	const oneSample = 0.021
+	for _, r := range rows {
+		if r.Posit < r.Float-2*oneSample {
+			t.Errorf("seed %#x %s: posit %.3f well below float %.3f", r.Seed, r.Dataset, r.Posit, r.Float)
+		}
+		// The collapse magnitude varies with the draw (8-25 points);
+		// the robust property is RELATIVE: fixed degrades far more
+		// than posit on the wide-dynamic-range deployment.
+		if r.Dataset == "WisconsinBreastCancer" {
+			fixedDrop := r.Acc32 - r.Fixed
+			positDrop := r.Acc32 - r.Posit
+			if fixedDrop-positDrop < 0.04 {
+				t.Errorf("seed %#x: WBC fixed drop %.3f not clearly worse than posit drop %.3f",
+					r.Seed, fixedDrop, positDrop)
+			}
+		}
+	}
+	t.Logf("\n%s", tab)
+}
+
+func TestWide16AllReachBaseline(t *testing.T) {
+	rows, tab := Wide16(evalLimit)
+	if len(rows) != 3*5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// At 16 bits the posit and float arms have ample precision and range
+	// for these tasks: none may fall more than ~one sample below the
+	// float32 baseline (the [22] "16-bit posit replaces float16" story).
+	// Fixed point is the exception — even with its best q it cannot
+	// cover the WBC deployment's 1e-3..355 weight span (q=7 clips 355
+	// AND quantises the milli-scale weights to 12% relative error), a
+	// genuine finding this test pins down.
+	for _, r := range rows {
+		if _, isFixed := r.Arith.(emac.FixedArith); isFixed {
+			if r.Dataset == "WisconsinBreastCancer" {
+				if r.Acc32-r.Accuracy < 0.02 {
+					t.Errorf("WBC: 16-bit fixed unexpectedly reached baseline (%.2f%%)", 100*r.Accuracy)
+				}
+				continue
+			}
+		}
+		if r.Acc32-r.Accuracy > 0.022 {
+			t.Errorf("%s @%s: %.2f%% vs baseline %.2f%%",
+				r.Dataset, r.Arith.Name(), 100*r.Accuracy, 100*r.Acc32)
+		}
+	}
+	t.Logf("\n%s", tab)
+}
+
+func TestScalingTrends(t *testing.T) {
+	rows, tab := Scaling(32)
+	if len(rows) != 15 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Accumulators and LUTs must grow monotonically with n per family;
+	// fixed must stay fastest at every width.
+	byFam := map[string][]ScalingRow{}
+	for _, r := range rows {
+		byFam[r.Report.Family] = append(byFam[r.Report.Family], r)
+	}
+	for fam, rs := range byFam {
+		for i := 1; i < len(rs); i++ {
+			if rs[i].Report.AccumWidth < rs[i-1].Report.AccumWidth {
+				t.Errorf("%s: accumulator shrank from n=%d to n=%d",
+					fam, rs[i-1].Report.N, rs[i].Report.N)
+			}
+			if rs[i].Report.LUTs < rs[i-1].Report.LUTs {
+				t.Errorf("%s: LUTs shrank with width", fam)
+			}
+		}
+	}
+	for i := range byFam["fixed"] {
+		fx := byFam["fixed"][i].Report
+		if byFam["float"][i].Report.FMaxMHz > fx.FMaxMHz || byFam["posit"][i].Report.FMaxMHz > fx.FMaxMHz {
+			t.Errorf("n=%d: fixed no longer fastest", fx.N)
+		}
+	}
+	t.Logf("\n%s", tab)
+}

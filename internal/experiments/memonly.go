@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/emac"
+	"repro/internal/nn"
+	"repro/internal/tabulate"
+)
+
+// Memory-only quantisation: store the parameters in an n-bit format but
+// compute in float32 — the deployment mode of Langroudi et al. [21]
+// ("Deep learning inference on embedded devices: fixed-point vs posit"),
+// which the paper cites as showing <1% degradation with 7-bit posit
+// weights and ~30% memory savings. Here the EMAC stays full-precision;
+// only the weight/bias memory is low precision, isolating the storage
+// effect from the arithmetic effect that Table II measures.
+
+// MemOnlyRow is one (dataset, format) weight-storage result.
+type MemOnlyRow struct {
+	Dataset  string
+	Arith    emac.Arithmetic
+	Accuracy float64
+	Acc32    float64
+	// MemorySaving vs 32-bit storage (e.g. 0.75 for 8-bit formats).
+	MemorySaving float64
+}
+
+// quantizeWeightsOnly returns a copy of the network whose weights and
+// biases have been round-tripped through the arithmetic.
+func quantizeWeightsOnly(src *nn.Network, a emac.Arithmetic) *nn.Network {
+	out := &nn.Network{Sizes: append([]int(nil), src.Sizes...)}
+	for _, l := range src.Layers {
+		nl := &nn.Layer{In: l.In, Out: l.Out, B: make([]float64, l.Out)}
+		nl.W = make([][]float64, l.Out)
+		for j, row := range l.W {
+			nr := make([]float64, l.In)
+			for i, w := range row {
+				nr[i] = a.Decode(a.Quantize(w))
+			}
+			nl.W[j] = nr
+		}
+		for j, b := range l.B {
+			nl.B[j] = a.Decode(a.Quantize(b))
+		}
+		out.Layers = append(out.Layers, nl)
+	}
+	return out
+}
+
+// MemoryOnly evaluates weight-storage-only quantisation for posit formats
+// at n in [5,8] on every dataset (float32 compute).
+func MemoryOnly(evalLimit int) ([]MemOnlyRow, *tabulate.Table) {
+	var rows []MemOnlyRow
+	tab := tabulate.New("Memory-only quantisation (weights stored low-precision, float32 compute)",
+		"Dataset", "format", "accuracy", "float32", "mem saving")
+	for _, tr := range Datasets() {
+		test := tr.Test.Head(evalLimit)
+		for n := uint(5); n <= 8; n++ {
+			// best es per (dataset, n) — the sweep the cited work does
+			best := MemOnlyRow{Dataset: tr.Name, Acc32: tr.Acc32}
+			for es := uint(0); es <= 2 && es+3 <= n; es++ {
+				a := emac.NewPosit(n, es)
+				qnet := quantizeWeightsOnly(tr.Net, a)
+				acc := nn.Accuracy32(qnet, test)
+				if acc > best.Accuracy || best.Arith == nil {
+					best.Accuracy = acc
+					best.Arith = a
+				}
+			}
+			best.MemorySaving = 1 - float64(n)/32
+			rows = append(rows, best)
+			tab.AddStrings(tr.Name, best.Arith.Name(),
+				fmt.Sprintf("%.2f%%", 100*best.Accuracy),
+				fmt.Sprintf("%.2f%%", 100*best.Acc32),
+				fmt.Sprintf("%.0f%%", 100*best.MemorySaving))
+		}
+	}
+	return rows, tab
+}

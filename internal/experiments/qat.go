@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/emac"
+	"repro/internal/nn"
+	"repro/internal/tabulate"
+)
+
+// QATRow compares post-training quantisation against quantisation-aware
+// fine-tuning at one format.
+type QATRow struct {
+	Dataset string
+	Arith   emac.Arithmetic
+	PTQ     float64 // post-training quantisation accuracy
+	QAT     float64 // after STE fine-tuning
+	Acc32   float64
+}
+
+// cloneNet deep-copies a trained network (QAT mutates weights).
+func cloneNet(src *nn.Network) *nn.Network {
+	out := &nn.Network{Sizes: append([]int(nil), src.Sizes...)}
+	for _, l := range src.Layers {
+		nl := &nn.Layer{In: l.In, Out: l.Out, B: append([]float64(nil), l.B...)}
+		nl.W = make([][]float64, l.Out)
+		for j, row := range l.W {
+			nl.W[j] = append([]float64(nil), row...)
+		}
+		out.Layers = append(out.Layers, nl)
+	}
+	return out
+}
+
+// QuantizationAwareTraining fine-tunes the Iris network for very low
+// posit widths (the regime where post-training quantisation visibly
+// degrades) and evaluates both paths on the paper's Deep Positron
+// inference engine. This is the paper's future-work direction: using the
+// low-precision format during training, not just inference.
+func QuantizationAwareTraining(evalLimit int) ([]QATRow, *tabulate.Table) {
+	iris := Datasets()[1]
+	test := iris.Test.Head(evalLimit)
+	var rows []QATRow
+	tab := tabulate.New("Post-training quantisation vs quantisation-aware fine-tuning (Iris)",
+		"format", "PTQ", "QAT", "float32")
+	for _, a := range []emac.Arithmetic{
+		emac.NewPosit(5, 0), emac.NewPosit(5, 1), emac.NewPosit(6, 0),
+	} {
+		ptq := core.Quantize(iris.Net, a).Accuracy(test)
+
+		tuned := cloneNet(iris.Net)
+		cfg := nn.DefaultTrainConfig()
+		cfg.Epochs = 60
+		cfg.LR = 0.01
+		cfg.Seed = 0x9A7
+		q := func(x float64) float64 { return a.Decode(a.Quantize(x)) }
+		nn.TrainQAT(tuned, iris.Train, cfg, q, q)
+		qat := core.Quantize(tuned, a).Accuracy(test)
+
+		row := QATRow{Dataset: iris.Name, Arith: a, PTQ: ptq, QAT: qat, Acc32: iris.Acc32}
+		rows = append(rows, row)
+		tab.AddStrings(a.Name(),
+			fmt.Sprintf("%.2f%%", 100*ptq),
+			fmt.Sprintf("%.2f%%", 100*qat),
+			fmt.Sprintf("%.2f%%", 100*iris.Acc32))
+	}
+	return rows, tab
+}

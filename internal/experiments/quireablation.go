@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/emac"
+	"repro/internal/posit"
+	"repro/internal/tabulate"
+)
+
+// QuireAblationRow records accuracy with a shortened quire.
+type QuireAblationRow struct {
+	Dataset    string
+	Arith      emac.PositArith
+	Drop       uint // fraction bits removed
+	QuireWidth uint // remaining register width (k = max fanin)
+	Accuracy   float64
+}
+
+// QuireAblation sweeps truncated-quire depths for posit(8,1) on every
+// dataset: the design-space study DESIGN.md §5 calls out. The eq.-(4)
+// register guarantees exactness but costs area; dropping low fraction
+// bits shrinks the accumulator, shifter and LZD — the question is how
+// much accuracy each dropped bit costs on real workloads.
+func QuireAblation(evalLimit int) ([]QuireAblationRow, *tabulate.Table) {
+	const n, es = 8, 1
+	fracDepth := (uint(1) << (es + 1)) * (n - 2) // 48 fraction bits
+	drops := []uint{0, fracDepth / 4, fracDepth / 2, 3 * fracDepth / 4, fracDepth - 4}
+
+	var rows []QuireAblationRow
+	tab := tabulate.New("Truncated-quire ablation, posit(8,1)",
+		"Dataset", "dropped frac bits", "register width", "accuracy")
+	for _, tr := range Datasets() {
+		test := tr.Test.Head(evalLimit)
+		maxFanin := 0
+		for _, l := range tr.Net.Layers {
+			if l.In > maxFanin {
+				maxFanin = l.In
+			}
+		}
+		for _, drop := range drops {
+			a := emac.NewPosit(n, es)
+			a.QuireDrop = drop
+			q := core.Quantize(tr.Net, a)
+			acc := q.Accuracy(test)
+			width := posit.QuireSize(posit.MustFormat(n, es), maxFanin) - drop
+			rows = append(rows, QuireAblationRow{
+				Dataset: tr.Name, Arith: a, Drop: drop, QuireWidth: width, Accuracy: acc,
+			})
+			tab.AddStrings(tr.Name, fmt.Sprint(drop), fmt.Sprint(width),
+				fmt.Sprintf("%.2f%%", 100*acc))
+		}
+	}
+	return rows, tab
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/tabulate"
+)
+
+// Check is one verified paper claim.
+type Check struct {
+	ID     string
+	Claim  string
+	Pass   bool
+	Detail string
+}
+
+// Verify re-derives every headline claim of the paper from scratch and
+// reports pass/fail — the artifact-evaluation entry point
+// (`cmd/positron verify`). evalLimit truncates inference sets (0 = full).
+func Verify(evalLimit int) ([]Check, *tabulate.Table) {
+	var checks []Check
+	add := func(id, claim string, pass bool, detail string, args ...interface{}) {
+		checks = append(checks, Check{
+			ID: id, Claim: claim, Pass: pass, Detail: fmt.Sprintf(detail, args...),
+		})
+	}
+
+	// Table I.
+	rows1, _ := Table1()
+	want1 := map[string]int{"0001": -3, "001": -2, "01": -1, "10": 0, "110": 1, "1110": 2}
+	ok1 := len(rows1) == 6
+	for _, r := range rows1 {
+		ok1 = ok1 && want1[r.Binary] == r.Regime
+	}
+	add("table1", "regime run-length decoding matches Table I", ok1, "%d/6 rows", len(rows1))
+
+	// Fig. 2.
+	f2, _ := Fig2()
+	add("fig2", "posit(7,0) values and trained weights cluster in [-1,1]",
+		f2.PositInUnit >= 0.5 && f2.WeightStats.FracInUnit >= 0.5,
+		"posit %.1f%%, weights %.1f%%", 100*f2.PositInUnit, 100*f2.WeightStats.FracInUnit)
+
+	// Fig. 6: fixed fastest; posit on/above the float curve.
+	reports, _ := Fig6(32)
+	fixedFastest := true
+	bestFixed := map[uint]float64{}
+	for _, r := range reports {
+		if r.Family == "fixed" {
+			bestFixed[r.N] = r.FMaxMHz
+		}
+	}
+	for _, r := range reports {
+		if r.Family != "fixed" && r.FMaxMHz > bestFixed[r.N] {
+			fixedFastest = false
+		}
+	}
+	add("fig6", "fixed EMAC achieves the lowest datapath latency", fixedFastest, "")
+
+	// Fig. 7: fixed lowest EDP; float/posit within a decade.
+	c7, _ := Fig7(32)
+	ok7 := true
+	for i := range c7["fixed"] {
+		fx, fl, po := c7["fixed"][i], c7["float"][i], c7["posit"][i]
+		if !(fx.EDP < fl.EDP && fx.EDP < po.EDP) {
+			ok7 = false
+		}
+		if r := po.EDP / fl.EDP; r < 0.1 || r > 10 {
+			ok7 = false
+		}
+	}
+	add("fig7", "fixed EDP lowest at every n; posit≈float", ok7, "")
+
+	// Fig. 8: LUT ordering.
+	c8, _ := Fig8(32)
+	ok8 := true
+	for i := range c8["fixed"] {
+		if !(c8["posit"][i].LUTs > c8["float"][i].LUTs && c8["float"][i].LUTs > c8["fixed"][i].LUTs) {
+			ok8 = false
+		}
+	}
+	add("fig8", "LUT utilisation: posit > float > fixed", ok8, "")
+
+	// Table II.
+	rows2, _ := Table2(evalLimit)
+	const oneSample = 0.021
+	okPF, okFx, okBase := true, true, true
+	var wbcCollapse bool
+	for _, r := range rows2 {
+		if r.Posit.Accuracy < r.Float.Accuracy-oneSample {
+			okPF = false
+		}
+		if r.Posit.Accuracy < r.Fixed.Accuracy-oneSample {
+			okFx = false
+		}
+		if r.Float32-r.Posit.Accuracy > 0.05 {
+			okBase = false
+		}
+		if r.Dataset == "WisconsinBreastCancer" && r.Float32-r.Fixed.Accuracy >= 0.15 {
+			wbcCollapse = true
+		}
+	}
+	add("table2-posit", "8-bit posit matches or beats 8-bit float and fixed", okPF && okFx, "")
+	add("table2-base", "8-bit posit within a few percent of 32-bit float", okBase, "")
+	add("table2-fixed", "WBC fixed-point collapse (>=15 points below baseline)", wbcCollapse, "")
+
+	// Fig. 9: posit best degradation at 8 bits, fixed lowest EDP.
+	pts, _ := Fig9(evalLimit)
+	var p8, f8, x8 *Fig9Point
+	for i := range pts {
+		p := &pts[i]
+		if p.N != 8 {
+			continue
+		}
+		switch p.Family {
+		case "posit":
+			p8 = p
+		case "float":
+			f8 = p
+		case "fixed":
+			x8 = p
+		}
+	}
+	ok9 := p8 != nil && f8 != nil && x8 != nil &&
+		p8.AvgDegradation <= x8.AvgDegradation &&
+		p8.AvgDegradation <= f8.AvgDegradation+0.7 &&
+		x8.EDP < p8.EDP && x8.EDP < f8.EDP
+	detail9 := ""
+	if p8 != nil && f8 != nil && x8 != nil {
+		detail9 = fmt.Sprintf("degradation posit %.2f%% float %.2f%% fixed %.2f%%",
+			p8.AvgDegradation, f8.AvgDegradation, x8.AvgDegradation)
+	}
+	add("fig9", "posit has the best accuracy/EDP trade-off at 8 bits", ok9, "%s", detail9)
+
+	tab := tabulate.New("Paper-claim verification", "id", "status", "claim", "detail")
+	for _, c := range checks {
+		status := "PASS"
+		if !c.Pass {
+			status = "FAIL"
+		}
+		tab.AddStrings(c.ID, status, c.Claim, c.Detail)
+	}
+	return checks, tab
+}

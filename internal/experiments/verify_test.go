@@ -1,0 +1,16 @@
+package experiments
+
+import "testing"
+
+func TestVerifyAllClaimsPass(t *testing.T) {
+	checks, tab := Verify(evalLimit)
+	if len(checks) < 8 {
+		t.Fatalf("only %d checks", len(checks))
+	}
+	for _, c := range checks {
+		if !c.Pass {
+			t.Errorf("claim %s failed: %s (%s)", c.ID, c.Claim, c.Detail)
+		}
+	}
+	t.Logf("\n%s", tab)
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/emac"
+	"repro/internal/fixedpoint"
+	"repro/internal/hw"
+	"repro/internal/minifloat"
+	"repro/internal/posit"
+	"repro/internal/tabulate"
+)
+
+// Sixteen-bit formats: the paper's related work (Cococcioni et al. [22])
+// argues 16-bit posits against the float16 mandated by automotive
+// standards. Our machinery supports all the relevant 16-bit layouts
+// directly: standard posit(16,2), legacy posit(16,1), IEEE binary16
+// (we=5, wf=10) and bfloat16 (we=8, wf=7).
+
+// Wide16Row is one (dataset, format) accuracy at 16 bits.
+type Wide16Row struct {
+	Dataset  string
+	Arith    emac.Arithmetic
+	Accuracy float64
+	Acc32    float64
+}
+
+// Sixteen16Arms returns the fixed-parameter 16-bit comparison set; the
+// fixed-point arm sweeps q separately (like every other experiment —
+// a single hardcoded q is exactly the failure mode Table II exposes).
+func Sixteen16Arms() []emac.Arithmetic {
+	return []emac.Arithmetic{
+		emac.NewPosit(16, 1),
+		emac.NewPosit(16, 2), // 2022-standard posit16
+		emac.NewFloat(5, 10), // IEEE binary16 layout
+		emac.NewFloat(8, 7),  // bfloat16 layout
+	}
+}
+
+// Wide16 evaluates every 16-bit arm on every dataset (fixed point with
+// its best q per dataset).
+func Wide16(evalLimit int) ([]Wide16Row, *tabulate.Table) {
+	var fixeds []emac.Arithmetic
+	for q := uint(1); q < 16; q++ {
+		fixeds = append(fixeds, emac.NewFixed(16, q))
+	}
+	var rows []Wide16Row
+	tab := tabulate.New("16-bit formats (the related-work comparison of [22])",
+		"Dataset", "format", "accuracy", "float32")
+	for _, tr := range Datasets() {
+		test := tr.Test.Head(evalLimit)
+		add := func(a emac.Arithmetic, acc float64) {
+			rows = append(rows, Wide16Row{Dataset: tr.Name, Arith: a, Accuracy: acc, Acc32: tr.Acc32})
+			tab.AddStrings(tr.Name, a.Name(),
+				fmt.Sprintf("%.2f%%", 100*acc),
+				fmt.Sprintf("%.2f%%", 100*tr.Acc32))
+		}
+		for _, a := range Sixteen16Arms() {
+			add(a, core.Quantize(tr.Net, a).Accuracy(test))
+		}
+		bestFixed := core.Best(tr.Net, test, fixeds)
+		add(bestFixed.Arith, bestFixed.Accuracy)
+	}
+	return rows, tab
+}
+
+// ScalingRow is one hardware report in the width-scaling study.
+type ScalingRow struct {
+	Report hw.Report
+}
+
+// Scaling extends the paper's n in [5,8] hardware sweep to the widths a
+// "full-scale DNN accelerator" (the paper's conclusion) would consider:
+// n in {8, 12, 16, 24, 32}, representative parameterisations per family.
+func Scaling(k int) ([]ScalingRow, *tabulate.Table) {
+	var rows []ScalingRow
+	tab := tabulate.New("Width scaling of the three EMACs (model estimates)",
+		"format", "n", "accum bits", "LUTs", "fmax (MHz)", "EDP (J·s)")
+	for _, n := range []uint{8, 12, 16, 24, 32} {
+		reps := []hw.Report{
+			hw.Virtex7.SynthFixed(fixedpoint.MustFormat(n, n/2), k),
+			hw.Virtex7.SynthFloat(minifloat.MustFormat(5, n-6), k),
+			hw.Virtex7.SynthPosit(posit.MustFormat(n, 2), k),
+		}
+		for _, r := range reps {
+			rows = append(rows, ScalingRow{Report: r})
+			tab.AddStrings(r.Name, fmt.Sprint(r.N), fmt.Sprint(r.AccumWidth),
+				fmt.Sprintf("%.0f", r.LUTs),
+				fmt.Sprintf("%.0f", r.FMaxMHz),
+				fmt.Sprintf("%.3g", r.EDP))
+		}
+	}
+	return rows, tab
+}

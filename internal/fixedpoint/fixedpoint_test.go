@@ -1,0 +1,312 @@
+package fixedpoint
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dyadic"
+	"repro/internal/rng"
+)
+
+func TestNewFormatValidation(t *testing.T) {
+	if _, err := NewFormat(1, 0); err == nil {
+		t.Error("n=1 must fail")
+	}
+	if _, err := NewFormat(33, 4); err == nil {
+		t.Error("n>32 must fail")
+	}
+	if _, err := NewFormat(32, 16); err != nil {
+		t.Errorf("n=32 must be accepted: %v", err)
+	}
+	if _, err := NewFormat(8, 8); err == nil {
+		t.Error("q=n must fail")
+	}
+	if f, err := NewFormat(8, 4); err != nil || f.N() != 8 || f.Q() != 4 {
+		t.Error("Q4.4")
+	}
+}
+
+func TestCharacteristics(t *testing.T) {
+	f := MustFormat(8, 4)
+	if f.MaxInt() != 127 || f.MinInt() != -128 {
+		t.Error("int bounds")
+	}
+	if f.MaxValue() != 7.9375 {
+		t.Errorf("max = %v", f.MaxValue())
+	}
+	if f.MinPositive() != 0.0625 {
+		t.Errorf("min = %v", f.MinPositive())
+	}
+	if got, want := f.DynamicRangeLog10(), math.Log10(127); got != want {
+		t.Errorf("dynamic range %v want %v", got, want)
+	}
+	if f.CeilLog2Ratio() != 7 {
+		t.Errorf("ceil log2 ratio = %d", f.CeilLog2Ratio())
+	}
+}
+
+func TestRawBitsRoundTrip(t *testing.T) {
+	f := MustFormat(8, 4)
+	for b := uint64(0); b < f.Count(); b++ {
+		x := f.FromBits(b)
+		if x.Bits() != b {
+			t.Fatalf("bits roundtrip %x -> %x", b, x.Bits())
+		}
+		if got := f.FromFloat64(x.Float64()); got.Raw() != x.Raw() {
+			t.Fatalf("float roundtrip at %d", x.Raw())
+		}
+		if d := x.Dyadic(); f.FromDyadic(d).Raw() != x.Raw() {
+			t.Fatalf("dyadic roundtrip at %d", x.Raw())
+		}
+	}
+}
+
+func TestSaturation(t *testing.T) {
+	f := MustFormat(8, 4)
+	if got := f.FromFloat64(100); got.Raw() != 127 {
+		t.Errorf("saturate high: %v", got)
+	}
+	if got := f.FromFloat64(-100); got.Raw() != -128 {
+		t.Errorf("saturate low: %v", got)
+	}
+	if got := f.FromRaw(1 << 40); got.Raw() != 127 {
+		t.Errorf("FromRaw saturate: %v", got)
+	}
+	if got := f.Min().Neg(); got.Raw() != 127 {
+		t.Errorf("-min must saturate to max: %v", got)
+	}
+}
+
+func TestFromFloat64RNE(t *testing.T) {
+	f := MustFormat(8, 4) // ULP = 1/16
+	// 0.03125 = half ULP: ties to even -> 0
+	if got := f.FromFloat64(0.03125); got.Raw() != 0 {
+		t.Errorf("half ULP -> %d want 0", got.Raw())
+	}
+	// 3 half-ULPs = 0.09375: between 1 and 2 ULP, tie to even -> 2
+	if got := f.FromFloat64(0.09375); got.Raw() != 2 {
+		t.Errorf("1.5 ULP -> %d want 2", got.Raw())
+	}
+	if got := f.FromFloat64(-0.09375); got.Raw() != -2 {
+		t.Errorf("-1.5 ULP -> %d want -2", got.Raw())
+	}
+	if got := f.FromFloat64(math.NaN()); !got.IsZero() {
+		t.Error("NaN maps to zero")
+	}
+}
+
+func TestFromDyadicMatchesFromFloat64(t *testing.T) {
+	f := MustFormat(10, 5)
+	for x := -20.0; x <= 20.0; x += 0.01171875 { // sweep including ties
+		a := f.FromFloat64(x)
+		b := f.FromDyadic(dyadic.FromFloat64(x))
+		if a.Raw() != b.Raw() {
+			t.Fatalf("x=%g: FromFloat64=%d FromDyadic=%d", x, a.Raw(), b.Raw())
+		}
+	}
+}
+
+func TestMulTruncation(t *testing.T) {
+	f := MustFormat(8, 4)
+	a := f.FromFloat64(1.25) // 20
+	b := f.FromFloat64(0.75) // 12
+	// product = 240 = 0.9375 in Q8.8; >>4 -> 15 = 0.9375 exact
+	if got := a.Mul(b).Float64(); got != 0.9375 {
+		t.Errorf("1.25*0.75 = %v", got)
+	}
+	// truncation bias: 0.0625 * 0.0625 = 2^-8 -> >>4 truncates to 0
+	c := f.FromFloat64(0.0625)
+	if got := c.Mul(c).Float64(); got != 0 {
+		t.Errorf("ulp² must truncate to 0, got %v", got)
+	}
+	// negative truncation goes toward -inf: -1 raw × 1 raw = -1 >> 4 = -1
+	d := f.FromRaw(-1)
+	e := f.FromRaw(1)
+	if got := d.Mul(e).Raw(); got != -1 {
+		t.Errorf("floor truncation: got %d want -1", got)
+	}
+	// RNE variant rounds the same case to 0
+	if got := d.MulRNE(e).Raw(); got != 0 {
+		t.Errorf("RNE variant: got %d want 0", got)
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	f := MustFormat(8, 4)
+	a := f.FromFloat64(3)
+	b := f.FromFloat64(2.5)
+	if got := a.Add(b).Float64(); got != 5.5 {
+		t.Errorf("3+2.5 = %v", got)
+	}
+	if got := a.Sub(b).Float64(); got != 0.5 {
+		t.Errorf("3-2.5 = %v", got)
+	}
+	if got := f.Max().Add(f.Max()); got.Raw() != f.MaxInt() {
+		t.Error("add must saturate")
+	}
+}
+
+func TestAccumSize(t *testing.T) {
+	// wa = clog2(k) + 2(n-1) + 2
+	f := MustFormat(8, 4)
+	if got := AccumSize(f, 32); got != 5+14+2 {
+		t.Errorf("AccumSize = %d want 21", got)
+	}
+	if got := AccumSize(f, 1); got != 16 {
+		t.Errorf("AccumSize(1) = %d want 16", got)
+	}
+}
+
+func TestAccumulatorExact(t *testing.T) {
+	f := MustFormat(8, 4)
+	r := rng.New(5)
+	for trial := 0; trial < 300; trial++ {
+		k := 1 + r.Intn(64)
+		a := NewAccumulator(f, k)
+		exact := dyadic.Zero()
+		for i := 0; i < k; i++ {
+			w := f.FromBits(r.Uint64() & 0xFF)
+			x := f.FromBits(r.Uint64() & 0xFF)
+			a.MulAdd(w, x)
+			exact = exact.Add(w.Dyadic().Mul(x.Dyadic()))
+		}
+		if got := a.Dyadic(); got.Cmp(exact) != 0 {
+			t.Fatalf("register %v != exact %v", got, exact)
+		}
+		// truncation semantics: floor(exact × 2^q) clipped
+		want := truncOracle(f, exact)
+		if got := a.Result(); got.Raw() != want {
+			t.Fatalf("Result = %d want %d (exact %v)", got.Raw(), want, exact)
+		}
+	}
+}
+
+// truncOracle computes floor(exact × 2^q) with saturation, exactly.
+func truncOracle(f Format, exact dyadic.D) int64 {
+	sig, exp, sign := exact.MulPow2(int(f.Q())).MantExp()
+	if sig == nil {
+		return 0
+	}
+	v := new(big.Int).Set(sig)
+	if sign < 0 {
+		v.Neg(v)
+	}
+	if exp >= 0 {
+		v.Lsh(v, uint(exp))
+	} else {
+		v.Rsh(v, uint(-exp)) // big.Int.Rsh floors, matching truncation
+	}
+	if !v.IsInt64() {
+		if sign < 0 {
+			return f.MinInt()
+		}
+		return f.MaxInt()
+	}
+	q := v.Int64()
+	if q > f.MaxInt() {
+		return f.MaxInt()
+	}
+	if q < f.MinInt() {
+		return f.MinInt()
+	}
+	return q
+}
+
+func TestAccumulatorBias(t *testing.T) {
+	f := MustFormat(8, 4)
+	a := NewAccumulator(f, 4)
+	bias := f.FromFloat64(1.5)
+	a.ResetToBias(bias)
+	a.MulAdd(f.FromFloat64(2), f.FromFloat64(1))
+	if got := a.Result().Float64(); got != 3.5 {
+		t.Errorf("bias + 2 = %v", got)
+	}
+}
+
+func TestAccumulatorRNEAblation(t *testing.T) {
+	f := MustFormat(8, 4)
+	a := NewAccumulator(f, 2)
+	a.RoundNearest = true
+	// ulp × ulp = 2^-8 = quarter of a result ULP -> RNE to 0
+	u := f.FromRaw(1)
+	a.MulAdd(u, u)
+	if got := a.Result().Raw(); got != 0 {
+		t.Errorf("RNE tiny = %d", got)
+	}
+	// 9 × ulp² = 9/256 > ulp/2 = 8/256 -> rounds to 1
+	a.Reset()
+	for i := 0; i < 9; i++ {
+		a.MulAdd(u, u)
+	}
+	if got := a.Result().Raw(); got != 1 {
+		t.Errorf("RNE 9·ulp² = %d want 1", got)
+	}
+	// truncation gives 0 for the same register value
+	b := NewAccumulator(f, 16)
+	for i := 0; i < 9; i++ {
+		b.MulAdd(u, u)
+	}
+	if got := b.Result().Raw(); got != 0 {
+		t.Errorf("trunc 9·ulp² = %d want 0", got)
+	}
+}
+
+func TestAccumulatorClip(t *testing.T) {
+	f := MustFormat(8, 4)
+	a := NewAccumulator(f, 64)
+	for i := 0; i < 64; i++ {
+		a.MulAdd(f.Max(), f.Max())
+	}
+	if got := a.Result().Raw(); got != f.MaxInt() {
+		t.Errorf("positive clip: %d", got)
+	}
+	a.Reset()
+	for i := 0; i < 64; i++ {
+		a.MulAdd(f.Min(), f.Max())
+	}
+	if got := a.Result().Raw(); got != f.MinInt() {
+		t.Errorf("negative clip: %d", got)
+	}
+}
+
+func TestDotProduct(t *testing.T) {
+	f := MustFormat(8, 4)
+	w := []Fixed{f.FromFloat64(0.5), f.FromFloat64(-1.25)}
+	x := []Fixed{f.FromFloat64(2), f.FromFloat64(0.5)}
+	// 1 - 0.625 = 0.375
+	if got := DotProduct(w, x).Float64(); got != 0.375 {
+		t.Errorf("dot = %v", got)
+	}
+}
+
+func TestPropMulCommutative(t *testing.T) {
+	f := MustFormat(8, 3)
+	prop := func(a, b uint8) bool {
+		x, y := f.FromBits(uint64(a)), f.FromBits(uint64(b))
+		return x.Mul(y).Raw() == y.Mul(x).Raw()
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropOrderEmbedding(t *testing.T) {
+	f := MustFormat(10, 6)
+	prop := func(a, b int16) bool {
+		x := f.FromFloat64(float64(a) / 64)
+		y := f.FromFloat64(float64(b) / 64)
+		return (x.Cmp(y) < 0) == (x.Float64() < y.Float64())
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOneSaturatesWhenOutOfRange(t *testing.T) {
+	f := MustFormat(8, 7) // range [-1, 1)
+	if got := f.One(); got.Raw() != f.MaxInt() {
+		t.Errorf("One in Q1.7 = %d want saturated max", got.Raw())
+	}
+}

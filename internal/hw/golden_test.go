@@ -1,0 +1,58 @@
+package hw
+
+// Golden tests pin the calibrated model outputs. The experiment tables in
+// EXPERIMENTS.md quote these numbers; if a calibration constant changes,
+// these tests fail loudly so the documentation is updated deliberately
+// rather than drifting silently.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestGoldenReports(t *testing.T) {
+	golden := []struct {
+		rep     Report
+		accum   uint
+		luts    float64
+		fmaxMHz float64
+	}{
+		{fixedRep(8, 4), 21, 33, 465.1},
+		{floatRep(4, 3), 41, 198, 310.6},
+		{floatRep(3, 4), 27, 139, 331.4},
+		{positRep(8, 0), 31, 196, 350.3},
+		{positRep(8, 1), 55, 293, 312.5},
+		{positRep(8, 2), 103, 563, 229.6},
+	}
+	for _, g := range golden {
+		if g.rep.AccumWidth != g.accum {
+			t.Errorf("%s: accumulator %d want %d", g.rep.Name, g.rep.AccumWidth, g.accum)
+		}
+		if math.Abs(g.rep.LUTs-g.luts) > 1.0 {
+			t.Errorf("%s: LUTs %.1f want %.1f (calibration drifted — update EXPERIMENTS.md)",
+				g.rep.Name, g.rep.LUTs, g.luts)
+		}
+		if math.Abs(g.rep.FMaxMHz-g.fmaxMHz) > 0.5 {
+			t.Errorf("%s: fmax %.1f want %.1f (calibration drifted — update EXPERIMENTS.md)",
+				g.rep.Name, g.rep.FMaxMHz, g.fmaxMHz)
+		}
+	}
+}
+
+func TestGoldenDynamicRanges(t *testing.T) {
+	// Dynamic ranges are format properties (not calibration): exact.
+	cases := map[string]float64{
+		fmt.Sprint(positRep(8, 0).Name): 3.6124,
+		fmt.Sprint(positRep(8, 1).Name): 7.2247,
+		fmt.Sprint(positRep(8, 2).Name): 14.4494,
+		fmt.Sprint(floatRep(4, 3).Name): 5.0895,
+		fmt.Sprint(fixedRep(8, 4).Name): 2.1038,
+	}
+	for _, r := range []Report{positRep(8, 0), positRep(8, 1), positRep(8, 2), floatRep(4, 3), fixedRep(8, 4)} {
+		want := cases[r.Name]
+		if math.Abs(r.DynRange-want) > 5e-4 {
+			t.Errorf("%s: dynamic range %.4f want %.4f", r.Name, r.DynRange, want)
+		}
+	}
+}

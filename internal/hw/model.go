@@ -1,0 +1,290 @@
+// Package hw is an analytical FPGA implementation-cost model standing in
+// for the paper's Vivado 2017.2 synthesis runs on a Xilinx Virtex-7
+// (xc7vx485t-2). The paper's hardware results — Fig. 6 (dynamic range vs
+// fmax), Fig. 7 (n vs EDP), Fig. 8 (n vs LUTs) and the EDP axis of
+// Fig. 9 — are *relative* comparisons of the three EMACs at equal bit
+// width; this model reproduces them by costing the exact same datapath
+// decomposition the RTL uses:
+//
+//	fixed  (Fig. 3): multiplier → wide adder → shift/clip
+//	float  (Fig. 4): subnormal detect + multiplier + exponent add →
+//	                 2's comp + barrel shift + wide add → LZD +
+//	                 normalise + round + clip
+//	posit  (Fig. 5): 2× decode (2's comp, LZD, shift) + multiplier +
+//	                 scale-factor add → 2's comp + barrel shift + wide
+//	                 add (quire) → LZD + shift + round + encode
+//
+// Register widths come from the paper's eq. (3) and eq. (4) exactly; the
+// technology constants are calibrated once (Virtex-7-plausible LUT, carry
+// and DSP delays) and shared by all three formats, so the orderings and
+// growth trends the figures show are architectural, not fitted per point.
+package hw
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitutil"
+	"repro/internal/fixedpoint"
+	"repro/internal/minifloat"
+	"repro/internal/posit"
+)
+
+// Tech holds the technology calibration constants.
+type Tech struct {
+	// LUTDelayNs is the delay of one LUT6 logic level including local
+	// routing.
+	LUTDelayNs float64
+	// CarryPerBitNs is the incremental carry-chain delay per bit.
+	CarryPerBitNs float64
+	// AdderBaseNs is the fixed overhead of entering/leaving a carry chain.
+	AdderBaseNs float64
+	// DSPMulDelayNs is the pipelined DSP48 multiply stage delay (the
+	// paper targets DSP48 slices and optimises for latency).
+	DSPMulDelayNs float64
+	// RegOverheadNs is flip-flop setup plus clock-to-Q, added to the
+	// critical stage.
+	RegOverheadNs float64
+	// DynPowerPerCellHz converts (effective cells × fclk) to dynamic
+	// watts; an activity-weighted capacitance constant.
+	DynPowerPerCellHz float64
+	// DSPCellEquiv counts a DSP48 as this many effective cells for power.
+	DSPCellEquiv float64
+}
+
+// Virtex7 is the calibration used throughout the experiments, chosen to
+// give Virtex-7-plausible absolute numbers (hundreds of MHz, hundreds of
+// LUTs) for 5-8 bit EMACs.
+var Virtex7 = Tech{
+	LUTDelayNs:        0.45,
+	CarryPerBitNs:     0.015,
+	AdderBaseNs:       0.40,
+	DSPMulDelayNs:     1.80,
+	RegOverheadNs:     0.35,
+	DynPowerPerCellHz: 3.0e-15,
+	DSPCellEquiv:      30,
+}
+
+// levels4 returns the number of LUT6 tree levels needed to cover w bits
+// with 4-to-1 reduction per level (barrel-shifter stages pack two 2:1 mux
+// layers per LUT6; LZD trees reduce ~4 bits per level).
+func levels4(w uint) float64 {
+	if w <= 1 {
+		return 1
+	}
+	return math.Ceil(math.Log2(float64(w)) / 2)
+}
+
+// delayAdder models a carry-chain adder of width w.
+func (t Tech) delayAdder(w uint) float64 { return t.AdderBaseNs + t.CarryPerBitNs*float64(w) }
+
+// delayShifter models a barrel shifter of width w.
+func (t Tech) delayShifter(w uint) float64 { return t.LUTDelayNs * levels4(w) }
+
+// delayLZD models a leading-zero detector of width w.
+func (t Tech) delayLZD(w uint) float64 { return t.LUTDelayNs * levels4(w) }
+
+// delayMul models the DSP-mapped multiplier for m-bit operands.
+func (t Tech) delayMul(m uint) float64 {
+	d := t.DSPMulDelayNs
+	if m > 18 { // cascaded DSPs past the native width
+		d += t.DSPMulDelayNs * 0.6 * math.Ceil(float64(m-18)/17)
+	}
+	return d
+}
+
+// LUT-count helpers (effective LUT6 counts).
+func lutsAdder(w uint) float64   { return float64(w) }
+func lutsShifter(w uint) float64 { return float64(w) * levels4(w) / 2 }
+func lutsLZD(w uint) float64     { return float64(w) * 0.75 }
+func lutsMux(w uint) float64     { return float64(w) / 2 }
+
+// Report is one synthesized EMAC configuration — the row format shared by
+// the Fig. 6/7/8 harnesses.
+type Report struct {
+	Name       string  // e.g. "posit(8,1)"
+	Family     string  // "fixed" | "float" | "posit"
+	N          uint    // storage width of weights/activations
+	K          int     // dot-product length the accumulator is sized for
+	AccumWidth uint    // eq. (3) / eq. (4) register width
+	DynRange   float64 // log10(max/min)
+
+	LUTs float64
+	FFs  float64
+	DSPs int
+
+	StageDecodeNs float64 // posit only (0 otherwise)
+	StageMulNs    float64
+	StageAccNs    float64
+	StageRoundNs  float64
+
+	CriticalNs float64
+	FMaxMHz    float64
+	DynPowerW  float64
+	EnergyOpJ  float64 // energy per MAC cycle
+	EDP        float64 // energy × delay per MAC cycle (J·s)
+}
+
+func (t Tech) finish(r *Report) {
+	// The paper pipelines the multiply and accumulate stages with a D
+	// flip-flop and "delays rounding to a post-summation stage": fmax is
+	// bounded by the per-cycle stages (decode, multiply, accumulate).
+	// The rounding/encode path fires once per dot product and can take a
+	// multi-cycle slot, so it contributes area and energy but not fmax.
+	crit := math.Max(math.Max(r.StageDecodeNs, r.StageMulNs), r.StageAccNs) + t.RegOverheadNs
+	r.CriticalNs = crit
+	r.FMaxMHz = 1e3 / crit
+	f := r.FMaxMHz * 1e6
+	cells := r.LUTs + r.FFs/2 + float64(r.DSPs)*t.DSPCellEquiv
+	r.DynPowerW = t.DynPowerPerCellHz * cells * f
+	period := crit * 1e-9
+	r.EnergyOpJ = r.DynPowerW * period
+	r.EDP = r.EnergyOpJ * period
+}
+
+// SynthFixed costs the fixed-point EMAC of Fig. 3.
+func (t Tech) SynthFixed(f fixedpoint.Format, k int) Report {
+	n := f.N()
+	wa := fixedpoint.AccumSize(f, k)
+	r := Report{
+		Name:       f.String(),
+		Family:     "fixed",
+		N:          n,
+		K:          k,
+		AccumWidth: wa,
+		DynRange:   f.DynamicRangeLog10(),
+		DSPs:       1,
+	}
+	// Stage 1: n×n multiply (operands padded to 2n internally).
+	r.StageMulNs = t.delayMul(n)
+	// Stage 2: wa-bit accumulate.
+	r.StageAccNs = t.delayAdder(wa)
+	// Stage 3: fixed shift (wiring) + clip mux.
+	r.StageRoundNs = t.LUTDelayNs + t.delayAdder(n)*0.5
+	r.LUTs = lutsAdder(wa) + lutsMux(n) /*clip*/ + float64(n) /*pad/ctl*/
+	r.FFs = float64(wa) + 3*float64(n)
+	t.finish(&r)
+	return r
+}
+
+// SynthFloat costs the floating-point EMAC of Fig. 4.
+func (t Tech) SynthFloat(f minifloat.Format, k int) Report {
+	n := f.N()
+	we, wf := f.WE(), f.WF()
+	wa := minifloat.AccumSize(f, k)
+	r := Report{
+		Name:       f.String(),
+		Family:     "float",
+		N:          n,
+		K:          k,
+		AccumWidth: wa,
+		DynRange:   f.DynamicRangeLog10(),
+		DSPs:       1,
+	}
+	prodW := 2 * (wf + 1)
+	// Stage 1: subnormal detect (one level) feeds the multiplier;
+	// exponent adder runs in parallel and is narrower.
+	r.StageMulNs = t.LUTDelayNs + t.delayMul(wf+1)
+	// Stage 2: shift-amount compute (Fig. 4 shifts by S-3, with S the
+	// registered exponent sum — unlike the posit EMAC, which pre-biases
+	// its scale factor in Alg. 2 line 12 precisely "to avoid using
+	// multiple shifters"), product 2's complement, barrel shift into the
+	// register, wide add.
+	r.StageAccNs = t.delayAdder(we+2)*0.5 + t.delayAdder(prodW)*0.5 +
+		t.delayShifter(wa) + t.delayAdder(wa)
+	// Stage 3: inverse 2's complement + LZD + normalise shift + RNE
+	// round + subnormal/clip handling.
+	r.StageRoundNs = t.delayLZD(wa) + t.delayShifter(wa) + t.delayAdder(n) + t.LUTDelayNs
+	r.LUTs = float64(we)*2 + /* subnormal detect, both inputs */
+		2*lutsAdder(we+1) + /* exponent add, bias */
+		lutsAdder(prodW)/2 + /* product 2's comp */
+		lutsShifter(wa) + lutsAdder(wa) +
+		lutsLZD(wa) + lutsShifter(wa)/2 + /* normalise (narrower out) */
+		lutsAdder(n) + lutsMux(n) /* round + clip */
+	r.FFs = float64(wa) + 3*float64(n)
+	t.finish(&r)
+	return r
+}
+
+// SynthPosit costs the posit EMAC of Fig. 5 with the quire of eq. (4).
+func (t Tech) SynthPosit(f posit.Format, k int) Report {
+	n, es := f.N(), f.ES()
+	qs := posit.QuireSize(f, k)
+	r := Report{
+		Name:       f.String(),
+		Family:     "posit",
+		N:          n,
+		K:          k,
+		AccumWidth: qs,
+		DynRange:   f.DynamicRangeLog10(),
+		DSPs:       1,
+	}
+	fracW := n - 2 - es // max significand width (hidden bit included)
+	if es+3 > n {
+		fracW = 1
+	}
+	prodW := 2 * fracW
+	sfW := es + bitutil.Clog2(uint64(n)) + 2
+	// Stage 0 (decode, its own pipeline stage per Fig. 5): input 2's
+	// complement + regime LZD + shift-out-regime; both operands decoded
+	// in parallel.
+	r.StageDecodeNs = t.delayAdder(n)*0.5 + t.delayLZD(n) + t.delayShifter(n)
+	// Stage 1: fraction multiply + scale-factor add (parallel, narrower).
+	r.StageMulNs = t.delayMul(fracW)
+	// Stage 2: product 2's comp + shift into quire + wide add.
+	r.StageAccNs = t.delayAdder(prodW)*0.5 + t.delayShifter(qs) + t.delayAdder(qs)
+	// Stage 3: quire 2's comp + LZD + shift + convergent round + encode
+	// (regime shifter + increment).
+	r.StageRoundNs = t.delayLZD(qs) + t.delayShifter(qs) + t.delayAdder(n) + t.delayShifter(n)*0.5 + t.LUTDelayNs
+	r.LUTs = 2*(lutsAdder(n)/2+lutsLZD(n)+lutsShifter(n)) + /* two decoders */
+		lutsAdder(sfW)*2 + /* scale-factor adds incl. bias */
+		lutsAdder(prodW)/2 + /* product 2's comp */
+		lutsShifter(qs) + lutsAdder(qs) + /* quire convert + add */
+		lutsLZD(qs) + lutsShifter(qs)/2 + /* extraction */
+		lutsAdder(n) + lutsShifter(n) + lutsMux(n) /* round + encode */
+	r.FFs = float64(qs) + 4*float64(n)
+	t.finish(&r)
+	return r
+}
+
+// InferenceCost extends a per-EMAC report to a whole Deep Positron
+// network: each layer owns one EMAC per neuron (dedicated units with
+// local memory, per §III-E), layers stream sequentially, and a layer with
+// fanin k needs k+pipeline cycles per input.
+type InferenceCost struct {
+	Report      Report
+	TotalEMACs  int
+	Cycles      int
+	LatencyNs   float64
+	TotalPowerW float64
+	EnergyJ     float64 // per inference
+	EDP         float64 // energy × latency per inference
+}
+
+// PipelineDepth is the EMAC pipeline depth in cycles (decode/mult/acc/
+// round stages).
+const PipelineDepth = 4
+
+// NetworkCost estimates inference latency/energy for layer fan-ins
+// (layerK[i] = inputs of layer i) and widths (neurons per layer).
+func NetworkCost(r Report, layerK, layerN []int) InferenceCost {
+	if len(layerK) != len(layerN) {
+		panic("hw: layer shape mismatch")
+	}
+	c := InferenceCost{Report: r}
+	for i := range layerK {
+		c.Cycles += layerK[i] + PipelineDepth
+		c.TotalEMACs += layerN[i]
+	}
+	c.LatencyNs = float64(c.Cycles) * r.CriticalNs
+	c.TotalPowerW = r.DynPowerW * float64(c.TotalEMACs)
+	c.EnergyJ = c.TotalPowerW * c.LatencyNs * 1e-9
+	c.EDP = c.EnergyJ * c.LatencyNs * 1e-9
+	return c
+}
+
+// String renders a report row.
+func (r Report) String() string {
+	return fmt.Sprintf("%-16s n=%2d k=%3d acc=%4d dyn=%6.2f LUT=%6.0f fmax=%6.1fMHz EDP=%.3g",
+		r.Name, r.N, r.K, r.AccumWidth, r.DynRange, r.LUTs, r.FMaxMHz, r.EDP)
+}

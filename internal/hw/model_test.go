@@ -1,0 +1,196 @@
+package hw
+
+import (
+	"testing"
+
+	"repro/internal/fixedpoint"
+	"repro/internal/minifloat"
+	"repro/internal/posit"
+)
+
+const defaultK = 32
+
+func fixedRep(n, q uint) Report {
+	return Virtex7.SynthFixed(fixedpoint.MustFormat(n, q), defaultK)
+}
+func floatRep(we, wf uint) Report {
+	return Virtex7.SynthFloat(minifloat.MustFormat(we, wf), defaultK)
+}
+func positRep(n, es uint) Report {
+	return Virtex7.SynthPosit(posit.MustFormat(n, es), defaultK)
+}
+
+// TestFig6Shape: the paper's Fig. 6 claims. Fixed achieves the lowest
+// datapath latency (highest fmax); posit operates at higher frequency
+// than float for a given dynamic range.
+func TestFig6Shape(t *testing.T) {
+	for n := uint(5); n <= 8; n++ {
+		fx := fixedRep(n, n/2)
+		fl := floatRep(3, n-4)
+		po := positRep(n, 1)
+		if !(fx.FMaxMHz > fl.FMaxMHz && fx.FMaxMHz > po.FMaxMHz) {
+			t.Errorf("n=%d: fixed must be fastest: fixed=%.0f float=%.0f posit=%.0f",
+				n, fx.FMaxMHz, fl.FMaxMHz, po.FMaxMHz)
+		}
+	}
+	// "In general, the posit EMAC can operate at a higher frequency for
+	// a given dynamic range than the floating point EMAC": every 8-bit
+	// posit configuration must sit on or above the 8-bit float
+	// (dynamic range -> fmax) curve, linearly interpolated.
+	var curve []Report // 8-bit floats, ascending dynamic range
+	for we := uint(3); we <= 6; we++ {
+		curve = append(curve, floatRep(we, 7-we))
+	}
+	floatAt := func(dyn float64) float64 {
+		if dyn <= curve[0].DynRange {
+			return curve[0].FMaxMHz
+		}
+		for i := 0; i+1 < len(curve); i++ {
+			a, b := curve[i], curve[i+1]
+			if dyn <= b.DynRange {
+				t := (dyn - a.DynRange) / (b.DynRange - a.DynRange)
+				return a.FMaxMHz + t*(b.FMaxMHz-a.FMaxMHz)
+			}
+		}
+		return curve[len(curve)-1].FMaxMHz
+	}
+	for es := uint(0); es <= 2; es++ {
+		po := positRep(8, es)
+		if ref := floatAt(po.DynRange); po.FMaxMHz < ref {
+			t.Errorf("%s fmax %.0f MHz below the float curve (%.0f MHz) at dyn %.2f",
+				po.Name, po.FMaxMHz, ref, po.DynRange)
+		}
+	}
+}
+
+// TestFig7Shape: fixed outperforms the other EMACs' EDP at every
+// bit-width, and float/posit EDPs stay within one decade of each other.
+func TestFig7Shape(t *testing.T) {
+	for n := uint(5); n <= 8; n++ {
+		fx := fixedRep(n, n/2)
+		fl := floatRep(3, n-4)
+		po := positRep(n, 1)
+		if !(fx.EDP < fl.EDP && fx.EDP < po.EDP) {
+			t.Errorf("n=%d: fixed EDP must be lowest (fixed=%.3g float=%.3g posit=%.3g)",
+				n, fx.EDP, fl.EDP, po.EDP)
+		}
+		ratio := po.EDP / fl.EDP
+		if ratio < 0.1 || ratio > 10 {
+			t.Errorf("n=%d: posit/float EDP ratio %.2f outside one decade", n, ratio)
+		}
+	}
+}
+
+// TestFig8Shape: LUT utilisation ordering posit > float > fixed at every
+// bit width (posit pays for decode/encode, per the paper's §IV-A).
+func TestFig8Shape(t *testing.T) {
+	for n := uint(5); n <= 8; n++ {
+		fx := fixedRep(n, n/2)
+		fl := floatRep(3, n-4)
+		po := positRep(n, 1)
+		if !(po.LUTs > fl.LUTs && fl.LUTs > fx.LUTs) {
+			t.Errorf("n=%d: LUT ordering violated: posit=%.0f float=%.0f fixed=%.0f",
+				n, po.LUTs, fl.LUTs, fx.LUTs)
+		}
+	}
+}
+
+// TestMonotoneGrowth: widening any format must not reduce area or
+// accumulator width.
+func TestMonotoneGrowth(t *testing.T) {
+	for n := uint(5); n < 8; n++ {
+		if fixedRep(n+1, (n+1)/2).LUTs < fixedRep(n, n/2).LUTs {
+			t.Errorf("fixed LUTs must grow with n")
+		}
+		if positRep(n+1, 1).AccumWidth < positRep(n, 1).AccumWidth {
+			t.Errorf("posit quire must grow with n")
+		}
+	}
+	// quire grows exponentially with es
+	if positRep(8, 2).AccumWidth <= positRep(8, 1).AccumWidth {
+		t.Error("quire must grow with es")
+	}
+	// float accumulator grows exponentially with we
+	if floatRep(5, 2).AccumWidth <= floatRep(4, 3).AccumWidth {
+		t.Error("float accumulator must grow with we")
+	}
+}
+
+func TestAccumWidthsMatchEquations(t *testing.T) {
+	// Cross-check the report's widths against the packages' equations.
+	if got := positRep(8, 0).AccumWidth; got != posit.QuireSize(posit.MustFormat(8, 0), defaultK) {
+		t.Errorf("posit accum width %d", got)
+	}
+	if got := fixedRep(8, 4).AccumWidth; got != fixedpoint.AccumSize(fixedpoint.MustFormat(8, 4), defaultK) {
+		t.Errorf("fixed accum width %d", got)
+	}
+	if got := floatRep(4, 3).AccumWidth; got != minifloat.AccumSize(minifloat.MustFormat(4, 3), defaultK) {
+		t.Errorf("float accum width %d", got)
+	}
+}
+
+func TestPlausibleAbsolutes(t *testing.T) {
+	// Sanity: the calibration produces Virtex-7-plausible numbers.
+	for _, r := range []Report{fixedRep(8, 4), floatRep(4, 3), positRep(8, 1)} {
+		if r.FMaxMHz < 100 || r.FMaxMHz > 800 {
+			t.Errorf("%s: fmax %.0f MHz implausible", r.Name, r.FMaxMHz)
+		}
+		if r.LUTs < 10 || r.LUTs > 5000 {
+			t.Errorf("%s: LUTs %.0f implausible", r.Name, r.LUTs)
+		}
+		if r.DynPowerW <= 0 || r.DynPowerW > 1 {
+			t.Errorf("%s: power %.3g W implausible", r.Name, r.DynPowerW)
+		}
+	}
+}
+
+func TestNetworkCost(t *testing.T) {
+	r := positRep(8, 0)
+	// a 2-layer net: fanin 30 and 16, widths 16 and 2
+	c := NetworkCost(r, []int{30, 16}, []int{16, 2})
+	if c.Cycles != 30+PipelineDepth+16+PipelineDepth {
+		t.Errorf("cycles = %d", c.Cycles)
+	}
+	if c.TotalEMACs != 18 {
+		t.Errorf("EMACs = %d", c.TotalEMACs)
+	}
+	if c.LatencyNs <= 0 || c.EnergyJ <= 0 || c.EDP <= 0 {
+		t.Error("non-positive cost")
+	}
+	// deeper net costs more
+	c2 := NetworkCost(r, []int{30, 16, 16}, []int{16, 16, 2})
+	if c2.LatencyNs <= c.LatencyNs || c2.EnergyJ <= c.EnergyJ {
+		t.Error("larger net must cost more")
+	}
+}
+
+func TestNetworkCostPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch must panic")
+		}
+	}()
+	NetworkCost(fixedRep(8, 4), []int{1, 2}, []int{1})
+}
+
+func TestLatencyClaimPositVsFloat(t *testing.T) {
+	// The paper's conclusion: "posit outperforms in accuracy and latency
+	// at 8-bit and below" (vs float). Inference latency at matched k.
+	po := NetworkCost(positRep(8, 0), []int{30, 16}, []int{16, 2})
+	fl := NetworkCost(floatRep(4, 3), []int{30, 16}, []int{16, 2})
+	if po.LatencyNs > fl.LatencyNs {
+		t.Errorf("posit(8,0) latency %.1fns should not exceed float(4,3) %.1fns",
+			po.LatencyNs, fl.LatencyNs)
+	}
+}
+
+func TestStageBreakdownPopulated(t *testing.T) {
+	po := positRep(8, 1)
+	if po.StageDecodeNs <= 0 || po.StageMulNs <= 0 || po.StageAccNs <= 0 || po.StageRoundNs <= 0 {
+		t.Error("posit stages must all be positive")
+	}
+	fx := fixedRep(8, 4)
+	if fx.StageDecodeNs != 0 {
+		t.Error("fixed has no decode stage")
+	}
+}

@@ -1,0 +1,110 @@
+package hw
+
+import (
+	"fmt"
+	"math"
+)
+
+// UnpipelinedCritical returns the critical path the EMAC would have
+// WITHOUT the D flip-flop between the multiplication and accumulation
+// stages — the ablation for the paper's explicit design choice ("To
+// improve the maximum operating frequency via pipelining, a D flip-flop
+// separates the multiplication and accumulation stages").
+func (t Tech) UnpipelinedCritical(r Report) float64 {
+	return r.StageDecodeNs + r.StageMulNs + r.StageAccNs + t.RegOverheadNs
+}
+
+// UnpipelinedFMaxMHz is the ablated clock rate.
+func (t Tech) UnpipelinedFMaxMHz(r Report) float64 {
+	return 1e3 / t.UnpipelinedCritical(r)
+}
+
+// PipelineSpeedup reports fmax(pipelined) / fmax(unpipelined) — how much
+// the inter-stage register buys.
+func (t Tech) PipelineSpeedup(r Report) float64 {
+	return t.UnpipelinedCritical(r) / r.CriticalNs
+}
+
+// NetworkReport is the full-accelerator resource estimate for one Deep
+// Positron instance: every neuron owns an EMAC, every layer owns local
+// weight/bias memory (§III-E "dedicated EMAC units with local memory
+// blocks"), and a control FSM sequences the layers.
+type NetworkReport struct {
+	EMAC        Report
+	LayerFanin  []int
+	LayerWidth  []int
+	TotalEMACs  int
+	TotalLUTs   float64
+	TotalFFs    float64
+	TotalDSPs   int
+	MemoryBits  int     // on-chip parameter storage
+	BRAM36      int     // 36Kb block RAM equivalents
+	ControlLUTs float64 // FSM + activation-steering overhead
+
+	LatencyCycles  int     // single-inference latency
+	LatencyNs      float64 //
+	SteadyCycles   int     // streaming initiation interval
+	ThroughputKIPS float64 // thousand inferences/s at fmax, streaming
+	DynPowerW      float64
+	EnergyPerInfJ  float64
+	EDPPerInf      float64
+}
+
+// SynthesizeNetwork combines a per-EMAC report with a network shape.
+// Latency follows the streaming schedule verified by core's cycle
+// simulator: Σ(fanin+depth) for one inference, max(fanin+depth)
+// initiation interval when streaming.
+func SynthesizeNetwork(r Report, fanin, width []int, bitWidth uint) NetworkReport {
+	if len(fanin) != len(width) {
+		panic("hw: network shape mismatch")
+	}
+	n := NetworkReport{EMAC: r, LayerFanin: fanin, LayerWidth: width}
+	params := 0
+	bottleneck := 0
+	for i := range fanin {
+		n.TotalEMACs += width[i]
+		params += fanin[i]*width[i] + width[i]
+		cycles := fanin[i] + PipelineDepth
+		n.LatencyCycles += cycles
+		if cycles > bottleneck {
+			bottleneck = cycles
+		}
+	}
+	n.SteadyCycles = bottleneck
+	n.TotalLUTs = r.LUTs * float64(n.TotalEMACs)
+	n.TotalFFs = r.FFs * float64(n.TotalEMACs)
+	n.TotalDSPs = r.DSPs * n.TotalEMACs
+	n.MemoryBits = params * int(bitWidth)
+	n.BRAM36 = (n.MemoryBits + 36*1024 - 1) / (36 * 1024)
+	// control: one small FSM per layer plus activation steering muxes
+	n.ControlLUTs = 0
+	for i := range fanin {
+		n.ControlLUTs += 20 + float64(width[i])/2
+	}
+	n.TotalLUTs += n.ControlLUTs
+
+	n.LatencyNs = float64(n.LatencyCycles) * r.CriticalNs
+	if bottleneck > 0 {
+		n.ThroughputKIPS = 1e6 / (float64(bottleneck) * r.CriticalNs)
+	}
+	n.DynPowerW = r.DynPowerW * float64(n.TotalEMACs)
+	n.EnergyPerInfJ = n.DynPowerW * n.LatencyNs * 1e-9
+	n.EDPPerInf = n.EnergyPerInfJ * n.LatencyNs * 1e-9
+	return n
+}
+
+// String renders a one-line summary.
+func (n NetworkReport) String() string {
+	return fmt.Sprintf("%s net: %d EMACs, %.0f LUTs, %d DSP, %d BRAM36, latency %.0fns, %.1f kinf/s, %.3g J/inf",
+		n.EMAC.Name, n.TotalEMACs, n.TotalLUTs, n.TotalDSPs, n.BRAM36,
+		n.LatencyNs, n.ThroughputKIPS, n.EnergyPerInfJ)
+}
+
+// FitsVirtex7 checks the instance against the paper's device
+// (xc7vx485t: 303,600 LUTs, 2,800 DSP48, 1,030 BRAM36).
+func (n NetworkReport) FitsVirtex7() bool {
+	return n.TotalLUTs <= 303600 &&
+		n.TotalDSPs <= 2800 &&
+		n.BRAM36 <= 1030 &&
+		!math.IsNaN(n.TotalLUTs)
+}

@@ -1,0 +1,93 @@
+package hw
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPipelineAblation(t *testing.T) {
+	// Removing the multiply/accumulate D flip-flop must reduce fmax for
+	// every format — the paper's stated reason for inserting it.
+	for _, r := range []Report{fixedRep(8, 4), floatRep(4, 3), positRep(8, 1)} {
+		up := Virtex7.UnpipelinedFMaxMHz(r)
+		if up >= r.FMaxMHz {
+			t.Errorf("%s: unpipelined fmax %.0f >= pipelined %.0f", r.Name, up, r.FMaxMHz)
+		}
+		if s := Virtex7.PipelineSpeedup(r); s <= 1 {
+			t.Errorf("%s: speedup %.2f", r.Name, s)
+		}
+	}
+	// posit gains the most (it has the extra decode stage to hide)
+	sp := Virtex7.PipelineSpeedup(positRep(8, 1))
+	sf := Virtex7.PipelineSpeedup(fixedRep(8, 4))
+	if sp <= sf {
+		t.Errorf("posit speedup %.2f should exceed fixed %.2f", sp, sf)
+	}
+}
+
+func TestSynthesizeNetworkWBCShape(t *testing.T) {
+	// The WBC topology: 30-16-8-2.
+	r := positRep(8, 1)
+	n := SynthesizeNetwork(r, []int{30, 16, 8}, []int{16, 8, 2}, 8)
+	if n.TotalEMACs != 26 {
+		t.Errorf("EMACs = %d", n.TotalEMACs)
+	}
+	if n.LatencyCycles != (30+4)+(16+4)+(8+4) {
+		t.Errorf("latency cycles = %d", n.LatencyCycles)
+	}
+	if n.SteadyCycles != 34 {
+		t.Errorf("steady cycles = %d", n.SteadyCycles)
+	}
+	// params = 30*16+16 + 16*8+8 + 8*2+2 = 496+136+18 = 650 × 8 bits
+	if n.MemoryBits != 650*8 {
+		t.Errorf("memory bits = %d", n.MemoryBits)
+	}
+	if n.BRAM36 != 1 {
+		t.Errorf("BRAM36 = %d", n.BRAM36)
+	}
+	if !n.FitsVirtex7() {
+		t.Error("a 26-EMAC net must fit the paper's device")
+	}
+	if !strings.Contains(n.String(), "EMACs") {
+		t.Error("String rendering")
+	}
+}
+
+func TestNetworkThroughputVsLatency(t *testing.T) {
+	r := fixedRep(8, 4)
+	n := SynthesizeNetwork(r, []int{117, 32}, []int{32, 2}, 8)
+	// Streaming must beat 1/latency.
+	serialKIPS := 1e6 / n.LatencyNs
+	if n.ThroughputKIPS <= serialKIPS {
+		t.Errorf("streaming throughput %.1f <= serial %.1f", n.ThroughputKIPS, serialKIPS)
+	}
+}
+
+func TestNetworkScalingMonotone(t *testing.T) {
+	r := positRep(8, 0)
+	small := SynthesizeNetwork(r, []int{4, 10, 6}, []int{10, 6, 3}, 8)
+	big := SynthesizeNetwork(r, []int{117, 32}, []int{32, 2}, 8)
+	if big.TotalLUTs <= small.TotalLUTs || big.EnergyPerInfJ <= small.EnergyPerInfJ {
+		t.Error("bigger network must cost more")
+	}
+}
+
+func TestMemoryAdvantage32vs8(t *testing.T) {
+	// The related-work claim (posits need ~4x less weight memory than
+	// 32-bit formats) falls straight out of the storage model.
+	r8 := positRep(8, 1)
+	n8 := SynthesizeNetwork(r8, []int{30, 16, 8}, []int{16, 8, 2}, 8)
+	n32 := SynthesizeNetwork(r8, []int{30, 16, 8}, []int{16, 8, 2}, 32)
+	if n32.MemoryBits != 4*n8.MemoryBits {
+		t.Errorf("32-bit storage %d != 4x 8-bit %d", n32.MemoryBits, n8.MemoryBits)
+	}
+}
+
+func TestNetworkShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch must panic")
+		}
+	}()
+	SynthesizeNetwork(fixedRep(8, 4), []int{1}, []int{1, 2}, 8)
+}

@@ -1,0 +1,197 @@
+package minifloat
+
+import (
+	"testing"
+
+	"repro/internal/dyadic"
+	"repro/internal/rng"
+)
+
+func TestAccumSizeEq3(t *testing.T) {
+	// wa = clog2(k) + 2*ceil(log2(max/min)) + 2
+	cases := []struct {
+		we, wf uint
+		k      int
+		want   uint
+	}{
+		{4, 3, 32, 2*17 + 2 + 5}, // 41
+		{3, 2, 16, 2*8 + 2 + 4},  // ratio: 2^5×7 -> ceil(log2)=8; 22
+		{2, 1, 1, 2*3 + 2 + 0},   // expmax=2, wf=1 -> 3; 8
+	}
+	for _, c := range cases {
+		f := MustFormat(c.we, c.wf)
+		if got := AccumSize(f, c.k); got != c.want {
+			t.Errorf("AccumSize(%s,%d) = %d want %d", f, c.k, got, c.want)
+		}
+	}
+}
+
+func TestAccumulatorExactness(t *testing.T) {
+	for _, f := range []Format{MustFormat(3, 2), MustFormat(4, 3), MustFormat(5, 2)} {
+		r := rng.New(17)
+		for trial := 0; trial < 200; trial++ {
+			k := 1 + r.Intn(48)
+			a := NewAccumulator(f, k)
+			exact := dyadic.Zero()
+			for i := 0; i < k; i++ {
+				w := f.FromBits(r.Uint64() & f.Mask())
+				x := f.FromBits(r.Uint64() & f.Mask())
+				if w.IsNaN() || w.IsInf() || x.IsNaN() || x.IsInf() {
+					continue
+				}
+				a.MulAdd(w, x)
+				dw, _ := w.Dyadic()
+				dx, _ := x.Dyadic()
+				exact = exact.Add(dw.Mul(dx))
+			}
+			if got := a.Dyadic(); got.Cmp(exact) != 0 {
+				t.Fatalf("%s: register %v != exact %v", f, got, exact)
+			}
+			want := f.Zero()
+			if !exact.IsZero() {
+				want = f.FromDyadic(exact)
+			}
+			if got := a.Result(); got.Abs().Bits() != want.Abs().Bits() {
+				t.Fatalf("%s: Result %v want %v", f, got, want)
+			}
+		}
+	}
+}
+
+func TestAccumulatorExtremes(t *testing.T) {
+	for _, f := range []Format{MustFormat(3, 2), MustFormat(4, 3)} {
+		// min² lands exactly at bit 0
+		a := NewAccumulator(f, 2)
+		min := f.FromFloat64(f.MinValue())
+		a.MulAdd(min, min)
+		dmin, _ := min.Dyadic()
+		if got := a.Dyadic(); got.Cmp(dmin.Mul(dmin)) != 0 {
+			t.Fatalf("%s: min² inexact", f)
+		}
+		// k × max² fits
+		k := 16
+		a = NewAccumulator(f, k)
+		max := f.Max()
+		dmax, _ := max.Dyadic()
+		exact := dyadic.Zero()
+		for i := 0; i < k; i++ {
+			a.MulAdd(max, max)
+			exact = exact.Add(dmax.Mul(dmax))
+		}
+		if got := a.Dyadic(); got.Cmp(exact) != 0 {
+			t.Fatalf("%s: k×max² overflowed the register", f)
+		}
+		if got := a.Result(); got.Bits() != max.Bits() {
+			t.Fatalf("%s: result must clip to max, got %v", f, got)
+		}
+	}
+}
+
+func TestAccumulatorBias(t *testing.T) {
+	f := MustFormat(4, 3)
+	a := NewAccumulator(f, 4)
+	a.ResetToBias(f.FromFloat64(0.5))
+	if a.Adds() != 0 {
+		t.Error("bias must not count as accumulation")
+	}
+	a.MulAdd(f.One(), f.One())
+	if got := a.Result().Float64(); got != 1.5 {
+		t.Errorf("bias+1 = %v", got)
+	}
+}
+
+func TestAccumulatorNaN(t *testing.T) {
+	f := MustFormat(4, 3)
+	a := NewAccumulator(f, 4)
+	a.MulAdd(f.NaN(), f.One())
+	if !a.IsNaN() || !a.Result().IsNaN() {
+		t.Error("NaN absorption")
+	}
+	a.Reset()
+	a.MulAdd(f.Inf(1), f.One())
+	if !a.Result().IsNaN() {
+		t.Error("Inf absorption")
+	}
+}
+
+func TestAccumulatorCancellation(t *testing.T) {
+	f := MustFormat(4, 3)
+	a := NewAccumulator(f, 8)
+	x := f.FromFloat64(1.25)
+	y := f.FromFloat64(3.5)
+	a.MulAdd(x, y)
+	a.MulAdd(x.Neg(), y)
+	if !a.Result().IsZero() {
+		t.Error("xy - xy must cancel exactly")
+	}
+}
+
+func TestAccumulatorSubnormalSums(t *testing.T) {
+	// Many subnormal products must accumulate exactly (classic failure
+	// mode of naive float MACs).
+	f := MustFormat(4, 3)
+	min := f.FromFloat64(f.MinValue())
+	k := 64
+	a := NewAccumulator(f, k)
+	dmin, _ := min.Dyadic()
+	exact := dyadic.Zero()
+	for i := 0; i < k; i++ {
+		a.MulAdd(min, min)
+		exact = exact.Add(dmin.Mul(dmin))
+	}
+	if got := a.Dyadic(); got.Cmp(exact) != 0 {
+		t.Fatal("subnormal products lost")
+	}
+	want := f.FromDyadic(exact)
+	if got := a.Result(); got.Bits() != want.Bits() {
+		t.Fatalf("Result %v want %v", got, want)
+	}
+}
+
+func TestDotProductSingleRounding(t *testing.T) {
+	f := MustFormat(4, 3)
+	r := rng.New(23)
+	diffs := 0
+	for trial := 0; trial < 300; trial++ {
+		k := 12
+		ws := make([]Float, k)
+		xs := make([]Float, k)
+		exact := dyadic.Zero()
+		for i := range ws {
+			for {
+				ws[i] = f.FromBits(r.Uint64() & f.Mask())
+				if !ws[i].IsNaN() && !ws[i].IsInf() {
+					break
+				}
+			}
+			for {
+				xs[i] = f.FromBits(r.Uint64() & f.Mask())
+				if !xs[i].IsNaN() && !xs[i].IsInf() {
+					break
+				}
+			}
+			dw, _ := ws[i].Dyadic()
+			dx, _ := xs[i].Dyadic()
+			exact = exact.Add(dw.Mul(dx))
+		}
+		fused := DotProduct(ws, xs)
+		want := f.Zero()
+		if !exact.IsZero() {
+			want = f.FromDyadic(exact)
+		}
+		if fused.Abs().Bits() != want.Abs().Bits() {
+			t.Fatalf("DotProduct %v want %v", fused, want)
+		}
+		naive := f.Zero()
+		for i := range ws {
+			naive = naive.Add(ws[i].Mul(xs[i]))
+		}
+		if naive.Abs().Bits() != fused.Abs().Bits() {
+			diffs++
+		}
+	}
+	if diffs == 0 {
+		t.Error("exact accumulation should beat sequential rounding sometimes")
+	}
+	t.Logf("exact vs naive float MAC differed on %d/300 trials", diffs)
+}

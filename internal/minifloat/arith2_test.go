@@ -1,0 +1,229 @@
+package minifloat
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dyadic"
+)
+
+// TestDivExhaustiveSmall: every quotient of float(3,2) against a
+// brute-force nearest-with-clip oracle (division results are not dyadic,
+// so compare via cross-multiplication).
+func TestDivExhaustiveSmall(t *testing.T) {
+	f := MustFormat(3, 2)
+	for a := uint64(0); a < f.Count(); a++ {
+		xa := f.FromBits(a)
+		if xa.IsNaN() || xa.IsInf() {
+			continue
+		}
+		for b := uint64(0); b < f.Count(); b++ {
+			xb := f.FromBits(b)
+			if xb.IsNaN() || xb.IsInf() {
+				continue
+			}
+			got := xa.Div(xb)
+			if xb.IsZero() {
+				if xa.IsZero() {
+					if !got.IsNaN() {
+						t.Fatalf("0/0 = %v", got)
+					}
+				} else if !got.IsInf() {
+					t.Fatalf("x/0 = %v", got)
+				}
+				continue
+			}
+			if xa.IsZero() {
+				if got.Float64() != 0 {
+					t.Fatalf("0/y = %v", got)
+				}
+				continue
+			}
+			want := divOracle(f, xa, xb)
+			if got.Abs().Bits() != want.Abs().Bits() ||
+				got.SignBit() != (xa.SignBit() != xb.SignBit()) {
+				t.Fatalf("%v / %v = %v want %v", xa, xb, got, want)
+			}
+		}
+	}
+}
+
+// divOracle: brute force the nearest finite value to a/b with tie-to-even
+// and clip-at-max, using exact dyadic cross-multiplied comparisons.
+func divOracle(f Format, a, b Float) Float {
+	da, _ := a.Dyadic()
+	db, _ := b.Dyadic()
+	na, nb := da.Abs(), db.Abs()
+	var best Float
+	var bestErr dyadic.D
+	first := true
+	for p := uint64(0); p < f.Count(); p++ {
+		c := f.FromBits(p)
+		if c.IsNaN() || c.IsInf() || c.SignBit() {
+			continue // scan non-negative values only
+		}
+		dc, _ := c.Dyadic()
+		// err = |na/nb - c| * nb = |na - c*nb|
+		err := na.Sub(dc.Mul(nb)).Abs()
+		cmp := 0
+		if !first {
+			cmp = err.Cmp(bestErr)
+		}
+		if first || cmp < 0 || (cmp == 0 && c.Bits()&1 == 0 && best.Bits()&1 == 1) {
+			best, bestErr, first = c, err, false
+		}
+	}
+	if a.SignBit() != b.SignBit() {
+		best = best.Neg()
+	}
+	return best
+}
+
+func TestDivBasics(t *testing.T) {
+	f := MustFormat(4, 3)
+	six := f.FromFloat64(6)
+	two := f.FromFloat64(2)
+	if got := six.Div(two).Float64(); got != 3 {
+		t.Errorf("6/2 = %v", got)
+	}
+	if !f.One().Div(f.Zero()).IsInf() {
+		t.Error("1/0 must be Inf")
+	}
+	if !f.Zero().Div(f.Zero()).IsNaN() {
+		t.Error("0/0 must be NaN")
+	}
+	if got := f.One().Div(f.Inf(1)); got.Float64() != 0 {
+		t.Error("1/Inf must be 0")
+	}
+}
+
+// TestSqrtExhaustive: every float(4,3) square root against an exact
+// pattern search.
+func TestSqrtExhaustive(t *testing.T) {
+	f := MustFormat(4, 3)
+	for b := uint64(0); b < f.Count(); b++ {
+		x := f.FromBits(b)
+		got := x.Sqrt()
+		switch {
+		case x.IsNaN(), !x.IsZero() && x.SignBit() && !x.IsInf():
+			if !got.IsNaN() {
+				t.Fatalf("sqrt(%v) = %v want NaN", x, got)
+			}
+			continue
+		case x.IsZero():
+			if got.Float64() != 0 {
+				t.Fatalf("sqrt(±0) = %v", got)
+			}
+			continue
+		case x.IsInf():
+			if x.SignBit() {
+				if !got.IsNaN() {
+					t.Fatalf("sqrt(-Inf) = %v", got)
+				}
+			} else if !got.IsInf() {
+				t.Fatalf("sqrt(+Inf) = %v", got)
+			}
+			continue
+		}
+		want := sqrtOracle(f, x)
+		if got.Bits() != want.Bits() {
+			t.Fatalf("sqrt(%v) = %v want %v", x, got, want)
+		}
+	}
+}
+
+// sqrtOracle brute-forces the nearest value to sqrt(x): compare candidate
+// midpoints in the squared domain (floats are uniformly spaced within a
+// binade, so value-space RNE is the correct rule).
+func sqrtOracle(f Format, x Float) Float {
+	dx, _ := x.Dyadic()
+	var best Float
+	bestErr := math.Inf(1)
+	target := math.Sqrt(x.Float64())
+	for p := uint64(0); p < f.Count(); p++ {
+		c := f.FromBits(p)
+		if c.IsNaN() || c.IsInf() || c.SignBit() {
+			continue
+		}
+		err := math.Abs(c.Float64() - target)
+		if err < bestErr {
+			best, bestErr = c, err
+		} else if err == bestErr && c.Bits()&1 == 0 && best.Bits()&1 == 1 {
+			best = c
+		}
+	}
+	_ = dx
+	return best
+}
+
+func TestFMAExact(t *testing.T) {
+	f := MustFormat(4, 3)
+	for a := uint64(0); a < f.Count(); a += 3 {
+		for b := uint64(1); b < f.Count(); b += 5 {
+			for c := uint64(2); c < f.Count(); c += 7 {
+				xa, xb, xc := f.FromBits(a), f.FromBits(b), f.FromBits(c)
+				if xa.IsNaN() || xb.IsNaN() || xc.IsNaN() ||
+					xa.IsInf() || xb.IsInf() || xc.IsInf() {
+					continue
+				}
+				got := xa.FMA(xb, xc)
+				da, _ := xa.Dyadic()
+				db, _ := xb.Dyadic()
+				dc, _ := xc.Dyadic()
+				exact := da.Mul(db).Add(dc)
+				if exact.IsZero() {
+					if got.Float64() != 0 {
+						t.Fatalf("FMA(%v,%v,%v) = %v want 0", xa, xb, xc, got)
+					}
+					continue
+				}
+				want := f.FromDyadic(exact)
+				if got.Bits() != want.Bits() {
+					t.Fatalf("FMA(%v,%v,%v) = %v want %v", xa, xb, xc, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestFMASingleRoundingBeatsTwoStep(t *testing.T) {
+	// A case where mul-then-add double-rounds: with wf=3,
+	// 1.875 * 1.875 = 3.515625 -> rounds to 3.5; +0.25 -> 3.75.
+	// Fused: 3.765625 -> 3.75. Construct a case where they differ.
+	f := MustFormat(4, 3)
+	diffs := 0
+	for a := uint64(0); a < f.Count(); a++ {
+		for b := uint64(0); b < f.Count(); b++ {
+			xa, xb := f.FromBits(a), f.FromBits(b)
+			xc := f.FromFloat64(0.25)
+			if xa.IsNaN() || xb.IsNaN() || xa.IsInf() || xb.IsInf() {
+				continue
+			}
+			fused := xa.FMA(xb, xc)
+			twoStep := xa.Mul(xb).Add(xc)
+			if fused.Bits() != twoStep.Bits() {
+				diffs++
+			}
+		}
+	}
+	if diffs == 0 {
+		t.Error("FMA should differ from mul+add on some inputs")
+	}
+	t.Logf("FMA differs from two-step on %d pairs", diffs)
+}
+
+func TestSqrtDivRoundTripLoose(t *testing.T) {
+	// sqrt(x)² within a few grid steps of x for all positive values.
+	f := MustFormat(5, 4)
+	for b := uint64(0); b < f.Count(); b++ {
+		x := f.FromBits(b)
+		if x.IsNaN() || x.IsInf() || x.SignBit() || x.IsZero() {
+			continue
+		}
+		r := x.Sqrt()
+		back := r.Mul(r).Float64()
+		if x.Float64() != 0 && math.Abs(back-x.Float64())/x.Float64() > 0.25 {
+			t.Fatalf("sqrt roundtrip %v -> %v -> %v", x, r, back)
+		}
+	}
+}

@@ -1,0 +1,547 @@
+// Package minifloat implements parameterised IEEE-754-style floating point
+// with 1 sign bit, we exponent bits and wf fraction bits — the "float"
+// arm of the paper's three-way EMAC comparison (Fig. 4). Subnormals are
+// supported (the paper's EMAC performs subnormal detection at its inputs),
+// rounding is round-to-nearest-even, and — following the paper's hardware,
+// which "does not overflow to infinity" — rounding saturates at the
+// largest finite magnitude. Inf/NaN patterns exist in the encoding (the
+// top exponent code is reserved, IEEE-style) and are honoured by the
+// scalar codec, but arithmetic never produces them from finite inputs.
+package minifloat
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/bitutil"
+	"repro/internal/dyadic"
+)
+
+// MaxWidth bounds the total format width.
+const MaxWidth = 32
+
+// Format describes a minifloat layout (1, we, wf).
+type Format struct {
+	we, wf uint
+}
+
+// NewFormat validates and returns a format. we >= 2 keeps the IEEE
+// interpretation sensible (bias >= 1); total width must not exceed 32.
+func NewFormat(we, wf uint) (Format, error) {
+	if we < 2 || we > 11 {
+		return Format{}, fmt.Errorf("minifloat: we must be in [2,11], got %d", we)
+	}
+	if 1+we+wf > MaxWidth {
+		return Format{}, fmt.Errorf("minifloat: total width 1+%d+%d exceeds %d", we, wf, MaxWidth)
+	}
+	return Format{we: we, wf: wf}, nil
+}
+
+// MustFormat panics on invalid parameters.
+func MustFormat(we, wf uint) Format {
+	f, err := NewFormat(we, wf)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// N returns the total width 1 + we + wf.
+func (f Format) N() uint { return 1 + f.we + f.wf }
+
+// WE returns the exponent width.
+func (f Format) WE() uint { return f.we }
+
+// WF returns the fraction width.
+func (f Format) WF() uint { return f.wf }
+
+func (f Format) valid() bool { return f.we >= 2 }
+
+func (f Format) mustValid() {
+	if !f.valid() {
+		panic("minifloat: zero Format; use NewFormat")
+	}
+}
+
+// Bias returns the exponent bias 2^(we-1) - 1.
+func (f Format) Bias() int { return int(uint(1)<<(f.we-1)) - 1 }
+
+// ExpMax returns the largest normal exponent field value, 2^we - 2
+// (the all-ones code is reserved for Inf/NaN).
+func (f Format) ExpMax() int { return int(uint(1)<<f.we) - 2 }
+
+// MaxValue returns the largest finite value: 2^(expmax-bias) × (2 - 2^-wf).
+func (f Format) MaxValue() float64 {
+	return math.Ldexp(2-math.Ldexp(1, -int(f.wf)), f.ExpMax()-f.Bias())
+}
+
+// MinValue returns the smallest positive (subnormal) value:
+// 2^(1-bias) × 2^-wf.
+func (f Format) MinValue() float64 {
+	return math.Ldexp(1, 1-f.Bias()-int(f.wf))
+}
+
+// MinNormal returns the smallest positive normal value, 2^(1-bias).
+func (f Format) MinNormal() float64 { return math.Ldexp(1, 1-f.Bias()) }
+
+// DynamicRangeLog10 returns log10(max/min), the paper's Fig. 6 x-axis.
+func (f Format) DynamicRangeLog10() float64 {
+	return math.Log10(f.MaxValue()) - math.Log10(f.MinValue())
+}
+
+// Mask returns the n-bit pattern mask.
+func (f Format) Mask() uint64 { return bitutil.Mask(f.N()) }
+
+func (f Format) signBit() uint64 { return uint64(1) << (f.we + f.wf) }
+
+// String renders like "float(8: we=4,wf=3)".
+func (f Format) String() string {
+	return fmt.Sprintf("float(%d: we=%d,wf=%d)", f.N(), f.we, f.wf)
+}
+
+// Zero returns +0.
+func (f Format) Zero() Float { f.mustValid(); return Float{f: f} }
+
+// Max returns the largest finite positive value.
+func (f Format) Max() Float {
+	f.mustValid()
+	return Float{f: f, bits: uint64(f.ExpMax())<<f.wf | bitutil.Mask(f.wf)}
+}
+
+// Inf returns the infinity of the given sign (sign < 0 for -Inf).
+func (f Format) Inf(sign int) Float {
+	f.mustValid()
+	b := uint64(f.ExpMax()+1) << f.wf
+	if sign < 0 {
+		b |= f.signBit()
+	}
+	return Float{f: f, bits: b}
+}
+
+// NaN returns a quiet NaN pattern.
+func (f Format) NaN() Float {
+	f.mustValid()
+	return Float{f: f, bits: uint64(f.ExpMax()+1)<<f.wf | 1}
+}
+
+// One returns 1.0.
+func (f Format) One() Float {
+	f.mustValid()
+	return Float{f: f, bits: uint64(f.Bias()) << f.wf}
+}
+
+// FromBits wraps a raw pattern.
+func (f Format) FromBits(b uint64) Float {
+	f.mustValid()
+	return Float{f: f, bits: b & f.Mask()}
+}
+
+// Count returns the number of patterns, 2^n.
+func (f Format) Count() uint64 { return uint64(1) << f.N() }
+
+// Float is one minifloat value.
+type Float struct {
+	f    Format
+	bits uint64
+}
+
+// Format returns the value's format.
+func (x Float) Format() Format { return x.f }
+
+// Bits returns the raw pattern.
+func (x Float) Bits() uint64 { return x.bits }
+
+func (x Float) expField() uint64  { return (x.bits >> x.f.wf) & bitutil.Mask(x.f.we) }
+func (x Float) fracField() uint64 { return x.bits & bitutil.Mask(x.f.wf) }
+
+// SignBit reports the raw sign bit.
+func (x Float) SignBit() bool { return x.bits&x.f.signBit() != 0 }
+
+// IsZero reports ±0.
+func (x Float) IsZero() bool { return x.expField() == 0 && x.fracField() == 0 }
+
+// IsInf reports ±Inf.
+func (x Float) IsInf() bool {
+	return x.expField() == uint64(x.f.ExpMax()+1) && x.fracField() == 0
+}
+
+// IsNaN reports any NaN pattern.
+func (x Float) IsNaN() bool {
+	return x.expField() == uint64(x.f.ExpMax()+1) && x.fracField() != 0
+}
+
+// IsSubnormal reports a nonzero value with a zero exponent field.
+func (x Float) IsSubnormal() bool { return x.expField() == 0 && x.fracField() != 0 }
+
+// Neg flips the sign bit.
+func (x Float) Neg() Float { return Float{f: x.f, bits: x.bits ^ x.f.signBit()} }
+
+// Abs clears the sign bit.
+func (x Float) Abs() Float { return Float{f: x.f, bits: x.bits &^ x.f.signBit()} }
+
+// decoded mirrors the posit package convention: value =
+// (-1)^sign × 2^sf × sig / 2^(sigW-1), hidden bit at sigW-1.
+type decoded struct {
+	sign bool
+	sf   int
+	sig  uint64
+	sigW uint
+}
+
+// decode unpacks a finite nonzero value (caller excludes zero/Inf/NaN).
+// Subnormal detection adjusts the hidden bit and exponent, exactly as the
+// EMAC's input stage does.
+func (x Float) decode() decoded {
+	e := x.expField()
+	frac := x.fracField()
+	if e == 0 { // subnormal
+		l := uint(bits.Len64(frac))
+		return decoded{
+			sign: x.SignBit(),
+			sf:   1 - x.f.Bias() - int(x.f.wf) + int(l) - 1,
+			sig:  frac,
+			sigW: l,
+		}
+	}
+	return decoded{
+		sign: x.SignBit(),
+		sf:   int(e) - x.f.Bias(),
+		sig:  frac | uint64(1)<<x.f.wf,
+		sigW: x.f.wf + 1,
+	}
+}
+
+// Float64 returns the exact value (all minifloat values fit binary64).
+func (x Float) Float64() float64 {
+	if x.IsNaN() {
+		return math.NaN()
+	}
+	if x.IsInf() {
+		return math.Inf(boolSign(x.SignBit()))
+	}
+	if x.IsZero() {
+		if x.SignBit() {
+			return math.Copysign(0, -1)
+		}
+		return 0
+	}
+	d := x.decode()
+	v := math.Ldexp(float64(d.sig), d.sf-int(d.sigW)+1)
+	if d.sign {
+		v = -v
+	}
+	return v
+}
+
+func boolSign(neg bool) int {
+	if neg {
+		return -1
+	}
+	return 1
+}
+
+// Dyadic returns the exact value; ok is false for Inf/NaN.
+func (x Float) Dyadic() (dyadic.D, bool) {
+	if x.IsNaN() || x.IsInf() {
+		return dyadic.Zero(), false
+	}
+	if x.IsZero() {
+		return dyadic.Zero(), true
+	}
+	d := x.decode()
+	m := int64(d.sig)
+	if d.sign {
+		m = -m
+	}
+	return dyadic.New(m, d.sf-int(d.sigW)+1), true
+}
+
+// encode rounds (-1)^sign × 2^sf × sig/2^(sigW-1) (plus sticky) to the
+// format: round-to-nearest-even with gradual underflow; overflow saturates
+// at ±Max, mirroring the paper's clip-at-max EMAC semantics.
+func (f Format) encode(sign bool, sf int, sig uint64, sigW uint, sticky bool) Float {
+	f.mustValid()
+	if sig == 0 {
+		panic("minifloat: encode of zero significand")
+	}
+	if uint(bits.Len64(sig)) != sigW {
+		panic("minifloat: encode significand not normalised")
+	}
+	minNormScale := 1 - f.Bias()
+	maxScale := f.ExpMax() - f.Bias()
+
+	signBits := uint64(0)
+	if sign {
+		signBits = f.signBit()
+	}
+
+	if sf >= minNormScale {
+		// Normal candidate: round sig to wf+1 bits.
+		m, carried := roundSig(sig, sigW, f.wf+1, sticky)
+		if carried {
+			sf++
+		}
+		if sf > maxScale {
+			return Float{f: f, bits: signBits | f.Max().bits} // clip
+		}
+		e := uint64(sf + f.Bias())
+		return Float{f: f, bits: signBits | e<<f.wf | m&bitutil.Mask(f.wf)}
+	}
+
+	// Subnormal candidate: quantise to the fixed subnormal ULP
+	// 2^(minNormScale - wf).
+	e2 := sf - int(sigW) + 1 // exponent of sig's LSB
+	d := (minNormScale - int(f.wf)) - e2
+	var q uint64
+	if d <= 0 {
+		// sig's LSB already sits on (or above) the subnormal grid.
+		if sticky {
+			// Callers only pass sticky with >= wf+3 significand bits,
+			// which forces d > 0; anything else would lose rounding
+			// information here.
+			panic("minifloat: sticky with coarse subnormal significand")
+		}
+		q = sig << uint(-d)
+	} else {
+		du := uint(d)
+		var kept uint64
+		var guard bool
+		var st bool
+		switch {
+		case du > 64:
+			st = sig != 0
+		case du == 64:
+			guard = sig>>63 == 1
+			st = stickyBelow(sig, 63)
+		default:
+			kept = sig >> du
+			guard = (sig>>(du-1))&1 == 1
+			st = stickyBelow(sig, du-1)
+		}
+		q = bitutil.RoundNearestEven(kept, guard, st || sticky)
+	}
+	// q may have carried into the hidden position (== normal min): the
+	// IEEE encoding absorbs this naturally since exp field 0 + overflowed
+	// fraction equals exp field 1, frac 0.
+	if q > bitutil.Mask(f.wf+1) {
+		panic("minifloat: subnormal rounding overflow beyond normal min")
+	}
+	return Float{f: f, bits: signBits | q}
+}
+
+// stickyBelow reports whether any of the low `w` bits of x are set.
+func stickyBelow(x uint64, w uint) bool {
+	if w == 0 {
+		return false
+	}
+	if w >= 64 {
+		return x != 0
+	}
+	return x&bitutil.Mask(w) != 0
+}
+
+// roundSig rounds a normalised significand of width sigW down to `keep`
+// bits with RNE; reports whether the rounding carried out of the top
+// (result re-normalised to `keep` bits in that case).
+func roundSig(sig uint64, sigW, keep uint, sticky bool) (m uint64, carried bool) {
+	if sigW <= keep {
+		if sticky {
+			// Callers pass sticky only alongside >= wf+3 significand
+			// bits, so the cut always lands inside sig.
+			panic("minifloat: sticky with short significand")
+		}
+		return sig << (keep - sigW), false
+	}
+	drop := sigW - keep
+	kept := sig >> drop
+	guard := (sig>>(drop-1))&1 == 1
+	st := stickyBelow(sig, drop-1) || sticky
+	m = bitutil.RoundNearestEven(kept, guard, st)
+	if m == uint64(1)<<keep { // carried: 111...1 -> 1000...0
+		return m >> 1, true
+	}
+	return m, false
+}
+
+// FromFloat64 rounds x to the format (RNE, clip at ±Max, gradual
+// underflow to ±0). NaN maps to NaN, ±Inf to ±Inf.
+func (f Format) FromFloat64(x float64) Float {
+	f.mustValid()
+	if math.IsNaN(x) {
+		return f.NaN()
+	}
+	if math.IsInf(x, 1) {
+		return f.Inf(1)
+	}
+	if math.IsInf(x, -1) {
+		return f.Inf(-1)
+	}
+	if x == 0 {
+		z := f.Zero()
+		if math.Signbit(x) {
+			z.bits |= f.signBit()
+		}
+		return z
+	}
+	b := math.Float64bits(x)
+	sign := b>>63 == 1
+	exp := int((b >> 52) & 0x7ff)
+	frac := b & bitutil.Mask(52)
+	var sig uint64
+	var sf int
+	if exp == 0 {
+		sig = frac
+		sf = bits.Len64(frac) - 1 - 1074
+	} else {
+		sig = frac | 1<<52
+		sf = exp - 1023
+	}
+	out := f.encode(sign, sf, sig, uint(bits.Len64(sig)), false)
+	return out
+}
+
+// FromDyadic rounds an exact dyadic value to the format.
+func (f Format) FromDyadic(d dyadic.D) Float {
+	f.mustValid()
+	if d.IsZero() {
+		return f.Zero()
+	}
+	count := f.wf + 3
+	if count < 8 {
+		count = 8
+	}
+	if count > 64 {
+		count = 64
+	}
+	sig, sticky := d.TopBits(count)
+	return f.encode(d.Sign() < 0, d.Scale(), sig, count, sticky)
+}
+
+// Mul returns x*y with a single rounding.
+func (x Float) Mul(y Float) Float {
+	if x.f != y.f {
+		panic("minifloat: Mul across formats")
+	}
+	switch {
+	case x.IsNaN() || y.IsNaN():
+		return x.f.NaN()
+	case x.IsInf() || y.IsInf():
+		if x.IsZero() || y.IsZero() {
+			return x.f.NaN() // 0 × Inf
+		}
+		return x.f.Inf(boolSign(x.SignBit() != y.SignBit()))
+	case x.IsZero() || y.IsZero():
+		z := x.f.Zero()
+		if x.SignBit() != y.SignBit() {
+			z.bits |= x.f.signBit()
+		}
+		return z
+	}
+	dx, dy := x.decode(), y.decode()
+	prod := dx.sig * dy.sig
+	l := uint(bits.Len64(prod))
+	sf := dx.sf + dy.sf - int(dx.sigW) - int(dy.sigW) + 2 + int(l) - 1
+	return x.f.encode(dx.sign != dy.sign, sf, prod, l, false)
+}
+
+// Add returns x+y with a single rounding.
+func (x Float) Add(y Float) Float {
+	if x.f != y.f {
+		panic("minifloat: Add across formats")
+	}
+	switch {
+	case x.IsNaN() || y.IsNaN():
+		return x.f.NaN()
+	case x.IsInf() && y.IsInf():
+		if x.SignBit() != y.SignBit() {
+			return x.f.NaN()
+		}
+		return x
+	case x.IsInf():
+		return x
+	case y.IsInf():
+		return y
+	case x.IsZero():
+		if y.IsZero() && x.SignBit() && y.SignBit() {
+			return x // -0 + -0 = -0
+		}
+		if y.IsZero() {
+			return x.f.Zero()
+		}
+		return y
+	case y.IsZero():
+		return x
+	}
+	dx, dy := x.decode(), y.decode()
+	const top = 61
+	sx := dx.sig << (top - (dx.sigW - 1))
+	sy := dy.sig << (top - (dy.sigW - 1))
+	ex, ey := dx.sf, dy.sf
+	signX, signY := dx.sign, dy.sign
+	if ey > ex || (ey == ex && sy > sx) {
+		sx, sy = sy, sx
+		ex, ey = ey, ex
+		signX, signY = signY, signX
+	}
+	d := uint(ex - ey)
+	var sticky bool
+	sy, sticky = bitutil.ShiftRightSticky(sy, d)
+	var mag uint64
+	sign := signX
+	if signX == signY {
+		mag = sx + sy
+	} else {
+		mag = sx - sy
+		if sticky {
+			mag--
+		}
+		if mag == 0 {
+			if !sticky {
+				return x.f.Zero()
+			}
+			panic("minifloat: cancellation with sticky residue")
+		}
+	}
+	l := uint(bits.Len64(mag))
+	sf := ex + int(l) - 1 - top
+	return x.f.encode(sign, sf, mag, l, sticky)
+}
+
+// Sub returns x-y.
+func (x Float) Sub(y Float) Float { return x.Add(y.Neg()) }
+
+// Cmp orders finite values numerically (-1,0,+1); panics on NaN.
+func (x Float) Cmp(y Float) int {
+	if x.IsNaN() || y.IsNaN() {
+		panic("minifloat: Cmp of NaN")
+	}
+	vx, vy := x.Float64(), y.Float64()
+	switch {
+	case vx < vy:
+		return -1
+	case vx > vy:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// String renders the value.
+func (x Float) String() string {
+	switch {
+	case x.IsNaN():
+		return fmt.Sprintf("%s[NaN]", x.f)
+	case x.IsInf():
+		return fmt.Sprintf("%s[%cInf]", x.f, "+-"[b2i(x.SignBit())])
+	default:
+		return fmt.Sprintf("%s[%#x]=%g", x.f, x.bits, x.Float64())
+	}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,334 @@
+package minifloat
+
+import (
+	"math"
+	"testing"
+)
+
+func testFormats() []Format {
+	return []Format{
+		MustFormat(2, 1), MustFormat(2, 3), MustFormat(3, 2),
+		MustFormat(3, 4), MustFormat(4, 3), MustFormat(5, 2),
+	}
+}
+
+func TestNewFormatValidation(t *testing.T) {
+	if _, err := NewFormat(1, 3); err == nil {
+		t.Error("we=1 must fail")
+	}
+	if _, err := NewFormat(12, 3); err == nil {
+		t.Error("we=12 must fail")
+	}
+	if _, err := NewFormat(8, 28); err == nil {
+		t.Error("overwide format must fail")
+	}
+	if f, err := NewFormat(4, 3); err != nil || f.N() != 8 {
+		t.Error("float(4,3) must be 8 bits")
+	}
+}
+
+func TestCharacteristics(t *testing.T) {
+	// Paper formulas: bias = 2^(we-1)-1, expmax = 2^we-2,
+	// max = 2^(expmax-bias) × (2-2^-wf), min = 2^(1-bias) × 2^-wf.
+	f := MustFormat(4, 3)
+	if f.Bias() != 7 || f.ExpMax() != 14 {
+		t.Errorf("bias=%d expmax=%d", f.Bias(), f.ExpMax())
+	}
+	if got := f.MaxValue(); got != 240 {
+		t.Errorf("max = %v want 240", got)
+	}
+	if got := f.MinValue(); got != math.Ldexp(1, -9) {
+		t.Errorf("min = %v want 2^-9", got)
+	}
+	if got := f.MinNormal(); got != math.Ldexp(1, -6) {
+		t.Errorf("minNormal = %v want 2^-6", got)
+	}
+}
+
+func TestSpecialPatterns(t *testing.T) {
+	f := MustFormat(4, 3)
+	if !f.Zero().IsZero() || f.Zero().Bits() != 0 {
+		t.Error("zero")
+	}
+	if !f.Inf(1).IsInf() || f.Inf(1).SignBit() {
+		t.Error("+inf")
+	}
+	if !f.Inf(-1).IsInf() || !f.Inf(-1).SignBit() {
+		t.Error("-inf")
+	}
+	if !f.NaN().IsNaN() {
+		t.Error("nan")
+	}
+	if f.One().Float64() != 1 {
+		t.Error("one")
+	}
+	if got := f.Max().Float64(); got != f.MaxValue() {
+		t.Errorf("Max() = %v", got)
+	}
+}
+
+// TestFloat64RoundTrip: every finite pattern survives Float64/FromFloat64.
+func TestFloat64RoundTrip(t *testing.T) {
+	for _, f := range testFormats() {
+		for b := uint64(0); b < f.Count(); b++ {
+			x := f.FromBits(b)
+			if x.IsNaN() || x.IsInf() {
+				continue
+			}
+			back := f.FromFloat64(x.Float64())
+			if back.Bits() != x.Bits() {
+				t.Fatalf("%s: %#x -> %g -> %#x", f, b, x.Float64(), back.Bits())
+			}
+		}
+	}
+}
+
+// nearestOracle computes round-to-nearest-even by brute force over all
+// finite values, with the paper's clip-at-max overflow semantics.
+func nearestOracle(f Format, x float64) Float {
+	best := f.Zero()
+	bestErr := math.Inf(1)
+	for b := uint64(0); b < f.Count(); b++ {
+		c := f.FromBits(b)
+		if c.IsNaN() || c.IsInf() {
+			continue
+		}
+		if c.IsZero() && c.SignBit() {
+			continue // canonical +0
+		}
+		e := math.Abs(c.Float64() - x)
+		if e < bestErr {
+			best, bestErr = c, e
+		} else if e == bestErr {
+			// tie: even mantissa-pattern wins (IEEE RNE)
+			if c.Bits()&1 == 0 && best.Bits()&1 == 1 {
+				best = c
+			}
+		}
+	}
+	return best
+}
+
+// TestFromFloat64MatchesOracle drives the encoder across midpoints,
+// subnormal territory and overflow.
+func TestFromFloat64MatchesOracle(t *testing.T) {
+	for _, f := range []Format{MustFormat(3, 2), MustFormat(4, 3)} {
+		// All midpoints between adjacent representable values.
+		var vals []float64
+		for b := uint64(0); b < f.Count(); b++ {
+			x := f.FromBits(b)
+			if x.IsNaN() || x.IsInf() || (x.IsZero() && x.SignBit()) {
+				continue
+			}
+			vals = append(vals, x.Float64())
+		}
+		check := func(x float64) {
+			got := f.FromFloat64(x)
+			want := nearestOracle(f, x)
+			// Oracle returns +0; allow -0 from the encoder for negative
+			// underflow (IEEE sign-preserving round-to-zero).
+			if got.IsZero() && want.IsZero() {
+				return
+			}
+			if got.Bits() != want.Bits() {
+				t.Fatalf("%s: FromFloat64(%g) = %v want %v", f, x, got, want)
+			}
+		}
+		for i := range vals {
+			for j := i + 1; j < len(vals); j++ {
+				_ = j
+				break
+			}
+			check(vals[i])
+		}
+		// midpoints of the sorted distinct values
+		sortFloats(vals)
+		for i := 0; i+1 < len(vals); i++ {
+			mid := (vals[i] + vals[i+1]) / 2
+			check(mid)
+			check(math.Nextafter(mid, math.Inf(-1)))
+			check(math.Nextafter(mid, math.Inf(1)))
+		}
+		check(f.MaxValue() * 3) // clip
+		check(-f.MaxValue() * 3)
+		check(f.MinValue() / 3) // underflow to zero or minval
+		check(-f.MinValue() / 3)
+	}
+}
+
+func sortFloats(v []float64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+func TestClipNeverInf(t *testing.T) {
+	for _, f := range testFormats() {
+		got := f.FromFloat64(math.Ldexp(1, 400))
+		if got.IsInf() || got.Bits() != f.Max().Bits() {
+			t.Errorf("%s: overflow must clip to Max, got %v", f, got)
+		}
+		got = f.FromFloat64(-math.Ldexp(1, 400))
+		if got.Bits() != f.Max().Neg().Bits() {
+			t.Errorf("%s: negative overflow must clip to -Max", f)
+		}
+	}
+}
+
+func TestExplicitInfNaNConversions(t *testing.T) {
+	f := MustFormat(4, 3)
+	if !f.FromFloat64(math.Inf(1)).IsInf() {
+		t.Error("+Inf must map to +Inf")
+	}
+	if !f.FromFloat64(math.NaN()).IsNaN() {
+		t.Error("NaN must map to NaN")
+	}
+	if !math.IsNaN(f.NaN().Float64()) {
+		t.Error("NaN Float64")
+	}
+	if !math.IsInf(f.Inf(-1).Float64(), -1) {
+		t.Error("-Inf Float64")
+	}
+}
+
+func TestSubnormals(t *testing.T) {
+	f := MustFormat(4, 3)
+	min := f.FromFloat64(f.MinValue())
+	if !min.IsSubnormal() || min.Float64() != f.MinValue() {
+		t.Error("min subnormal")
+	}
+	// half the min subnormal rounds to zero (ties-to-even: 0 is even)
+	if got := f.FromFloat64(f.MinValue() / 2); !got.IsZero() {
+		t.Errorf("min/2 = %v want 0", got)
+	}
+	// three quarters rounds to min
+	if got := f.FromFloat64(0.75 * f.MinValue()); got.Bits() != min.Bits() {
+		t.Errorf("0.75*min = %v want min", got)
+	}
+}
+
+// TestMulExhaustive: all products of float(3,2) and float(4,3) vs the
+// exact dyadic oracle.
+func TestMulExhaustive(t *testing.T) {
+	for _, f := range []Format{MustFormat(3, 2), MustFormat(4, 3)} {
+		for a := uint64(0); a < f.Count(); a++ {
+			xa := f.FromBits(a)
+			if xa.IsNaN() || xa.IsInf() {
+				continue
+			}
+			da, _ := xa.Dyadic()
+			for b := uint64(0); b < f.Count(); b++ {
+				xb := f.FromBits(b)
+				if xb.IsNaN() || xb.IsInf() {
+					continue
+				}
+				db, _ := xb.Dyadic()
+				got := xa.Mul(xb)
+				prod := da.Mul(db)
+				var want Float
+				if prod.IsZero() {
+					if got.Float64() != 0 {
+						t.Fatalf("%s: %v*%v = %v want ±0", f, xa, xb, got)
+					}
+					continue
+				}
+				want = f.FromDyadic(prod)
+				if got.Abs().Bits() != want.Abs().Bits() || got.SignBit() != (da.Sign()*db.Sign() < 0) {
+					t.Fatalf("%s: %v * %v = %v want %v", f, xa, xb, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestAddExhaustive: all sums of float(3,2) vs the oracle.
+func TestAddExhaustive(t *testing.T) {
+	f := MustFormat(3, 2)
+	for a := uint64(0); a < f.Count(); a++ {
+		xa := f.FromBits(a)
+		if xa.IsNaN() || xa.IsInf() {
+			continue
+		}
+		da, _ := xa.Dyadic()
+		for b := uint64(0); b < f.Count(); b++ {
+			xb := f.FromBits(b)
+			if xb.IsNaN() || xb.IsInf() {
+				continue
+			}
+			db, _ := xb.Dyadic()
+			got := xa.Add(xb)
+			sum := da.Add(db)
+			if sum.IsZero() {
+				if got.Float64() != 0 {
+					t.Fatalf("%v + %v = %v want 0", xa, xb, got)
+				}
+				continue
+			}
+			want := f.FromDyadic(sum)
+			if got.Bits() != want.Bits() {
+				t.Fatalf("%v + %v = %v want %v", xa, xb, got, want)
+			}
+		}
+	}
+}
+
+func TestInfNaNArithmetic(t *testing.T) {
+	f := MustFormat(4, 3)
+	if !f.Inf(1).Mul(f.Zero()).IsNaN() {
+		t.Error("Inf*0 must be NaN")
+	}
+	if !f.Inf(1).Add(f.Inf(-1)).IsNaN() {
+		t.Error("Inf-Inf must be NaN")
+	}
+	if got := f.Inf(1).Mul(f.One().Neg()); !got.IsInf() || !got.SignBit() {
+		t.Error("Inf * -1 must be -Inf")
+	}
+	if !f.NaN().Add(f.One()).IsNaN() {
+		t.Error("NaN propagation")
+	}
+}
+
+func TestNegAbsCmp(t *testing.T) {
+	f := MustFormat(4, 3)
+	x := f.FromFloat64(-2.5)
+	if x.Neg().Float64() != 2.5 || x.Abs().Float64() != 2.5 {
+		t.Error("Neg/Abs")
+	}
+	if x.Cmp(f.One()) != -1 || f.One().Cmp(x) != 1 || x.Cmp(x) != 0 {
+		t.Error("Cmp")
+	}
+}
+
+func TestDynamicRange(t *testing.T) {
+	f := MustFormat(4, 3)
+	// max/min = 240 / 2^-9 = 122880; log10 ≈ 5.0896
+	want := math.Log10(240 * 512)
+	if got := f.DynamicRangeLog10(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("dynamic range = %v want %v", got, want)
+	}
+}
+
+func TestCeilLog2Ratio(t *testing.T) {
+	// float(4,3): ratio = 2^13 × 15 -> ceil(log2) = 17 = expmax + wf
+	f := MustFormat(4, 3)
+	if got := f.CeilLog2Ratio(); got != 17 {
+		t.Errorf("CeilLog2Ratio = %d want 17", got)
+	}
+	// wf = 0: ratio = 2^(expmax-1)
+	f0 := MustFormat(3, 0)
+	if got := f0.CeilLog2Ratio(); got != uint(f0.ExpMax()-1) {
+		t.Errorf("CeilLog2Ratio(wf=0) = %d want %d", got, f0.ExpMax()-1)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	f := MustFormat(4, 3)
+	if s := f.One().String(); s == "" {
+		t.Error("empty string")
+	}
+	if s := f.NaN().String(); s == "" {
+		t.Error("empty NaN string")
+	}
+}

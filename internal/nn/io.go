@@ -1,0 +1,80 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// netJSON is the on-disk model format (plain JSON, stdlib only).
+type netJSON struct {
+	Sizes  []int       `json:"sizes"`
+	Layers []layerJSON `json:"layers"`
+}
+
+type layerJSON struct {
+	In  int         `json:"in"`
+	Out int         `json:"out"`
+	W   [][]float64 `json:"w"`
+	B   []float64   `json:"b"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (n *Network) MarshalJSON() ([]byte, error) {
+	out := netJSON{Sizes: n.Sizes}
+	for _, l := range n.Layers {
+		out.Layers = append(out.Layers, layerJSON{In: l.In, Out: l.Out, W: l.W, B: l.B})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler with structural validation.
+func (n *Network) UnmarshalJSON(data []byte) error {
+	var in netJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	if len(in.Sizes) < 2 || len(in.Layers) != len(in.Sizes)-1 {
+		return fmt.Errorf("nn: malformed model: %d sizes, %d layers", len(in.Sizes), len(in.Layers))
+	}
+	net := Network{Sizes: in.Sizes}
+	for li, l := range in.Layers {
+		if l.In != in.Sizes[li] || l.Out != in.Sizes[li+1] {
+			return fmt.Errorf("nn: layer %d shape %dx%d does not match sizes", li, l.Out, l.In)
+		}
+		if len(l.W) != l.Out || len(l.B) != l.Out {
+			return fmt.Errorf("nn: layer %d has %d weight rows, %d biases", li, len(l.W), len(l.B))
+		}
+		for j, row := range l.W {
+			if len(row) != l.In {
+				return fmt.Errorf("nn: layer %d row %d has %d weights", li, j, len(row))
+			}
+		}
+		ll := l
+		net.Layers = append(net.Layers, &Layer{In: ll.In, Out: ll.Out, W: ll.W, B: ll.B})
+	}
+	*n = net
+	return nil
+}
+
+// Save writes the model as JSON to path.
+func (n *Network) Save(path string) error {
+	data, err := json.MarshalIndent(n, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load reads a model saved by Save.
+func Load(path string) (*Network, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	net := new(Network)
+	if err := json.Unmarshal(data, net); err != nil {
+		return nil, fmt.Errorf("nn: loading %s: %w", path, err)
+	}
+	return net, nil
+}

@@ -1,0 +1,116 @@
+package nn
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/datasets"
+)
+
+// ConfusionMatrix counts predictions: M[actual][predicted].
+type ConfusionMatrix struct {
+	Classes int
+	M       [][]int
+}
+
+// NewConfusionMatrix allocates a zeroed matrix.
+func NewConfusionMatrix(classes int) *ConfusionMatrix {
+	m := &ConfusionMatrix{Classes: classes, M: make([][]int, classes)}
+	for i := range m.M {
+		m.M[i] = make([]int, classes)
+	}
+	return m
+}
+
+// Add records one (actual, predicted) pair.
+func (c *ConfusionMatrix) Add(actual, predicted int) { c.M[actual][predicted]++ }
+
+// Total returns the number of recorded samples.
+func (c *ConfusionMatrix) Total() int {
+	t := 0
+	for _, row := range c.M {
+		for _, v := range row {
+			t += v
+		}
+	}
+	return t
+}
+
+// Accuracy returns the trace fraction.
+func (c *ConfusionMatrix) Accuracy() float64 {
+	correct := 0
+	for i := range c.M {
+		correct += c.M[i][i]
+	}
+	total := c.Total()
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// Precision returns TP/(TP+FP) for one class (1 when the class is never
+// predicted).
+func (c *ConfusionMatrix) Precision(class int) float64 {
+	tp := c.M[class][class]
+	col := 0
+	for i := 0; i < c.Classes; i++ {
+		col += c.M[i][class]
+	}
+	if col == 0 {
+		return 1
+	}
+	return float64(tp) / float64(col)
+}
+
+// Recall returns TP/(TP+FN) for one class (1 when the class is absent).
+func (c *ConfusionMatrix) Recall(class int) float64 {
+	tp := c.M[class][class]
+	row := 0
+	for j := 0; j < c.Classes; j++ {
+		row += c.M[class][j]
+	}
+	if row == 0 {
+		return 1
+	}
+	return float64(tp) / float64(row)
+}
+
+// F1 returns the harmonic mean of precision and recall for one class.
+func (c *ConfusionMatrix) F1(class int) float64 {
+	p, r := c.Precision(class), c.Recall(class)
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// MacroF1 averages F1 across classes.
+func (c *ConfusionMatrix) MacroF1() float64 {
+	sum := 0.0
+	for k := 0; k < c.Classes; k++ {
+		sum += c.F1(k)
+	}
+	return sum / float64(c.Classes)
+}
+
+// String renders the matrix with per-class precision/recall.
+func (c *ConfusionMatrix) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "confusion (rows=actual, cols=predicted), n=%d\n", c.Total())
+	for i, row := range c.M {
+		fmt.Fprintf(&b, "  class %d: %v  P=%.3f R=%.3f F1=%.3f\n",
+			i, row, c.Precision(i), c.Recall(i), c.F1(i))
+	}
+	fmt.Fprintf(&b, "  accuracy %.3f, macro-F1 %.3f", c.Accuracy(), c.MacroF1())
+	return b.String()
+}
+
+// Confusion evaluates a predictor function over a dataset.
+func Confusion(predict func([]float64) int, ds *datasets.Dataset) *ConfusionMatrix {
+	cm := NewConfusionMatrix(ds.NumClasses)
+	for i := range ds.X {
+		cm.Add(ds.Y[i], predict(ds.X[i]))
+	}
+	return cm
+}

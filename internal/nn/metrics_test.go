@@ -1,0 +1,69 @@
+package nn
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/rng"
+)
+
+func TestConfusionBasics(t *testing.T) {
+	cm := NewConfusionMatrix(2)
+	// 3 TP class0, 1 class0->1, 2 TP class1, 0 class1->0
+	cm.Add(0, 0)
+	cm.Add(0, 0)
+	cm.Add(0, 0)
+	cm.Add(0, 1)
+	cm.Add(1, 1)
+	cm.Add(1, 1)
+	if cm.Total() != 6 {
+		t.Errorf("total %d", cm.Total())
+	}
+	if got := cm.Accuracy(); math.Abs(got-5.0/6) > 1e-12 {
+		t.Errorf("accuracy %v", got)
+	}
+	// class 0: P = 3/3 = 1, R = 3/4
+	if cm.Precision(0) != 1 || math.Abs(cm.Recall(0)-0.75) > 1e-12 {
+		t.Errorf("class0 P=%v R=%v", cm.Precision(0), cm.Recall(0))
+	}
+	// class 1: P = 2/3, R = 1
+	if math.Abs(cm.Precision(1)-2.0/3) > 1e-12 || cm.Recall(1) != 1 {
+		t.Errorf("class1 P=%v R=%v", cm.Precision(1), cm.Recall(1))
+	}
+	if cm.MacroF1() <= 0 || cm.MacroF1() > 1 {
+		t.Errorf("macro F1 %v", cm.MacroF1())
+	}
+	if !strings.Contains(cm.String(), "accuracy") {
+		t.Error("rendering")
+	}
+}
+
+func TestConfusionDegenerate(t *testing.T) {
+	cm := NewConfusionMatrix(3)
+	if cm.Accuracy() != 0 {
+		t.Error("empty accuracy")
+	}
+	// class never predicted / absent conventions
+	cm.Add(0, 0)
+	if cm.Precision(2) != 1 || cm.Recall(2) != 1 {
+		t.Error("absent class conventions")
+	}
+}
+
+func TestConfusionMatchesAccuracy(t *testing.T) {
+	train, test := datasets.IrisSplit(19)
+	strain, stest := datasets.Standardize(train, test)
+	net := NewMLP([]int{4, 8, 3}, rng.New(4))
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 40
+	Train(net, strain, cfg)
+	cm := Confusion(net.Predict, stest)
+	if got, want := cm.Accuracy(), Accuracy(net, stest); math.Abs(got-want) > 1e-12 {
+		t.Errorf("confusion accuracy %v != %v", got, want)
+	}
+	if cm.Total() != stest.Len() {
+		t.Error("sample count")
+	}
+}

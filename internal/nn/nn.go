@@ -1,0 +1,390 @@
+// Package nn is the float64 MLP substrate: the paper trains its networks
+// in 32-bit floating point and then performs low-precision inference on
+// Deep Positron. We train in float64 with SGD+momentum and provide both
+// float64 and float32 forward passes; the float32 pass is the paper's
+// "32-bit float" accuracy baseline in Table II.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/datasets"
+	"repro/internal/rng"
+)
+
+// Layer is a dense layer: y = W·x + b with W[out][in].
+type Layer struct {
+	In, Out int
+	W       [][]float64
+	B       []float64
+}
+
+// Network is a feed-forward MLP with ReLU hidden activations and an
+// affine (identity) readout, matching the Deep Positron topology (§III-E).
+type Network struct {
+	Sizes  []int // layer widths including input and output
+	Layers []*Layer
+}
+
+// NewMLP builds a network with Xavier-uniform initialisation.
+func NewMLP(sizes []int, r *rng.Source) *Network {
+	if len(sizes) < 2 {
+		panic("nn: need at least input and output sizes")
+	}
+	net := &Network{Sizes: append([]int(nil), sizes...)}
+	for l := 0; l+1 < len(sizes); l++ {
+		in, out := sizes[l], sizes[l+1]
+		layer := &Layer{In: in, Out: out, B: make([]float64, out)}
+		bound := math.Sqrt(6.0 / float64(in+out))
+		layer.W = make([][]float64, out)
+		for j := range layer.W {
+			row := make([]float64, in)
+			for i := range row {
+				row[i] = (2*r.Float64() - 1) * bound
+			}
+			layer.W[j] = row
+		}
+		net.Layers = append(net.Layers, layer)
+	}
+	return net
+}
+
+// Forward runs the float64 inference path: ReLU on hidden layers,
+// identity readout. Returns the output logits.
+func (n *Network) Forward(x []float64) []float64 {
+	act := x
+	for l, layer := range n.Layers {
+		next := make([]float64, layer.Out)
+		for j := 0; j < layer.Out; j++ {
+			sum := layer.B[j]
+			row := layer.W[j]
+			for i, v := range act {
+				sum += row[i] * v
+			}
+			if l < len(n.Layers)-1 && sum < 0 {
+				sum = 0 // ReLU
+			}
+			next[j] = sum
+		}
+		act = next
+	}
+	return act
+}
+
+// Forward32 runs the same inference entirely in float32 — the Table II
+// "32-bit float" baseline (weights, activations and the sequential MAC
+// all rounded to binary32).
+func (n *Network) Forward32(x []float64) []float64 {
+	act := make([]float32, len(x))
+	for i, v := range x {
+		act[i] = float32(v)
+	}
+	for l, layer := range n.Layers {
+		next := make([]float32, layer.Out)
+		for j := 0; j < layer.Out; j++ {
+			sum := float32(layer.B[j])
+			row := layer.W[j]
+			for i, v := range act {
+				sum += float32(row[i]) * v
+			}
+			if l < len(n.Layers)-1 && sum < 0 {
+				sum = 0
+			}
+			next[j] = sum
+		}
+		act = next
+	}
+	out := make([]float64, len(act))
+	for i, v := range act {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+// Predict returns the argmax class of the float64 path.
+func (n *Network) Predict(x []float64) int { return Argmax(n.Forward(x)) }
+
+// Predict32 returns the argmax class of the float32 path.
+func (n *Network) Predict32(x []float64) int { return Argmax(n.Forward32(x)) }
+
+// Argmax returns the index of the largest logit (lowest index wins ties).
+func Argmax(v []float64) int {
+	best := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Softmax returns the softmax distribution of logits (numerically stable).
+func Softmax(logits []float64) []float64 {
+	max := logits[0]
+	for _, v := range logits {
+		if v > max {
+			max = v
+		}
+	}
+	out := make([]float64, len(logits))
+	var sum float64
+	for i, v := range logits {
+		out[i] = math.Exp(v - max)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// forwardTrace runs forward retaining pre-activations and activations for
+// backprop.
+func (n *Network) forwardTrace(x []float64) (acts [][]float64) {
+	acts = make([][]float64, len(n.Layers)+1)
+	acts[0] = x
+	act := x
+	for l, layer := range n.Layers {
+		next := make([]float64, layer.Out)
+		for j := 0; j < layer.Out; j++ {
+			sum := layer.B[j]
+			row := layer.W[j]
+			for i, v := range act {
+				sum += row[i] * v
+			}
+			if l < len(n.Layers)-1 && sum < 0 {
+				sum = 0
+			}
+			next[j] = sum
+		}
+		acts[l+1] = next
+		act = next
+	}
+	return acts
+}
+
+// TrainConfig parameterises SGD with momentum on softmax cross-entropy.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	Momentum  float64
+	// LRDecay multiplies LR after each epoch (1 = constant).
+	LRDecay float64
+	Seed    uint64
+	// Verbose logs the loss per epoch through Logf when set.
+	Logf func(format string, args ...interface{})
+}
+
+// DefaultTrainConfig returns the configuration used by the experiments.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Epochs: 80, BatchSize: 16, LR: 0.05, Momentum: 0.9, LRDecay: 0.98, Seed: 1}
+}
+
+// Train fits the network on the dataset with SGD+momentum minimising
+// softmax cross-entropy; deterministic given the config seed.
+func Train(net *Network, ds *datasets.Dataset, cfg TrainConfig) {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 16
+	}
+	if cfg.LRDecay == 0 {
+		cfg.LRDecay = 1
+	}
+	r := rng.New(cfg.Seed)
+	// momentum buffers
+	vW := make([][][]float64, len(net.Layers))
+	vB := make([][]float64, len(net.Layers))
+	for l, layer := range net.Layers {
+		vW[l] = make([][]float64, layer.Out)
+		for j := range vW[l] {
+			vW[l][j] = make([]float64, layer.In)
+		}
+		vB[l] = make([]float64, layer.Out)
+	}
+	lr := cfg.LR
+	idx := make([]int, ds.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		r.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		var epochLoss float64
+		for start := 0; start < len(idx); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			batch := idx[start:end]
+			// accumulate gradients
+			gW := make([][][]float64, len(net.Layers))
+			gB := make([][]float64, len(net.Layers))
+			for l, layer := range net.Layers {
+				gW[l] = make([][]float64, layer.Out)
+				for j := range gW[l] {
+					gW[l][j] = make([]float64, layer.In)
+				}
+				gB[l] = make([]float64, layer.Out)
+			}
+			for _, s := range batch {
+				acts := net.forwardTrace(ds.X[s])
+				probs := Softmax(acts[len(acts)-1])
+				epochLoss += -math.Log(math.Max(probs[ds.Y[s]], 1e-12))
+				// delta at output: softmax CE gradient
+				delta := make([]float64, len(probs))
+				copy(delta, probs)
+				delta[ds.Y[s]] -= 1
+				for l := len(net.Layers) - 1; l >= 0; l-- {
+					layer := net.Layers[l]
+					in := acts[l]
+					for j := 0; j < layer.Out; j++ {
+						gB[l][j] += delta[j]
+						gw := gW[l][j]
+						for i := range in {
+							gw[i] += delta[j] * in[i]
+						}
+					}
+					if l > 0 {
+						prev := make([]float64, layer.In)
+						for i := 0; i < layer.In; i++ {
+							var sum float64
+							for j := 0; j < layer.Out; j++ {
+								sum += layer.W[j][i] * delta[j]
+							}
+							// ReLU derivative on the hidden activation
+							if acts[l][i] <= 0 {
+								sum = 0
+							}
+							prev[i] = sum
+						}
+						delta = prev
+					}
+				}
+			}
+			scale := 1 / float64(len(batch))
+			for l, layer := range net.Layers {
+				for j := 0; j < layer.Out; j++ {
+					vB[l][j] = cfg.Momentum*vB[l][j] - lr*gB[l][j]*scale
+					layer.B[j] += vB[l][j]
+					vw := vW[l][j]
+					gw := gW[l][j]
+					w := layer.W[j]
+					for i := range w {
+						vw[i] = cfg.Momentum*vw[i] - lr*gw[i]*scale
+						w[i] += vw[i]
+					}
+				}
+			}
+		}
+		if cfg.Logf != nil {
+			cfg.Logf("epoch %3d loss %.4f", epoch, epochLoss/float64(ds.Len()))
+		}
+		lr *= cfg.LRDecay
+	}
+}
+
+// Accuracy evaluates float64 classification accuracy (fraction correct).
+func Accuracy(net *Network, ds *datasets.Dataset) float64 {
+	correct := 0
+	for i := range ds.X {
+		if net.Predict(ds.X[i]) == ds.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len())
+}
+
+// Accuracy32 evaluates the float32 baseline accuracy.
+func Accuracy32(net *Network, ds *datasets.Dataset) float64 {
+	correct := 0
+	for i := range ds.X {
+		if net.Predict32(ds.X[i]) == ds.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len())
+}
+
+// FoldInputAffine absorbs a per-feature input transform z = scale·x +
+// shift into the first layer, so the deployed network consumes raw
+// features: W'[j][i] = W[j][i]·scale[i], b'[j] = b[j] + Σ_i W[j][i]·shift[i].
+// This is how the Deep Positron experiments deploy standardized-trained
+// networks on raw sensor data — the resulting first-layer weights span a
+// wide dynamic range, which is precisely the regime the paper's format
+// comparison probes.
+func (n *Network) FoldInputAffine(scale, shift []float64) {
+	l := n.Layers[0]
+	if len(scale) != l.In || len(shift) != l.In {
+		panic("nn: FoldInputAffine dimension mismatch")
+	}
+	for j := 0; j < l.Out; j++ {
+		row := l.W[j]
+		for i := range row {
+			l.B[j] += row[i] * shift[i]
+			row[i] *= scale[i]
+		}
+	}
+}
+
+// WeightStats summarises the trained weight distribution (used for the
+// Fig. 2 reproduction: DNN weights cluster in [-1, 1]).
+type WeightStats struct {
+	Count       int
+	Min, Max    float64
+	Mean, Std   float64
+	FracInUnit  float64 // fraction of weights in [-1, 1]
+	MaxAbsValue float64
+}
+
+// Weights flattens every weight and bias of the network.
+func (n *Network) Weights() []float64 {
+	var out []float64
+	for _, layer := range n.Layers {
+		for _, row := range layer.W {
+			out = append(out, row...)
+		}
+		out = append(out, layer.B...)
+	}
+	return out
+}
+
+// Stats computes the weight distribution summary.
+func (n *Network) Stats() WeightStats {
+	ws := n.Weights()
+	s := WeightStats{Count: len(ws), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum, sumSq float64
+	inUnit := 0
+	for _, w := range ws {
+		sum += w
+		sumSq += w * w
+		if w < s.Min {
+			s.Min = w
+		}
+		if w > s.Max {
+			s.Max = w
+		}
+		if w >= -1 && w <= 1 {
+			inUnit++
+		}
+		if a := math.Abs(w); a > s.MaxAbsValue {
+			s.MaxAbsValue = a
+		}
+	}
+	nf := float64(len(ws))
+	s.Mean = sum / nf
+	s.Std = math.Sqrt(sumSq/nf - s.Mean*s.Mean)
+	s.FracInUnit = float64(inUnit) / nf
+	return s
+}
+
+// String renders the network shape, e.g. "MLP[30-16-8-2]".
+func (n *Network) String() string {
+	s := "MLP["
+	for i, v := range n.Sizes {
+		if i > 0 {
+			s += "-"
+		}
+		s += fmt.Sprint(v)
+	}
+	return s + "]"
+}

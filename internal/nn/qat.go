@@ -1,0 +1,169 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/datasets"
+	"repro/internal/rng"
+)
+
+// Quantization-aware training (QAT): the paper's future-work direction
+// ("low-precision numerical format for both DNN training and inference").
+// We implement the straight-through-estimator scheme: the forward pass
+// computes with quantised weights and activations, the backward pass
+// treats the quantiser as the identity, and updates apply to a
+// full-precision master copy of the weights. Fine-tuning a trained
+// network this way recovers part of the accuracy lost to post-training
+// quantisation at very low bit widths.
+
+// Quantizer rounds a real value to a format's grid (compose from an
+// emac.Arithmetic as func(x) { return a.Decode(a.Quantize(x)) }).
+type Quantizer func(float64) float64
+
+// TrainQAT fine-tunes the network with quantisation in the loop: quantW
+// applies to weights and biases, quantA to hidden activations (post-ReLU).
+// Either may be nil (identity). Deterministic given cfg.Seed.
+func TrainQAT(net *Network, ds *datasets.Dataset, cfg TrainConfig, quantW, quantA Quantizer) {
+	if quantW == nil {
+		quantW = func(x float64) float64 { return x }
+	}
+	if quantA == nil {
+		quantA = func(x float64) float64 { return x }
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 16
+	}
+	if cfg.LRDecay == 0 {
+		cfg.LRDecay = 1
+	}
+	r := rng.New(cfg.Seed)
+
+	vW := make([][][]float64, len(net.Layers))
+	vB := make([][]float64, len(net.Layers))
+	for l, layer := range net.Layers {
+		vW[l] = make([][]float64, layer.Out)
+		for j := range vW[l] {
+			vW[l][j] = make([]float64, layer.In)
+		}
+		vB[l] = make([]float64, layer.Out)
+	}
+
+	// forwardQ runs the quantised forward pass and retains activations.
+	forwardQ := func(x []float64, qW [][][]float64, qB [][]float64) [][]float64 {
+		acts := make([][]float64, len(net.Layers)+1)
+		acts[0] = x
+		act := x
+		for l, layer := range net.Layers {
+			next := make([]float64, layer.Out)
+			for j := 0; j < layer.Out; j++ {
+				sum := qB[l][j]
+				row := qW[l][j]
+				for i, v := range act {
+					sum += row[i] * v
+				}
+				if l < len(net.Layers)-1 {
+					if sum < 0 {
+						sum = 0
+					}
+					sum = quantA(sum)
+				}
+				next[j] = sum
+			}
+			acts[l+1] = next
+			act = next
+		}
+		return acts
+	}
+
+	lr := cfg.LR
+	idx := make([]int, ds.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		r.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		var epochLoss float64
+		for start := 0; start < len(idx); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			batch := idx[start:end]
+			// snapshot the quantised view of the master weights
+			qW := make([][][]float64, len(net.Layers))
+			qB := make([][]float64, len(net.Layers))
+			for l, layer := range net.Layers {
+				qW[l] = make([][]float64, layer.Out)
+				qB[l] = make([]float64, layer.Out)
+				for j := 0; j < layer.Out; j++ {
+					qW[l][j] = make([]float64, layer.In)
+					for i, w := range layer.W[j] {
+						qW[l][j][i] = quantW(w)
+					}
+					qB[l][j] = quantW(layer.B[j])
+				}
+			}
+			gW := make([][][]float64, len(net.Layers))
+			gB := make([][]float64, len(net.Layers))
+			for l, layer := range net.Layers {
+				gW[l] = make([][]float64, layer.Out)
+				for j := range gW[l] {
+					gW[l][j] = make([]float64, layer.In)
+				}
+				gB[l] = make([]float64, layer.Out)
+			}
+			for _, s := range batch {
+				acts := forwardQ(ds.X[s], qW, qB)
+				probs := Softmax(acts[len(acts)-1])
+				epochLoss += -math.Log(math.Max(probs[ds.Y[s]], 1e-12))
+				delta := append([]float64(nil), probs...)
+				delta[ds.Y[s]] -= 1
+				for l := len(net.Layers) - 1; l >= 0; l-- {
+					layer := net.Layers[l]
+					in := acts[l]
+					for j := 0; j < layer.Out; j++ {
+						gB[l][j] += delta[j]
+						gw := gW[l][j]
+						for i := range in {
+							gw[i] += delta[j] * in[i]
+						}
+					}
+					if l > 0 {
+						prev := make([]float64, layer.In)
+						for i := 0; i < layer.In; i++ {
+							var sum float64
+							for j := 0; j < layer.Out; j++ {
+								// STE: gradient flows through the
+								// quantised weight value
+								sum += qW[l][j][i] * delta[j]
+							}
+							if acts[l][i] <= 0 {
+								sum = 0
+							}
+							prev[i] = sum
+						}
+						delta = prev
+					}
+				}
+			}
+			scale := 1 / float64(len(batch))
+			for l, layer := range net.Layers {
+				for j := 0; j < layer.Out; j++ {
+					vB[l][j] = cfg.Momentum*vB[l][j] - lr*gB[l][j]*scale
+					layer.B[j] += vB[l][j]
+					vw := vW[l][j]
+					gw := gW[l][j]
+					w := layer.W[j]
+					for i := range w {
+						vw[i] = cfg.Momentum*vw[i] - lr*gw[i]*scale
+						w[i] += vw[i]
+					}
+				}
+			}
+		}
+		if cfg.Logf != nil {
+			cfg.Logf("qat epoch %3d loss %.4f", epoch, epochLoss/float64(ds.Len()))
+		}
+		lr *= cfg.LRDecay
+	}
+}

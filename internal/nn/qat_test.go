@@ -1,0 +1,110 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/rng"
+)
+
+// coarseQuantizer rounds to a coarse grid (1/8 steps, saturating at ±4),
+// a stand-in for a ~5-bit format that keeps this package free of the
+// emac dependency.
+func coarseQuantizer(x float64) float64 {
+	q := math.RoundToEven(x*8) / 8
+	if q > 4 {
+		q = 4
+	}
+	if q < -4 {
+		q = -4
+	}
+	return q
+}
+
+func qatAccuracy(net *Network, ds *datasets.Dataset, quant Quantizer) float64 {
+	// evaluate with quantised weights and activations (the QAT target
+	// semantics)
+	correct := 0
+	for s := range ds.X {
+		act := ds.X[s]
+		for l, layer := range net.Layers {
+			next := make([]float64, layer.Out)
+			for j := 0; j < layer.Out; j++ {
+				sum := quant(layer.B[j])
+				for i, v := range act {
+					sum += quant(layer.W[j][i]) * v
+				}
+				if l < len(net.Layers)-1 {
+					if sum < 0 {
+						sum = 0
+					}
+					sum = quant(sum)
+				}
+				next[j] = sum
+			}
+			act = next
+		}
+		if Argmax(act) == ds.Y[s] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len())
+}
+
+func TestTrainQATImprovesQuantizedAccuracy(t *testing.T) {
+	train, test := datasets.IrisSplit(11)
+	strain, stest := datasets.Standardize(train, test)
+	net := NewMLP([]int{4, 10, 6, 3}, rng.New(5))
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 80
+	Train(net, strain, cfg)
+
+	before := qatAccuracy(net, stest, coarseQuantizer)
+	tuneCfg := DefaultTrainConfig()
+	tuneCfg.Epochs = 50
+	tuneCfg.LR = 0.01
+	TrainQAT(net, strain, tuneCfg, coarseQuantizer, coarseQuantizer)
+	after := qatAccuracy(net, stest, coarseQuantizer)
+	if after < before-0.02 {
+		t.Errorf("QAT made quantized accuracy worse: %.3f -> %.3f", before, after)
+	}
+	t.Logf("coarse-grid accuracy: %.3f -> %.3f after QAT", before, after)
+}
+
+func TestTrainQATIdentityMatchesTrain(t *testing.T) {
+	// With identity quantisers, TrainQAT must behave like Train
+	// (bit-identical: same update rule, same shuffles).
+	train, _ := datasets.IrisSplit(3)
+	strain, _ := datasets.Standardize(train, train)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 4
+
+	a := NewMLP([]int{4, 6, 3}, rng.New(9))
+	b := NewMLP([]int{4, 6, 3}, rng.New(9))
+	Train(a, strain, cfg)
+	TrainQAT(b, strain, cfg, nil, nil)
+	wa, wb := a.Weights(), b.Weights()
+	for i := range wa {
+		if wa[i] != wb[i] {
+			t.Fatalf("identity QAT diverges from Train at weight %d: %g vs %g", i, wa[i], wb[i])
+		}
+	}
+}
+
+func TestTrainQATDeterminism(t *testing.T) {
+	train, _ := datasets.IrisSplit(4)
+	strain, _ := datasets.Standardize(train, train)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 3
+	a := NewMLP([]int{4, 6, 3}, rng.New(2))
+	b := NewMLP([]int{4, 6, 3}, rng.New(2))
+	TrainQAT(a, strain, cfg, coarseQuantizer, nil)
+	TrainQAT(b, strain, cfg, coarseQuantizer, nil)
+	wa, wb := a.Weights(), b.Weights()
+	for i := range wa {
+		if wa[i] != wb[i] {
+			t.Fatal("QAT not deterministic")
+		}
+	}
+}

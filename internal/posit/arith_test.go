@@ -1,0 +1,277 @@
+package posit
+
+import (
+	"testing"
+
+	"repro/internal/dyadic"
+)
+
+// oracleRound rounds an exact dyadic value to format f via the dyadic
+// entry point — used as the reference for all arithmetic tests.
+func oracleRound(f Format, d dyadic.D) Posit { return f.FromDyadic(d) }
+
+// TestMulExhaustive8 checks every 8-bit posit product against the exact
+// oracle for es in {0,1,2}: 3 × 65536 cases.
+func TestMulExhaustive8(t *testing.T) {
+	for _, es := range []uint{0, 1, 2} {
+		f := MustFormat(8, es)
+		for a := uint64(0); a < f.Count(); a++ {
+			pa := f.FromBits(a)
+			da, okA := pa.Dyadic()
+			for b := uint64(0); b < f.Count(); b++ {
+				pb := f.FromBits(b)
+				got := pa.Mul(pb)
+				if !okA || pb.IsNaR() {
+					if !got.IsNaR() {
+						t.Fatalf("%s: NaR*x must be NaR (%v * %v = %v)", f, pa, pb, got)
+					}
+					continue
+				}
+				db, _ := pb.Dyadic()
+				want := oracleRound(f, da.Mul(db))
+				if got.Bits() != want.Bits() {
+					t.Fatalf("%s: %v * %v = %v want %v", f, pa, pb, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestMulExhaustiveSmall covers every product of every format with n<=6
+// and es<=3.
+func TestMulExhaustiveSmall(t *testing.T) {
+	for n := uint(3); n <= 6; n++ {
+		for es := uint(0); es <= 3; es++ {
+			f := MustFormat(n, es)
+			for a := uint64(0); a < f.Count(); a++ {
+				for b := uint64(0); b < f.Count(); b++ {
+					pa, pb := f.FromBits(a), f.FromBits(b)
+					got := pa.Mul(pb)
+					da, okA := pa.Dyadic()
+					db, okB := pb.Dyadic()
+					if !okA || !okB {
+						if !got.IsNaR() {
+							t.Fatalf("%s: NaR propagation failed", f)
+						}
+						continue
+					}
+					want := oracleRound(f, da.Mul(db))
+					if got.Bits() != want.Bits() {
+						t.Fatalf("%s: %v * %v = %v want %v", f, pa, pb, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAddExhaustive8 checks every 8-bit posit sum against the oracle.
+func TestAddExhaustive8(t *testing.T) {
+	for _, es := range []uint{0, 1, 2} {
+		f := MustFormat(8, es)
+		for a := uint64(0); a < f.Count(); a++ {
+			pa := f.FromBits(a)
+			da, okA := pa.Dyadic()
+			for b := uint64(0); b < f.Count(); b++ {
+				pb := f.FromBits(b)
+				got := pa.Add(pb)
+				if !okA || pb.IsNaR() {
+					if !got.IsNaR() {
+						t.Fatalf("%s: NaR+x must be NaR", f)
+					}
+					continue
+				}
+				db, _ := pb.Dyadic()
+				want := oracleRound(f, da.Add(db))
+				if got.Bits() != want.Bits() {
+					t.Fatalf("%s: %v + %v = %v want %v", f, pa, pb, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestAddExhaustiveSmall covers small formats, which exercise extreme
+// regime-dominated patterns.
+func TestAddExhaustiveSmall(t *testing.T) {
+	for n := uint(3); n <= 6; n++ {
+		for es := uint(0); es <= 3; es++ {
+			f := MustFormat(n, es)
+			for a := uint64(0); a < f.Count(); a++ {
+				for b := uint64(0); b < f.Count(); b++ {
+					pa, pb := f.FromBits(a), f.FromBits(b)
+					got := pa.Add(pb)
+					da, okA := pa.Dyadic()
+					db, okB := pb.Dyadic()
+					if !okA || !okB {
+						if !got.IsNaR() {
+							t.Fatalf("%s: NaR propagation failed", f)
+						}
+						continue
+					}
+					want := oracleRound(f, da.Add(db))
+					if got.Bits() != want.Bits() {
+						t.Fatalf("%s: %v + %v = %v want %v", f, pa, pb, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSubMatchesAddNeg: p - q == p + (-q) bit-exactly.
+func TestSubMatchesAddNeg(t *testing.T) {
+	f := MustFormat(8, 1)
+	for a := uint64(0); a < f.Count(); a += 3 {
+		for b := uint64(0); b < f.Count(); b += 5 {
+			pa, pb := f.FromBits(a), f.FromBits(b)
+			if pa.Sub(pb).Bits() != pa.Add(pb.Neg()).Bits() {
+				t.Fatalf("Sub/AddNeg mismatch at %v, %v", pa, pb)
+			}
+		}
+	}
+}
+
+// TestDivExhaustive8es0 checks division against a brute-force nearest
+// search (division results are not dyadic, so the oracle rounds the real
+// quotient).
+func TestDivExhaustive8(t *testing.T) {
+	for _, es := range []uint{0, 1} {
+		f := MustFormat(8, es)
+		vals := f.Posits()
+		for _, pa := range vals {
+			for _, pb := range vals {
+				got := pa.Div(pb)
+				if pa.IsNaR() || pb.IsNaR() || pb.IsZero() {
+					if !got.IsNaR() {
+						t.Fatalf("%s: %v / %v must be NaR, got %v", f, pa, pb, got)
+					}
+					continue
+				}
+				if pa.IsZero() {
+					if !got.IsZero() {
+						t.Fatalf("%s: 0 / %v must be 0", f, pb)
+					}
+					continue
+				}
+				da, _ := pa.Dyadic()
+				db, _ := pb.Dyadic()
+				want := roundRatioOracle(f, da, db)
+				if got.Bits() != want.Bits() {
+					t.Fatalf("%s: %v / %v = %v want %v", f, pa, pb, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestFMAExactness(t *testing.T) {
+	f := MustFormat(8, 0)
+	// A case where separate rounding differs from fused: pick values where
+	// the product rounds away information the addend cancels.
+	a := f.FromFloat64(3.5)
+	b := f.FromFloat64(3.5)
+	c := f.FromFloat64(-12.0)
+	fused := a.FMA(b, c)
+	da, _ := a.Dyadic()
+	db, _ := b.Dyadic()
+	dc, _ := c.Dyadic()
+	want := f.FromDyadic(da.Mul(db).Add(dc))
+	if fused.Bits() != want.Bits() {
+		t.Fatalf("FMA = %v want %v", fused, want)
+	}
+	// Exhaustive mini-check on a subsample.
+	for x := uint64(0); x < f.Count(); x += 7 {
+		for y := uint64(1); y < f.Count(); y += 11 {
+			for z := uint64(3); z < f.Count(); z += 37 {
+				pa, pb, pc := f.FromBits(x), f.FromBits(y), f.FromBits(z)
+				got := pa.FMA(pb, pc)
+				if pa.IsNaR() || pb.IsNaR() || pc.IsNaR() {
+					if !got.IsNaR() {
+						t.Fatalf("FMA NaR propagation")
+					}
+					continue
+				}
+				da, _ := pa.Dyadic()
+				db, _ := pb.Dyadic()
+				dc, _ := pc.Dyadic()
+				want := f.FromDyadic(da.Mul(db).Add(dc))
+				if got.Bits() != want.Bits() {
+					t.Fatalf("FMA(%v,%v,%v) = %v want %v", pa, pb, pc, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSqrtExhaustive(t *testing.T) {
+	for _, es := range []uint{0, 1, 2} {
+		f := MustFormat(8, es)
+		for b := uint64(0); b < f.Count(); b++ {
+			p := f.FromBits(b)
+			got := p.Sqrt()
+			if p.IsNaR() || p.Negative() {
+				if !got.IsNaR() {
+					t.Fatalf("%s: sqrt(%v) must be NaR", f, p)
+				}
+				continue
+			}
+			if p.IsZero() {
+				if !got.IsZero() {
+					t.Fatalf("sqrt(0) must be 0")
+				}
+				continue
+			}
+			dp, _ := p.Dyadic()
+			want := sqrtPatternOracle(f, dp)
+			if got.Bits() != want.Bits() {
+				t.Fatalf("%s: sqrt(%v) = %v want %v", f, p, got, want)
+			}
+		}
+	}
+}
+
+func TestDivBasics(t *testing.T) {
+	f := MustFormat(16, 1)
+	two := f.FromFloat64(2)
+	three := f.FromFloat64(3)
+	six := f.FromFloat64(6)
+	if got := six.Div(two); got.Float64() != 3 {
+		t.Errorf("6/2 = %v", got)
+	}
+	if got := six.Div(three); got.Float64() != 2 {
+		t.Errorf("6/3 = %v", got)
+	}
+	if !f.One().Div(f.Zero()).IsNaR() {
+		t.Error("1/0 must be NaR")
+	}
+}
+
+func TestMulSpecialCases(t *testing.T) {
+	f := MustFormat(8, 1)
+	one := f.One()
+	for b := uint64(0); b < f.Count(); b++ {
+		p := f.FromBits(b)
+		if p.IsNaR() {
+			continue
+		}
+		if got := p.Mul(one); got.Bits() != p.Bits() {
+			t.Fatalf("%v * 1 = %v", p, got)
+		}
+		if got := p.Mul(f.Zero()); !got.IsZero() {
+			t.Fatalf("%v * 0 = %v", p, got)
+		}
+	}
+}
+
+func TestMaxposTimesMaxposSaturates(t *testing.T) {
+	f := MustFormat(8, 0)
+	m := f.MaxPos()
+	if got := m.Mul(m); got.Bits() != m.Bits() {
+		t.Errorf("maxpos^2 = %v want maxpos", got)
+	}
+	mn := f.MinPos()
+	if got := mn.Mul(mn); got.Bits() != mn.Bits() {
+		t.Errorf("minpos^2 = %v want minpos", got)
+	}
+}

@@ -1,0 +1,214 @@
+package posit
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dyadic"
+)
+
+// allTestFormats spans every (n, es) combination the exhaustive tests cover.
+func allTestFormats() []Format {
+	var fs []Format
+	for n := uint(3); n <= 10; n++ {
+		for es := uint(0); es <= 3; es++ {
+			fs = append(fs, MustFormat(n, es))
+		}
+	}
+	return fs
+}
+
+// TestRoundTripExhaustive: decode then re-encode every pattern of every
+// small format; the codec must be the identity.
+func TestRoundTripExhaustive(t *testing.T) {
+	for _, f := range allTestFormats() {
+		for b := uint64(0); b < f.Count(); b++ {
+			p := f.FromBits(b)
+			if p.IsZero() || p.IsNaR() {
+				continue
+			}
+			d := p.decode()
+			back := f.encode(d.sign, d.sf, d.sig, d.sigW, false)
+			if back.Bits() != p.Bits() {
+				t.Fatalf("%s: pattern %0*b decoded to %+v re-encoded to %0*b",
+					f, f.N(), b, d, f.N(), back.Bits())
+			}
+		}
+	}
+}
+
+// TestFloat64RoundTrip: Float64 then FromFloat64 must reproduce every
+// pattern exactly (posit values are exact in binary64).
+func TestFloat64RoundTrip(t *testing.T) {
+	for _, f := range allTestFormats() {
+		for b := uint64(0); b < f.Count(); b++ {
+			p := f.FromBits(b)
+			if p.IsNaR() {
+				continue
+			}
+			back := f.FromFloat64(p.Float64())
+			if back.Bits() != p.Bits() {
+				t.Fatalf("%s: %v -> %g -> %v", f, p, p.Float64(), back)
+			}
+		}
+	}
+}
+
+// TestFromFloat64NearestExhaustive samples float64 values (midpoints,
+// near-midpoints, grids, extremes) and checks FromFloat64 against the
+// independent pattern-space rounding oracle.
+func TestFromFloat64NearestExhaustive(t *testing.T) {
+	f := MustFormat(6, 1)
+	check := func(x float64) {
+		got := f.FromFloat64(x)
+		want := roundValueOracle(f, dyadic.FromFloat64(x))
+		if got.Bits() != want.Bits() {
+			t.Fatalf("FromFloat64(%g) = %v want %v", x, got, want)
+		}
+	}
+	// arithmetic midpoints and near-midpoints between consecutive posits
+	vals := f.Values()
+	for i := 0; i+1 < len(vals); i++ {
+		mid := (vals[i] + vals[i+1]) / 2
+		check(mid)
+		check(math.Nextafter(mid, math.Inf(-1)))
+		check(math.Nextafter(mid, math.Inf(1)))
+	}
+	// a grid of other values
+	for x := -70.0; x <= 70.0; x += 0.37 {
+		check(x)
+	}
+	check(1e30)
+	check(-1e30)
+	check(1e-30)
+	check(-1e-30)
+}
+
+func TestFromFloat64Specials(t *testing.T) {
+	f := MustFormat(8, 1)
+	if !f.FromFloat64(math.NaN()).IsNaR() {
+		t.Error("NaN must map to NaR")
+	}
+	if !f.FromFloat64(math.Inf(1)).IsNaR() {
+		t.Error("+Inf must map to NaR")
+	}
+	if !f.FromFloat64(math.Inf(-1)).IsNaR() {
+		t.Error("-Inf must map to NaR")
+	}
+	if !f.FromFloat64(0).IsZero() {
+		t.Error("0 must map to zero")
+	}
+	if !f.FromFloat64(math.Copysign(0, -1)).IsZero() {
+		t.Error("-0 must map to zero")
+	}
+	if math.IsNaN(f.NaR().Float64()) == false {
+		t.Error("NaR.Float64 must be NaN")
+	}
+}
+
+func TestSaturation(t *testing.T) {
+	for _, f := range allTestFormats() {
+		maxv := f.MaxPos().Float64()
+		if got := f.FromFloat64(maxv * 4); got.Bits() != f.MaxPos().Bits() {
+			t.Errorf("%s: overflow must saturate to maxpos, got %v", f, got)
+		}
+		if got := f.FromFloat64(-maxv * 4); got.Bits() != f.MaxPos().Neg().Bits() {
+			t.Errorf("%s: negative overflow must saturate, got %v", f, got)
+		}
+		minv := f.MinPos().Float64()
+		if got := f.FromFloat64(minv / 4); got.Bits() != f.MinPos().Bits() {
+			t.Errorf("%s: underflow must saturate to minpos, got %v", f, got)
+		}
+		if got := f.FromFloat64(-minv / 4); got.Bits() != f.MinPos().Neg().Bits() {
+			t.Errorf("%s: negative underflow must saturate, got %v", f, got)
+		}
+	}
+}
+
+func TestDyadicRoundTrip(t *testing.T) {
+	for _, f := range allTestFormats() {
+		for b := uint64(0); b < f.Count(); b++ {
+			p := f.FromBits(b)
+			if p.IsNaR() {
+				continue
+			}
+			d, ok := p.Dyadic()
+			if !ok {
+				t.Fatalf("%s: Dyadic failed for %v", f, p)
+			}
+			if got := d.Float64(); got != p.Float64() {
+				t.Fatalf("%s: dyadic of %v = %g", f, p, got)
+			}
+			back := f.FromDyadic(d)
+			if back.Bits() != p.Bits() {
+				t.Fatalf("%s: FromDyadic(%v) = %v want %v", f, d, back, p)
+			}
+		}
+	}
+}
+
+// TestFromDyadicMatchesFromFloat64 cross-checks the two entry points on a
+// pseudo-random value grid.
+func TestFromDyadicMatchesFromFloat64(t *testing.T) {
+	f := MustFormat(8, 2)
+	for x := -300.0; x <= 300.0; x += 0.731 {
+		a := f.FromFloat64(x)
+		b := f.FromDyadic(dyadic.FromFloat64(x))
+		if a.Bits() != b.Bits() {
+			t.Fatalf("FromFloat64(%g)=%v but FromDyadic=%v", x, a, b)
+		}
+	}
+}
+
+func TestConvertWideningExact(t *testing.T) {
+	small := MustFormat(8, 0)
+	big := MustFormat(16, 2)
+	for b := uint64(0); b < small.Count(); b++ {
+		p := small.FromBits(b)
+		if p.IsNaR() {
+			continue
+		}
+		w := p.Convert(big)
+		if w.Float64() != p.Float64() {
+			t.Fatalf("widening %v -> %v lost value", p, w)
+		}
+		// And back: round-tripping through the wide format is identity.
+		back := w.Convert(small)
+		if back.Bits() != p.Bits() {
+			t.Fatalf("narrowing %v -> %v", w, back)
+		}
+	}
+}
+
+func TestDecodePublic(t *testing.T) {
+	f := MustFormat(8, 1)
+	// 0|10|1|0110: k=0, e=1, f=0.0110 -> 1.375 * 2^1 = 2.75
+	p, err := f.ParseBits("0101 0110")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sign, k, e, frac, fracW, ok := p.Decode()
+	if !ok || sign || k != 0 || e != 1 || fracW != 4 || frac != 0b0110 {
+		t.Fatalf("Decode = sign=%v k=%d e=%d frac=%b/%d ok=%v", sign, k, e, frac, fracW, ok)
+	}
+	if v := p.Float64(); v != 2.75 {
+		t.Fatalf("value = %v want 2.75", v)
+	}
+}
+
+func TestScaleAndFracBits(t *testing.T) {
+	f := MustFormat(8, 0)
+	one := f.One()
+	if sf, ok := one.Scale(); !ok || sf != 0 {
+		t.Errorf("Scale(1) = %d,%v", sf, ok)
+	}
+	if fb, ok := one.FracBits(); !ok || fb != 5 {
+		t.Errorf("FracBits(1) = %d,%v want 5", fb, ok)
+	}
+	if _, ok := f.Zero().Scale(); ok {
+		t.Error("Scale(0) must not be ok")
+	}
+	if _, ok := f.NaR().Scale(); ok {
+		t.Error("Scale(NaR) must not be ok")
+	}
+}

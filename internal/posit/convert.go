@@ -1,0 +1,109 @@
+package posit
+
+import (
+	"math"
+	"math/bits"
+
+	"repro/internal/bitutil"
+	"repro/internal/dyadic"
+)
+
+// FromFloat64 rounds x to the nearest posit of this format
+// (round-to-nearest-even; overflow saturates at maxpos, underflow at
+// minpos). NaN and ±Inf map to NaR, and ±0 map to zero.
+func (f Format) FromFloat64(x float64) Posit {
+	f.mustValid()
+	if x == 0 {
+		return f.Zero()
+	}
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return f.NaR()
+	}
+	b := math.Float64bits(x)
+	sign := b>>63 == 1
+	exp := int((b >> 52) & 0x7ff)
+	frac := b & bitutil.Mask(52)
+	var sig uint64
+	var sf int
+	if exp == 0 { // subnormal double
+		sig = frac
+		sf = bits.Len64(frac) - 1 - 1074
+	} else {
+		sig = frac | 1<<52
+		sf = exp - 1023
+	}
+	return f.encode(sign, sf, sig, bitutil.Len(sig), false)
+}
+
+// Float64 returns the exact real value of p as a float64. Every posit with
+// n <= 32 is exactly representable in binary64 (|scale| <= 991 and at most
+// 30 significand bits), so the conversion is lossless. NaR returns NaN.
+func (p Posit) Float64() float64 {
+	if p.bits == 0 {
+		return 0
+	}
+	if p.IsNaR() {
+		return math.NaN()
+	}
+	d := p.decode()
+	v := math.Ldexp(float64(d.sig), d.sf-int(d.sigW)+1)
+	if d.sign {
+		v = -v
+	}
+	return v
+}
+
+// Dyadic returns the exact value of p as a dyadic rational. NaR and
+// invalid values are reported via ok == false (zero returns the dyadic 0
+// with ok == true).
+func (p Posit) Dyadic() (dyadic.D, bool) {
+	if p.IsNaR() {
+		return dyadic.Zero(), false
+	}
+	if p.bits == 0 {
+		return dyadic.Zero(), true
+	}
+	d := p.decode()
+	m := int64(d.sig)
+	if d.sign {
+		m = -m
+	}
+	return dyadic.New(m, d.sf-int(d.sigW)+1), true
+}
+
+// FromDyadic rounds an exact dyadic value to the nearest posit
+// (round-to-nearest-even with posit saturation semantics).
+func (f Format) FromDyadic(d dyadic.D) Posit {
+	f.mustValid()
+	if d.IsZero() {
+		return f.Zero()
+	}
+	count := f.n + 3 // pattern bits + guard + sticky margin
+	if count > 64 {
+		count = 64
+	}
+	sig, sticky := d.TopBits(count)
+	// TopBits left-pads short mantissas to exactly `count` bits, so the
+	// hidden bit sits at count-1.
+	return f.encode(d.Sign() < 0, d.Scale(), sig, count, sticky)
+}
+
+// Convert re-rounds p into the target format. Converting to a wider format
+// with es' >= es is always exact.
+func (p Posit) Convert(to Format) Posit {
+	to.mustValid()
+	if p.bits == 0 {
+		return to.Zero()
+	}
+	if p.IsNaR() {
+		return to.NaR()
+	}
+	d := p.decode()
+	return to.encode(d.sign, d.sf, d.sig, d.sigW, false)
+}
+
+// FromFloat32 rounds a float32 through its exact float64 value.
+func (f Format) FromFloat32(x float32) Posit { return f.FromFloat64(float64(x)) }
+
+// Float32 converts via float64 with a final binary32 rounding.
+func (p Posit) Float32() float32 { return float32(p.Float64()) }

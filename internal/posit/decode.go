@@ -1,0 +1,124 @@
+package posit
+
+import (
+	"repro/internal/bitutil"
+)
+
+// decoded is the unpacked form of a nonzero, non-NaR posit produced by the
+// data-extraction step of the paper's Algorithm 1: sign, scale factor
+// (regime and exponent combined, sf = k*2^es + e) and the significand with
+// its hidden bit.
+//
+// The represented value is
+//
+//	(-1)^sign × 2^sf × sig / 2^(sigW-1)
+//
+// i.e. sig holds sigW bits whose most significant bit is the hidden 1.
+type decoded struct {
+	sign bool
+	sf   int    // scale factor k*2^es + e
+	sig  uint64 // significand including hidden bit, MSB at sigW-1
+	sigW uint   // significand width in bits (>= 1)
+}
+
+// regime returns the regime value k and exponent e recovered from sf.
+func (d decoded) regime(es uint) (k int, e uint) {
+	k = floorDiv(d.sf, 1<<es)
+	e = uint(d.sf - k*(1<<es))
+	return k, e
+}
+
+// floorDiv is floor(a / 2^shiftPow)-style division for signed a with a
+// positive power-of-two divisor.
+func floorDiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// Decode unpacks a posit into sign, regime k, exponent e and fraction
+// field (without hidden bit), mirroring Algorithm 1 of the paper. It is
+// exported for tools/tests; arithmetic uses the internal decode.
+// Decoding zero or NaR returns ok == false.
+func (p Posit) Decode() (sign bool, k int, e uint, frac uint64, fracW uint, ok bool) {
+	if p.bits == 0 || p.IsNaR() {
+		return false, 0, 0, 0, 0, false
+	}
+	d := p.decode()
+	k, e = d.regime(p.f.es)
+	return d.sign, k, e, d.sig & bitutil.Mask(d.sigW-1), d.sigW - 1, true
+}
+
+// decode performs the Algorithm 1 data extraction. The caller must have
+// excluded zero and NaR.
+func (p Posit) decode() decoded {
+	f := p.f
+	n := f.n
+	bits := p.bits & f.Mask()
+	sign := bits&f.signBit() != 0
+	ap := bits
+	if sign {
+		// line 4: two's complement before decoding
+		ap = bitutil.TwosComplement(bits, n)
+	}
+	// Regime: run length of identical bits starting at position n-2
+	// (lines 5-8: the hardware inverts when the run is ones so a single
+	// LZD suffices; in software we count directly).
+	rc := bitutil.Bit(ap, n-2) // regime check bit
+	run := uint(1)
+	for run < n-1 && bitutil.Bit(ap, n-2-run) == rc {
+		run++
+	}
+	var k int
+	if rc == 1 {
+		k = int(run) - 1
+	} else {
+		k = -int(run)
+	}
+	// Bits consumed: sign (1) + run + terminator (1, unless the run
+	// reached bit 0).
+	rem := int(n) - 1 - int(run) - 1
+	if rem < 0 {
+		rem = 0
+	}
+	// Exponent: next es bits; any cut-off low exponent bits read as 0.
+	es := f.es
+	eAvail := uint(rem)
+	if eAvail > es {
+		eAvail = es
+	}
+	var e uint
+	if eAvail > 0 {
+		e = uint((ap >> (uint(rem) - eAvail)) & bitutil.Mask(eAvail))
+	}
+	e <<= es - eAvail
+	// Fraction: whatever remains below the exponent.
+	fw := uint(rem) - eAvail
+	frac := ap & bitutil.Mask(fw)
+	return decoded{
+		sign: sign,
+		sf:   k*(1<<es) + int(e),
+		sig:  frac | uint64(1)<<fw,
+		sigW: fw + 1,
+	}
+}
+
+// Scale returns floor(log2 |p|) for nonzero, non-NaR p: the combined
+// regime/exponent scale factor.
+func (p Posit) Scale() (int, bool) {
+	if p.bits == 0 || p.IsNaR() {
+		return 0, false
+	}
+	return p.decode().sf, true
+}
+
+// FracBits reports how many fraction bits (excluding the hidden bit) the
+// pattern actually carries — posits taper: values near 1 get the most.
+func (p Posit) FracBits() (uint, bool) {
+	if p.bits == 0 || p.IsNaR() {
+		return 0, false
+	}
+	return p.decode().sigW - 1, true
+}

@@ -1,0 +1,58 @@
+package posit
+
+import (
+	"repro/internal/bitutil"
+)
+
+// encode rounds the exact value
+//
+//	(-1)^sign × 2^sf × sig / 2^(sigW-1)        (sticky ORs lower bits)
+//
+// to the nearest posit of format f, implementing the "Convergent Rounding
+// & Encoding" stage of the paper's Algorithm 2: the unbounded
+// regime|exponent|fraction bit string is materialised most-significant
+// first, cut after n-1 bits, and rounded to nearest with ties to even.
+// Per the posit standard (and matching hardware saturation), results are
+// clamped to maxpos/minpos — a nonzero value never rounds to zero or NaR.
+//
+// sig must be normalised: its most significant set bit at position sigW-1
+// (the hidden bit). sig == 0 is rejected; callers handle exact zeros.
+func (f Format) encode(sign bool, sf int, sig uint64, sigW uint, sticky bool) Posit {
+	f.mustValid()
+	if sig == 0 {
+		panic("posit: encode of zero significand")
+	}
+	if bitutil.Len(sig) != sigW {
+		panic("posit: encode significand not normalised")
+	}
+	es := f.es
+	k := floorDiv(sf, 1<<es)
+	e := uint(sf - k*(1<<es))
+
+	w := bitutil.NewWriter(f.n - 1)
+	if k >= 0 {
+		// k+1 ones then a zero terminator
+		w.WriteRun(1, uint(k)+1)
+		w.WriteBit(0)
+	} else {
+		// -k zeros then a one terminator
+		w.WriteRun(0, uint(-k))
+		w.WriteBit(1)
+	}
+	w.WriteBits(uint64(e), es)
+	w.WriteBits(sig&bitutil.Mask(sigW-1), sigW-1)
+	w.StickyOr(sticky)
+
+	pattern := w.Round()
+	maxPat := bitutil.Mask(f.n - 1)
+	if pattern > maxPat {
+		pattern = maxPat // overflow rounds to maxpos, never to NaR
+	}
+	if pattern == 0 {
+		pattern = 1 // underflow rounds to minpos, never to zero
+	}
+	if sign {
+		pattern = bitutil.TwosComplement(pattern, f.n)
+	}
+	return Posit{f: f, bits: pattern}
+}

@@ -1,0 +1,123 @@
+package posit
+
+import "sort"
+
+// Values returns every finite posit value of the format in ascending
+// numeric order (NaR excluded). For an n-bit format this is 2^n - 1
+// values; only call for n <= 16.
+func (f Format) Values() []float64 {
+	f.mustValid()
+	if f.n > 16 {
+		panic("posit: Values only supported for n <= 16")
+	}
+	out := make([]float64, 0, f.Count()-1)
+	for b := uint64(0); b < f.Count(); b++ {
+		p := f.FromBits(b)
+		if p.IsNaR() {
+			continue
+		}
+		out = append(out, p.Float64())
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// Posits returns every pattern of the format (including zero and NaR) in
+// ascending pattern order.
+func (f Format) Posits() []Posit {
+	f.mustValid()
+	if f.n > 16 {
+		panic("posit: Posits only supported for n <= 16")
+	}
+	out := make([]Posit, 0, f.Count())
+	for b := uint64(0); b < f.Count(); b++ {
+		out = append(out, f.FromBits(b))
+	}
+	return out
+}
+
+// HistogramBucket counts how many format values fall into [lo, hi).
+func (f Format) HistogramBucket(lo, hi float64) int {
+	count := 0
+	for _, v := range f.Values() {
+		if v >= lo && v < hi {
+			count++
+		}
+	}
+	return count
+}
+
+// Histogram bins every finite value of the format into the given bin
+// edges (len(edges) >= 2, ascending) and returns len(edges)-1 counts —
+// the data behind the paper's Fig. 2(a) (7-bit posit value distribution).
+func (f Format) Histogram(edges []float64) []int {
+	if len(edges) < 2 {
+		panic("posit: Histogram needs at least 2 edges")
+	}
+	counts := make([]int, len(edges)-1)
+	for _, v := range f.Values() {
+		for i := 0; i < len(edges)-1; i++ {
+			if v >= edges[i] && v < edges[i+1] {
+				counts[i]++
+				break
+			}
+		}
+	}
+	return counts
+}
+
+// FractionInUnitRange reports the fraction of finite nonzero values lying
+// in [-1, 1] — the clustering property Fig. 2 uses to argue posit fits DNN
+// weight distributions.
+func (f Format) FractionInUnitRange() float64 {
+	values := f.Values()
+	in, total := 0, 0
+	for _, v := range values {
+		if v == 0 {
+			continue
+		}
+		total++
+		if v >= -1 && v <= 1 {
+			in++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(in) / float64(total)
+}
+
+// Next returns the posit one pattern above p in the numeric total order,
+// saturating at maxpos. NaR maps to itself.
+func (p Posit) Next() Posit {
+	if p.IsNaR() {
+		return p
+	}
+	if p.bits == p.f.MaxPos().bits {
+		return p
+	}
+	return p.f.FromBits(p.bits + 1)
+}
+
+// Prev returns the posit one pattern below p, saturating just above NaR
+// (the most negative real value).
+func (p Posit) Prev() Posit {
+	if p.IsNaR() {
+		return p
+	}
+	if p.bits == p.f.signBit()+1 { // most negative real
+		return p
+	}
+	return p.f.FromBits(p.bits - 1)
+}
+
+// ULP returns the distance to the next representable value above |p|
+// (a local precision measure used by the tapered-precision analyses).
+func (p Posit) ULP() float64 {
+	a := p.Abs()
+	if a.IsNaR() {
+		return 0
+	}
+	n := a.Next()
+	return n.Float64() - a.Float64()
+}

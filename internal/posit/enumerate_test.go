@@ -1,0 +1,106 @@
+package posit
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestValuesCountAndOrder(t *testing.T) {
+	f := MustFormat(7, 0)
+	vals := f.Values()
+	if len(vals) != 127 { // 2^7 - NaR
+		t.Fatalf("posit(7,0) has %d values, want 127", len(vals))
+	}
+	if !sort.Float64sAreSorted(vals) {
+		t.Fatal("Values must be sorted")
+	}
+	// All distinct.
+	for i := 1; i < len(vals); i++ {
+		if vals[i] == vals[i-1] {
+			t.Fatalf("duplicate value %g", vals[i])
+		}
+	}
+}
+
+// TestFig2Clustering reproduces the observation behind the paper's Fig. 2:
+// the 7-bit (es=0) posit concentrates most of its representation points in
+// [-1, 1], matching DNN weight distributions.
+func TestFig2Clustering(t *testing.T) {
+	f := MustFormat(7, 0)
+	frac := f.FractionInUnitRange()
+	// Exactly half the nonzero values lie in [-1,1] plus the two ±1
+	// endpoints' neighbours; the fraction must comfortably exceed 0.5.
+	if frac < 0.5 {
+		t.Errorf("fraction of posit(7,0) values in [-1,1] = %.3f; expected >= 0.5", frac)
+	}
+	t.Logf("posit(7,0): %.1f%% of nonzero values lie in [-1,1]", 100*frac)
+}
+
+func TestHistogram(t *testing.T) {
+	f := MustFormat(5, 0)
+	edges := []float64{-100, -1, 0, 1, 100}
+	counts := f.Histogram(edges)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != len(f.Values()) {
+		t.Errorf("histogram drops values: %d of %d", total, len(f.Values()))
+	}
+	// symmetry: as many values in [-1,0) as (0,1]... bucket [0,1) holds
+	// zero plus positives below 1; sanity only.
+	if counts[1] == 0 || counts[2] == 0 {
+		t.Error("central buckets must not be empty")
+	}
+}
+
+func TestHistogramBucket(t *testing.T) {
+	f := MustFormat(5, 0)
+	if got := f.HistogramBucket(1, 1.0000001); got != 1 {
+		t.Errorf("bucket around 1.0 = %d want 1", got)
+	}
+}
+
+func TestNextPrevSaturation(t *testing.T) {
+	f := MustFormat(8, 0)
+	if got := f.MaxPos().Next(); got.Bits() != f.MaxPos().Bits() {
+		t.Error("Next(maxpos) must saturate")
+	}
+	mostNeg := f.FromBits(f.NaR().Bits() + 1)
+	if got := mostNeg.Prev(); got.Bits() != mostNeg.Bits() {
+		t.Error("Prev(most negative) must saturate")
+	}
+	if !f.NaR().Next().IsNaR() {
+		t.Error("Next(NaR) must be NaR")
+	}
+}
+
+func TestULPTapering(t *testing.T) {
+	f := MustFormat(8, 0)
+	// Posit precision tapers: ULP near 1 is finer than ULP near maxpos.
+	near1 := f.One().ULP()
+	nearMax := f.MaxPos().Prev().ULP()
+	if near1 >= nearMax {
+		t.Errorf("tapered precision violated: ulp(1)=%g ulp(near max)=%g", near1, nearMax)
+	}
+}
+
+func TestPositsIncludesSpecials(t *testing.T) {
+	f := MustFormat(5, 1)
+	ps := f.Posits()
+	if len(ps) != 32 {
+		t.Fatalf("got %d patterns", len(ps))
+	}
+	hasZero, hasNaR := false, false
+	for _, p := range ps {
+		if p.IsZero() {
+			hasZero = true
+		}
+		if p.IsNaR() {
+			hasNaR = true
+		}
+	}
+	if !hasZero || !hasNaR {
+		t.Error("enumeration must include zero and NaR")
+	}
+}

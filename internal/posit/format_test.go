@@ -1,0 +1,175 @@
+package posit
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewFormatValidation(t *testing.T) {
+	cases := []struct {
+		n, es uint
+		ok    bool
+	}{
+		{3, 0, true}, {8, 0, true}, {8, 1, true}, {8, 2, true},
+		{16, 1, true}, {32, 2, true}, {32, 5, true},
+		{2, 0, false}, {0, 0, false}, {33, 0, false}, {8, 6, false},
+	}
+	for _, c := range cases {
+		_, err := NewFormat(c.n, c.es)
+		if (err == nil) != c.ok {
+			t.Errorf("NewFormat(%d,%d): err=%v, want ok=%v", c.n, c.es, err, c.ok)
+		}
+	}
+}
+
+func TestMustFormatPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustFormat(2,0) should panic")
+		}
+	}()
+	MustFormat(2, 0)
+}
+
+func TestSpecialValues(t *testing.T) {
+	for _, es := range []uint{0, 1, 2, 3} {
+		for _, n := range []uint{5, 6, 7, 8, 16} {
+			f := MustFormat(n, es)
+			if !f.Zero().IsZero() {
+				t.Errorf("%s: Zero not zero", f)
+			}
+			if !f.NaR().IsNaR() {
+				t.Errorf("%s: NaR not NaR", f)
+			}
+			if got := f.NaR().Bits(); got != uint64(1)<<(n-1) {
+				t.Errorf("%s: NaR bits %x", f, got)
+			}
+			if v := f.One().Float64(); v != 1.0 {
+				t.Errorf("%s: One = %v", f, v)
+			}
+			wantMax := math.Pow(f.USeed(), float64(n-2))
+			if v := f.MaxPos().Float64(); v != wantMax {
+				t.Errorf("%s: MaxPos = %g want %g", f, v, wantMax)
+			}
+			wantMin := math.Pow(f.USeed(), -float64(n-2))
+			if v := f.MinPos().Float64(); v != wantMin {
+				t.Errorf("%s: MinPos = %g want %g", f, v, wantMin)
+			}
+		}
+	}
+}
+
+func TestUSeed(t *testing.T) {
+	want := map[uint]float64{0: 2, 1: 4, 2: 16, 3: 256, 4: 65536}
+	for es, u := range want {
+		f := MustFormat(8, es)
+		if got := f.USeed(); got != u {
+			t.Errorf("useed(es=%d) = %v want %v", es, got, u)
+		}
+	}
+}
+
+func TestDynamicRangeLog10(t *testing.T) {
+	// posit(8,0): max/min = 2^12 ... dynamic range = log10(2^24)? No:
+	// max = useed^6 = 2^6, min = 2^-6, ratio 2^12.
+	f := MustFormat(8, 0)
+	want := 12 * math.Log10(2)
+	if got := f.DynamicRangeLog10(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("dynamic range = %v want %v", got, want)
+	}
+	// posit(8,1): ratio = 4^12 = 2^24
+	f = MustFormat(8, 1)
+	want = 24 * math.Log10(2)
+	if got := f.DynamicRangeLog10(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("dynamic range = %v want %v", got, want)
+	}
+}
+
+func TestNegation(t *testing.T) {
+	f := MustFormat(8, 1)
+	for b := uint64(0); b < f.Count(); b++ {
+		p := f.FromBits(b)
+		n := p.Neg()
+		if p.IsNaR() {
+			if !n.IsNaR() {
+				t.Fatalf("-NaR must be NaR")
+			}
+			continue
+		}
+		if got, want := n.Float64(), -p.Float64(); got != want {
+			t.Fatalf("Neg(%v) = %v want %v", p, got, want)
+		}
+		if back := n.Neg(); back.Bits() != p.Bits() {
+			t.Fatalf("double negation of %v changed pattern", p)
+		}
+	}
+}
+
+func TestAbs(t *testing.T) {
+	f := MustFormat(7, 0)
+	for b := uint64(0); b < f.Count(); b++ {
+		p := f.FromBits(b)
+		if p.IsNaR() {
+			continue
+		}
+		if got, want := p.Abs().Float64(), math.Abs(p.Float64()); got != want {
+			t.Fatalf("Abs(%v) = %v want %v", p, got, want)
+		}
+	}
+}
+
+// TestMonotonicity verifies the headline hardware property: posit patterns,
+// read as n-bit two's-complement integers, order exactly like the real
+// values they encode (with NaR at the bottom).
+func TestMonotonicity(t *testing.T) {
+	for _, es := range []uint{0, 1, 2} {
+		f := MustFormat(8, es)
+		var prev float64
+		first := true
+		for sb := -int64(1 << 7); sb < 1<<7; sb++ {
+			p := f.FromBits(uint64(sb) & f.Mask())
+			if p.IsNaR() {
+				continue
+			}
+			v := p.Float64()
+			if !first && v <= prev {
+				t.Fatalf("%s: pattern order violated at %v (%g after %g)", f, p, v, prev)
+			}
+			prev = v
+			first = false
+		}
+	}
+}
+
+func TestCmpMatchesFloat(t *testing.T) {
+	f := MustFormat(6, 1)
+	ps := f.Posits()
+	for _, a := range ps {
+		for _, b := range ps {
+			if a.IsNaR() || b.IsNaR() {
+				continue
+			}
+			got := a.Cmp(b)
+			va, vb := a.Float64(), b.Float64()
+			want := 0
+			if va < vb {
+				want = -1
+			} else if va > vb {
+				want = 1
+			}
+			if got != want {
+				t.Fatalf("Cmp(%v,%v) = %d want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestSignedBits(t *testing.T) {
+	f := MustFormat(8, 0)
+	if got := f.FromBits(0xFF).SignedBits(); got != -1 {
+		t.Errorf("SignedBits(0xFF) = %d want -1", got)
+	}
+	if got := f.FromBits(0x7F).SignedBits(); got != 127 {
+		t.Errorf("SignedBits(0x7F) = %d want 127", got)
+	}
+}

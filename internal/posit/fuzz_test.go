@@ -1,0 +1,217 @@
+package posit
+
+// Sampled oracle tests for the formats too large to enumerate: random
+// operands for every op, validated against the exact dyadic oracle. These
+// complement the exhaustive 8-bit sweeps with coverage of wide regimes,
+// long fractions and extreme scale factors up to n = 32, es = 5.
+
+import (
+	"testing"
+
+	"repro/internal/dyadic"
+	"repro/internal/rng"
+)
+
+// largeFormats spans widths/es beyond the exhaustive tests.
+func largeFormats() []Format {
+	return []Format{
+		MustFormat(12, 0), MustFormat(12, 2),
+		MustFormat(16, 1), MustFormat(16, 3),
+		MustFormat(20, 2), MustFormat(24, 1),
+		MustFormat(32, 2), MustFormat(32, 5),
+	}
+}
+
+func randPosit(r *rng.Source, f Format) Posit {
+	for {
+		p := f.FromBits(r.Uint64() & f.Mask())
+		if !p.IsNaR() {
+			return p
+		}
+	}
+}
+
+func TestSampledRoundTripLarge(t *testing.T) {
+	r := rng.New(0xF001)
+	for _, f := range largeFormats() {
+		for i := 0; i < 4000; i++ {
+			p := randPosit(r, f)
+			if back := f.FromFloat64(p.Float64()); back.Bits() != p.Bits() {
+				t.Fatalf("%s: roundtrip %v -> %v", f, p, back)
+			}
+			d, _ := p.Dyadic()
+			if back := f.FromDyadic(d); back.Bits() != p.Bits() {
+				t.Fatalf("%s: dyadic roundtrip failed for %v", f, p)
+			}
+		}
+	}
+}
+
+func TestSampledMulLarge(t *testing.T) {
+	r := rng.New(0xF002)
+	for _, f := range largeFormats() {
+		for i := 0; i < 3000; i++ {
+			a, b := randPosit(r, f), randPosit(r, f)
+			got := a.Mul(b)
+			da, _ := a.Dyadic()
+			db, _ := b.Dyadic()
+			want := f.FromDyadic(da.Mul(db))
+			if a.IsZero() || b.IsZero() {
+				want = f.Zero()
+			}
+			if got.Bits() != want.Bits() {
+				t.Fatalf("%s: %v * %v = %v want %v", f, a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestSampledAddLarge(t *testing.T) {
+	r := rng.New(0xF003)
+	for _, f := range largeFormats() {
+		for i := 0; i < 3000; i++ {
+			a, b := randPosit(r, f), randPosit(r, f)
+			got := a.Add(b)
+			da, _ := a.Dyadic()
+			db, _ := b.Dyadic()
+			sum := da.Add(db)
+			var want Posit
+			if sum.IsZero() {
+				want = f.Zero()
+			} else {
+				want = f.FromDyadic(sum)
+			}
+			if got.Bits() != want.Bits() {
+				t.Fatalf("%s: %v + %v = %v want %v", f, a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestSampledAddNearCancellation targets the catastrophic-cancellation
+// path explicitly: operands that agree in scale and nearly in magnitude.
+func TestSampledAddNearCancellation(t *testing.T) {
+	r := rng.New(0xF004)
+	for _, f := range largeFormats() {
+		for i := 0; i < 2000; i++ {
+			a := randPosit(r, f)
+			if a.IsZero() {
+				continue
+			}
+			// perturb a's pattern by a few ULPs and negate
+			delta := int64(r.Intn(7)) - 3
+			bbits := uint64(int64(a.Bits()) + delta)
+			b := f.FromBits(bbits).Neg()
+			if b.IsNaR() {
+				continue
+			}
+			got := a.Add(b)
+			da, _ := a.Dyadic()
+			db, _ := b.Dyadic()
+			sum := da.Add(db)
+			var want Posit
+			if sum.IsZero() {
+				want = f.Zero()
+			} else {
+				want = f.FromDyadic(sum)
+			}
+			if got.Bits() != want.Bits() {
+				t.Fatalf("%s: cancellation %v + %v = %v want %v", f, a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestSampledDivLarge(t *testing.T) {
+	r := rng.New(0xF005)
+	for _, f := range []Format{MustFormat(12, 1), MustFormat(16, 2), MustFormat(24, 3)} {
+		for i := 0; i < 400; i++ {
+			a, b := randPosit(r, f), randPosit(r, f)
+			if b.IsZero() {
+				continue
+			}
+			got := a.Div(b)
+			if a.IsZero() {
+				if !got.IsZero() {
+					t.Fatalf("%s: 0/%v = %v", f, b, got)
+				}
+				continue
+			}
+			da, _ := a.Dyadic()
+			db, _ := b.Dyadic()
+			want := roundRatioOracle(f, da, db)
+			if got.Bits() != want.Bits() {
+				t.Fatalf("%s: %v / %v = %v want %v", f, a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestSampledSqrtLarge(t *testing.T) {
+	r := rng.New(0xF006)
+	for _, f := range []Format{MustFormat(12, 1), MustFormat(16, 2)} {
+		for i := 0; i < 400; i++ {
+			p := randPosit(r, f).Abs()
+			if p.IsZero() {
+				continue
+			}
+			got := p.Sqrt()
+			dp, _ := p.Dyadic()
+			want := sqrtPatternOracle(f, dp)
+			if got.Bits() != want.Bits() {
+				t.Fatalf("%s: sqrt(%v) = %v want %v", f, p, got, want)
+			}
+		}
+	}
+}
+
+func TestSampledQuireLarge(t *testing.T) {
+	r := rng.New(0xF007)
+	for _, f := range []Format{MustFormat(16, 2), MustFormat(32, 2)} {
+		for trial := 0; trial < 40; trial++ {
+			k := 1 + r.Intn(32)
+			q := NewQuire(f, k)
+			exact := dyadic.Zero()
+			for i := 0; i < k; i++ {
+				a, b := randPosit(r, f), randPosit(r, f)
+				q.MulAdd(a, b)
+				da, _ := a.Dyadic()
+				db, _ := b.Dyadic()
+				exact = exact.Add(da.Mul(db))
+			}
+			if got := q.Dyadic(); got.Cmp(exact) != 0 {
+				t.Fatalf("%s: quire inexact", f)
+			}
+			var want Posit
+			if exact.IsZero() {
+				want = f.Zero()
+			} else {
+				want = f.FromDyadic(exact)
+			}
+			if got := q.Result(); got.Bits() != want.Bits() {
+				t.Fatalf("%s: quire result %v want %v", f, got, want)
+			}
+		}
+	}
+}
+
+func TestStandardFormats(t *testing.T) {
+	if f := Posit8(); f.N() != 8 || f.ES() != 2 {
+		t.Error("Posit8")
+	}
+	if f := Posit16(); f.N() != 16 || f.ES() != 2 {
+		t.Error("Posit16")
+	}
+	if f := Posit32(); f.N() != 32 || f.ES() != 2 {
+		t.Error("Posit32")
+	}
+	if f := Posit8Legacy(); f.N() != 8 || f.ES() != 0 {
+		t.Error("Posit8Legacy")
+	}
+	// standard posit32 sanity: 1/3 rounds to a value within 1 ULP
+	f := Posit32()
+	third := f.FromFloat64(1.0 / 3.0)
+	if diff := third.Float64() - 1.0/3.0; diff > 1e-8 || diff < -1e-8 {
+		t.Errorf("posit32 1/3 error %g", diff)
+	}
+}

@@ -1,0 +1,138 @@
+package posit
+
+// Native Go fuzz targets. `go test` runs them over the seed corpus; run
+// `go test -fuzz FuzzPositMulOracle ./internal/posit` for open-ended
+// exploration. Every target checks the full correctness contract against
+// the exact dyadic oracle, not just "doesn't panic".
+
+import "testing"
+
+// fuzzFormat maps two fuzzed bytes onto a valid (n, es).
+func fuzzFormat(nb, eb byte) Format {
+	n := 3 + uint(nb)%30 // 3..32
+	es := uint(eb) % 6   // 0..5
+	return MustFormat(n, es)
+}
+
+func FuzzPositRoundTrip(f *testing.F) {
+	f.Add(uint64(0x52), byte(8), byte(0))
+	f.Add(uint64(0xFFFF), byte(16), byte(2))
+	f.Add(uint64(0x80000001), byte(32), byte(5))
+	f.Fuzz(func(t *testing.T, bits uint64, nb, eb byte) {
+		fm := fuzzFormat(nb, eb)
+		p := fm.FromBits(bits)
+		if p.IsNaR() {
+			if !fm.FromFloat64(p.Float64()).IsNaR() {
+				t.Fatal("NaR roundtrip")
+			}
+			return
+		}
+		if back := fm.FromFloat64(p.Float64()); back.Bits() != p.Bits() {
+			t.Fatalf("%s: %#x -> %g -> %#x", fm, p.Bits(), p.Float64(), back.Bits())
+		}
+	})
+}
+
+func FuzzPositMulOracle(f *testing.F) {
+	f.Add(uint64(3), uint64(5), byte(8), byte(1))
+	f.Add(uint64(0x7FFF), uint64(0x8001), byte(16), byte(2))
+	f.Fuzz(func(t *testing.T, a, b uint64, nb, eb byte) {
+		fm := fuzzFormat(nb, eb)
+		pa, pb := fm.FromBits(a), fm.FromBits(b)
+		got := pa.Mul(pb)
+		if pa.IsNaR() || pb.IsNaR() {
+			if !got.IsNaR() {
+				t.Fatal("NaR propagation")
+			}
+			return
+		}
+		da, _ := pa.Dyadic()
+		db, _ := pb.Dyadic()
+		prod := da.Mul(db)
+		if prod.IsZero() {
+			if !got.IsZero() {
+				t.Fatalf("%s: %v*%v = %v want 0", fm, pa, pb, got)
+			}
+			return
+		}
+		if want := fm.FromDyadic(prod); got.Bits() != want.Bits() {
+			t.Fatalf("%s: %v * %v = %v want %v", fm, pa, pb, got, want)
+		}
+	})
+}
+
+func FuzzPositAddOracle(f *testing.F) {
+	f.Add(uint64(3), uint64(5), byte(8), byte(0))
+	f.Add(uint64(0x0001), uint64(0xFFFF), byte(16), byte(3))
+	f.Fuzz(func(t *testing.T, a, b uint64, nb, eb byte) {
+		fm := fuzzFormat(nb, eb)
+		pa, pb := fm.FromBits(a), fm.FromBits(b)
+		got := pa.Add(pb)
+		if pa.IsNaR() || pb.IsNaR() {
+			if !got.IsNaR() {
+				t.Fatal("NaR propagation")
+			}
+			return
+		}
+		da, _ := pa.Dyadic()
+		db, _ := pb.Dyadic()
+		sum := da.Add(db)
+		if sum.IsZero() {
+			if !got.IsZero() {
+				t.Fatalf("%s: %v+%v = %v want 0", fm, pa, pb, got)
+			}
+			return
+		}
+		if want := fm.FromDyadic(sum); got.Bits() != want.Bits() {
+			t.Fatalf("%s: %v + %v = %v want %v", fm, pa, pb, got, want)
+		}
+	})
+}
+
+func FuzzQuireOracle(f *testing.F) {
+	f.Add(uint64(1), uint64(2), uint64(3), uint64(4), byte(8), byte(0))
+	f.Fuzz(func(t *testing.T, w1, a1, w2, a2 uint64, nb, eb byte) {
+		fm := fuzzFormat(nb, eb)
+		ps := []Posit{fm.FromBits(w1), fm.FromBits(a1), fm.FromBits(w2), fm.FromBits(a2)}
+		for _, p := range ps {
+			if p.IsNaR() {
+				return
+			}
+		}
+		q := NewQuire(fm, 2)
+		q.MulAdd(ps[0], ps[1])
+		q.MulAdd(ps[2], ps[3])
+		d0, _ := ps[0].Dyadic()
+		d1, _ := ps[1].Dyadic()
+		d2, _ := ps[2].Dyadic()
+		d3, _ := ps[3].Dyadic()
+		exact := d0.Mul(d1).Add(d2.Mul(d3))
+		if got := q.Dyadic(); got.Cmp(exact) != 0 {
+			t.Fatalf("%s: quire %v != exact %v", fm, got, exact)
+		}
+		var want Posit
+		if exact.IsZero() {
+			want = fm.Zero()
+		} else {
+			want = fm.FromDyadic(exact)
+		}
+		if got := q.Result(); got.Bits() != want.Bits() {
+			t.Fatalf("%s: result %v want %v", fm, got, want)
+		}
+	})
+}
+
+func FuzzEncodeDecodeBitStrings(f *testing.F) {
+	f.Add("01010110", byte(8), byte(1))
+	f.Fuzz(func(t *testing.T, s string, nb, eb byte) {
+		fm := fuzzFormat(nb, eb)
+		p, err := fm.ParseBits(s)
+		if err != nil {
+			return // malformed input is fine
+		}
+		back, err := fm.ParseBits(p.BitString())
+		if err != nil || back.Bits() != p.Bits() {
+			t.Fatalf("%s: BitString round trip failed for %q", fm, s)
+		}
+	})
+}

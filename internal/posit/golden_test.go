@@ -1,0 +1,96 @@
+package posit
+
+// Golden encodings, derived by hand from the posit definition (eq. (2)),
+// pinning the codec against regressions with values that are independent
+// of the implementation under test.
+
+import "testing"
+
+func TestGoldenPosit8es0(t *testing.T) {
+	f := MustFormat(8, 0)
+	golden := map[float64]uint64{
+		//  value: sign | regime | frac
+		1:        0b01000000, // 0|10|000000
+		-1:       0b11000000, // two's complement of 1.0
+		0.5:      0b00100000, // 0|01|00000: k=-1
+		2:        0b01100000, // 0|110|0000: k=1
+		1.5:      0b01010000, // 0|10|100000: 1.1b
+		-1.5:     0b10110000, // two's complement of 0x50
+		64:       0b01111111, // maxpos = 2^6
+		0.015625: 0b00000001, // minpos = 2^-6
+		3.125:    0b01101001, // 0|110|1001: 1.1001b × 2
+	}
+	for v, bits := range golden {
+		if got := f.FromFloat64(v).Bits(); got != bits {
+			t.Errorf("posit(8,0) enc(%g) = %08b want %08b", v, got, bits)
+		}
+		if got := f.FromBits(bits).Float64(); got != v {
+			t.Errorf("posit(8,0) dec(%08b) = %g want %g", bits, got, v)
+		}
+	}
+}
+
+func TestGoldenPosit8es2Standard(t *testing.T) {
+	f := Posit8() // es = 2
+	// posit(8,2): scale = 4k + e (useed = 16).
+	golden := map[float64]uint64{
+		1:  0b01000000, // 0|10|00|000: k=0, e=0
+		2:  0b01001000, // 0|10|01|000: k=0, e=1 -> 2^1
+		4:  0b01010000, // 0|10|10|000: k=0, e=2 -> 2^2
+		16: 0b01100000, // 0|110|00|00: k=1, e=0 -> 16^1
+	}
+	for v, bits := range golden {
+		if got := f.FromFloat64(v).Bits(); got != bits {
+			t.Errorf("posit(8,2) enc(%g) = %08b want %08b", v, got, bits)
+		}
+		if got := f.FromBits(bits).Float64(); got != v {
+			t.Errorf("posit(8,2) dec(%08b) = %g want %g", bits, got, v)
+		}
+	}
+	// maxpos = useed^6 = 16^6 = 2^24
+	if got := f.MaxPos().Float64(); got != 16777216 {
+		t.Errorf("posit(8,2) maxpos = %g", got)
+	}
+}
+
+func TestGoldenPosit16es1(t *testing.T) {
+	f := MustFormat(16, 1)
+	golden := map[float64]uint64{
+		// 1.0: 0 10 0 000000000000
+		1: 0x4000,
+		// -1.0
+		-1: 0xC000,
+		// 0.5 = 2^-1: k=-1,e=1: 0 01 1 000000000000
+		0.5: 0x3000,
+		// 3 = 1.5×2: k=0,e=1, frac=.1: 0|10|1|100000000000 = 0x5800
+		3: 0x5800,
+		// maxpos = 4^14 = 2^28
+		268435456: 0x7FFF,
+	}
+	for v, bits := range golden {
+		if got := f.FromFloat64(v).Bits(); got != bits {
+			t.Errorf("posit(16,1) enc(%g) = %#06x want %#06x", v, got, bits)
+		}
+		if got := f.FromBits(bits).Float64(); got != v {
+			t.Errorf("posit(16,1) dec(%#06x) = %g want %g", bits, got, v)
+		}
+	}
+}
+
+func TestGoldenPosit32Standard(t *testing.T) {
+	f := Posit32() // es=2
+	// 1.0 = 0 10 00 0...: 0x40000000
+	if got := f.FromFloat64(1).Bits(); got != 0x40000000 {
+		t.Errorf("posit32 enc(1) = %#x", got)
+	}
+	// 0.25 = 2^-2: k=-1 (scale -4..-1), e=2: 0 01 10 0...:
+	// sign 0, regime 01, exp 10, frac 0 -> 0011 0000 ... = 0x30000000?
+	// regime 01 -> k=-1, scale = -4+e: want -2 -> e=2 (binary 10).
+	if got := f.FromFloat64(0.25).Bits(); got != 0x30000000 {
+		t.Errorf("posit32 enc(0.25) = %#x", got)
+	}
+	// NaR
+	if got := f.NaR().Bits(); got != 0x80000000 {
+		t.Errorf("posit32 NaR = %#x", got)
+	}
+}

@@ -1,0 +1,220 @@
+package posit
+
+// Test oracles implementing posit rounding *independently* of the encoder
+// under test.
+//
+// The paper's Algorithm 2 (like SoftPosit) rounds in encoding space: the
+// unbounded regime|exponent|fraction bit string is cut after n-1 bits and
+// rounded to nearest-even on the *pattern*. Because the regime is a
+// run-length code, the value midpoint between two adjacent posits is NOT
+// always the arithmetic mean — at regime transitions the pattern-space
+// threshold sits at the value of the (n+1)-bit extension pattern
+// (P<<1)|1. These oracles use that characterisation, which is easy to
+// state and entirely independent of the Writer-based encoder.
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/dyadic"
+)
+
+// thresholdAbove returns the rounding threshold between the positive posit
+// p and p.Next() as an exact dyadic: the value of pattern (p<<1)|1 in the
+// (n+1)-bit extension of the format.
+func thresholdAbove(p Posit) dyadic.D {
+	f := p.Format()
+	ext := MustFormat(f.N()+1, f.ES())
+	t, ok := ext.FromBits(p.Bits()<<1 | 1).Dyadic()
+	if !ok {
+		panic("thresholdAbove: NaR")
+	}
+	return t
+}
+
+// positivePosits returns the positive values of f sorted ascending
+// (memoized; only used by small-format tests).
+var positivePositsCache = map[Format][]Posit{}
+
+func positivePosits(f Format) []Posit {
+	if cached, ok := positivePositsCache[f]; ok {
+		return cached
+	}
+	var out []Posit
+	for b := uint64(1); b < f.Count(); b++ {
+		p := f.FromBits(b)
+		if p.IsNaR() || p.IsZero() || p.Negative() {
+			continue
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Float64() < out[j].Float64() })
+	positivePositsCache[f] = out
+	return out
+}
+
+// roundRatioOracle rounds the exact real number num/den (den != 0) to
+// format f using pattern-space round-to-nearest-even with posit
+// saturation. All comparisons are exact (cross-multiplied dyadics); the
+// floor posit is located by walking from a float64 estimate (at most a
+// few steps), so the oracle stays fast even for 32-bit formats.
+func roundRatioOracle(f Format, num, den dyadic.D) Posit {
+	if num.IsZero() {
+		return f.Zero()
+	}
+	neg := (num.Sign() < 0) != (den.Sign() < 0)
+	a, d := num.Abs(), den.Abs()
+
+	finish := func(p Posit) Posit {
+		if neg {
+			return p.Neg()
+		}
+		return p
+	}
+
+	dmax, _ := f.MaxPos().Dyadic()
+	dmin, _ := f.MinPos().Dyadic()
+	if a.Cmp(dmax.Mul(d)) >= 0 {
+		return finish(f.MaxPos())
+	}
+	if a.Cmp(dmin.Mul(d)) <= 0 {
+		return finish(f.MinPos())
+	}
+
+	// Find the largest posit P with P <= a/d (exactly: P*d <= a),
+	// starting from the float64 estimate.
+	le := func(p Posit) bool {
+		pd, _ := p.Dyadic()
+		return pd.Mul(d).Cmp(a) <= 0
+	}
+	p := f.FromFloat64(a.Float64() / d.Float64())
+	if p.IsNaR() || p.IsZero() || p.Negative() {
+		p = f.MinPos()
+	}
+	for !le(p) {
+		p = p.Prev()
+	}
+	for {
+		n := p.Next()
+		if n.Bits() == p.Bits() || !le(n) {
+			break
+		}
+		p = n
+	}
+	pd, _ := p.Dyadic()
+	if pd.Mul(d).Cmp(a) == 0 {
+		return finish(p) // exact
+	}
+	next := p.Next()
+	t := thresholdAbove(p)
+	switch a.Cmp(t.Mul(d)) {
+	case -1:
+		return finish(p)
+	case 1:
+		return finish(next)
+	default: // tie on the pattern threshold: even pattern wins
+		if p.Bits()&1 == 0 {
+			return finish(p)
+		}
+		return finish(next)
+	}
+}
+
+// roundValueOracle rounds an exact dyadic value.
+func roundValueOracle(f Format, x dyadic.D) Posit {
+	return roundRatioOracle(f, x, dyadic.New(1, 0))
+}
+
+// sqrtPatternOracle rounds sqrt(x) (x a positive dyadic) to format f in
+// pattern space: p <= sqrt(x) iff p² <= x, threshold comparisons squared.
+func sqrtPatternOracle(f Format, x dyadic.D) Posit {
+	dmax, _ := f.MaxPos().Dyadic()
+	dmin, _ := f.MinPos().Dyadic()
+	if x.Cmp(dmax.Mul(dmax)) >= 0 {
+		return f.MaxPos()
+	}
+	if x.Cmp(dmin.Mul(dmin)) <= 0 {
+		return f.MinPos()
+	}
+	le := func(p Posit) bool {
+		pd, _ := p.Dyadic()
+		return pd.Mul(pd).Cmp(x) <= 0
+	}
+	p := f.FromFloat64(math.Sqrt(x.Float64()))
+	if p.IsNaR() || p.IsZero() || p.Negative() {
+		p = f.MinPos()
+	}
+	for !le(p) {
+		p = p.Prev()
+	}
+	for {
+		n := p.Next()
+		if n.Bits() == p.Bits() || !le(n) {
+			break
+		}
+		p = n
+	}
+	pd, _ := p.Dyadic()
+	if pd.Mul(pd).Cmp(x) == 0 {
+		return p
+	}
+	t := thresholdAbove(p)
+	switch x.Cmp(t.Mul(t)) {
+	case -1:
+		return p
+	case 1:
+		return p.Next()
+	default:
+		if p.Bits()&1 == 0 {
+			return p
+		}
+		return p.Next()
+	}
+}
+
+// TestOracleAgreesOnRepresentables sanity-checks the oracle itself.
+func TestOracleAgreesOnRepresentables(t *testing.T) {
+	f := MustFormat(8, 1)
+	for b := uint64(0); b < f.Count(); b++ {
+		p := f.FromBits(b)
+		if p.IsNaR() {
+			continue
+		}
+		d, _ := p.Dyadic()
+		if got := roundValueOracle(f, d); got.Bits() != p.Bits() {
+			t.Fatalf("oracle(%v) = %v", p, got)
+		}
+	}
+}
+
+// TestEncoderMatchesOracleOnThresholds drives the encoder with values at
+// and around every pattern-space threshold of posit(6,1) and posit(8,0),
+// including the regime-transition cases where pattern-space differs from
+// value-space rounding.
+func TestEncoderMatchesOracleOnThresholds(t *testing.T) {
+	for _, f := range []Format{MustFormat(6, 1), MustFormat(8, 0), MustFormat(7, 2)} {
+		pos := positivePosits(f)
+		for i := 0; i+1 < len(pos); i++ {
+			th := thresholdAbove(pos[i])
+			for _, x := range []dyadic.D{
+				th,
+				th.Mul(dyadic.New(4097, -12)), // th * (1 + 2^-12)
+				th.Mul(dyadic.New(4095, -12)), // th * (1 - 2^-12)
+			} {
+				want := roundValueOracle(f, x)
+				got := f.FromDyadic(x)
+				if got.Bits() != want.Bits() {
+					t.Fatalf("%s: x=%v: encoder %v oracle %v (threshold of %v)",
+						f, x, got, want, pos[i])
+				}
+				// negative mirror
+				wantN := roundValueOracle(f, x.Neg())
+				gotN := f.FromDyadic(x.Neg())
+				if gotN.Bits() != wantN.Bits() {
+					t.Fatalf("%s: x=-%v: encoder %v oracle %v", f, x, gotN, wantN)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package posit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests (testing/quick) over randomly drawn patterns.
+
+func qcfg() *quick.Config { return &quick.Config{MaxCount: 4000} }
+
+func TestPropMulCommutative(t *testing.T) {
+	f := MustFormat(8, 1)
+	prop := func(a, b uint8) bool {
+		pa, pb := f.FromBits(uint64(a)), f.FromBits(uint64(b))
+		return pa.Mul(pb).Bits() == pb.Mul(pa).Bits()
+	}
+	if err := quick.Check(prop, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropAddCommutative(t *testing.T) {
+	f := MustFormat(8, 2)
+	prop := func(a, b uint8) bool {
+		pa, pb := f.FromBits(uint64(a)), f.FromBits(uint64(b))
+		return pa.Add(pb).Bits() == pb.Add(pa).Bits()
+	}
+	if err := quick.Check(prop, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropNegationSymmetry(t *testing.T) {
+	f := MustFormat(8, 0)
+	prop := func(a, b uint8) bool {
+		pa, pb := f.FromBits(uint64(a)), f.FromBits(uint64(b))
+		// (-a)*b == -(a*b)
+		return pa.Neg().Mul(pb).Bits() == pa.Mul(pb).Neg().Bits()
+	}
+	if err := quick.Check(prop, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropDoubleNegIdentity(t *testing.T) {
+	for _, es := range []uint{0, 1, 2, 3} {
+		f := MustFormat(16, es)
+		prop := func(a uint16) bool {
+			p := f.FromBits(uint64(a))
+			return p.Neg().Neg().Bits() == p.Bits()
+		}
+		if err := quick.Check(prop, qcfg()); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestPropRoundTrip16(t *testing.T) {
+	f := MustFormat(16, 1)
+	prop := func(a uint16) bool {
+		p := f.FromBits(uint64(a))
+		if p.IsNaR() {
+			return true
+		}
+		return f.FromFloat64(p.Float64()).Bits() == p.Bits()
+	}
+	if err := quick.Check(prop, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropRoundTrip32(t *testing.T) {
+	f := MustFormat(32, 2)
+	prop := func(a uint32) bool {
+		p := f.FromBits(uint64(a))
+		if p.IsNaR() {
+			return true
+		}
+		return f.FromFloat64(p.Float64()).Bits() == p.Bits()
+	}
+	if err := quick.Check(prop, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropMonotoneRounding: FromFloat64 must be monotone: x <= y implies
+// posit(x) <= posit(y).
+func TestPropMonotoneRounding(t *testing.T) {
+	f := MustFormat(8, 1)
+	prop := func(xb, yb uint16) bool {
+		// map uint16 into a modest float range, including negatives
+		x := (float64(xb) - 32768) / 256
+		y := (float64(yb) - 32768) / 256
+		if x > y {
+			x, y = y, x
+		}
+		return f.FromFloat64(x).Cmp(f.FromFloat64(y)) <= 0
+	}
+	if err := quick.Check(prop, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropMulVsFloat64UpperBound: the rounded product can differ from the
+// true product by at most one final-grid step (sanity envelope).
+func TestPropMulRoundedWithinOneULP(t *testing.T) {
+	f := MustFormat(8, 0)
+	prop := func(a, b uint8) bool {
+		pa, pb := f.FromBits(uint64(a)), f.FromBits(uint64(b))
+		if pa.IsNaR() || pb.IsNaR() {
+			return true
+		}
+		exact := pa.Float64() * pb.Float64()
+		got := pa.Mul(pb)
+		// got must be one of the two posits bracketing exact (or a
+		// saturation endpoint).
+		lower := f.FromFloat64(exact)
+		return got.Bits() == lower.Bits() ||
+			got.Bits() == lower.Next().Bits() ||
+			got.Bits() == lower.Prev().Bits()
+	}
+	if err := quick.Check(prop, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropQuireMatchesScalarChain: for k=1 the quire result equals the
+// scalar multiply.
+func TestPropQuireSingleEqualsMul(t *testing.T) {
+	f := MustFormat(8, 2)
+	prop := func(a, b uint8) bool {
+		pa, pb := f.FromBits(uint64(a)), f.FromBits(uint64(b))
+		q := NewQuire(f, 1)
+		q.MulAdd(pa, pb)
+		return q.Result().Bits() == pa.Mul(pb).Bits()
+	}
+	if err := quick.Check(prop, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropAbsNonNegative and ordering of Next/Prev.
+func TestPropNextPrevAdjacency(t *testing.T) {
+	f := MustFormat(8, 1)
+	prop := func(a uint8) bool {
+		p := f.FromBits(uint64(a))
+		if p.IsNaR() {
+			return p.Next().IsNaR() && p.Prev().IsNaR()
+		}
+		n := p.Next()
+		if p.Bits() == f.MaxPos().Bits() {
+			return n.Bits() == p.Bits()
+		}
+		if n.IsNaR() {
+			return false
+		}
+		return n.Float64() > p.Float64() && n.Prev().Bits() == p.Bits()
+	}
+	if err := quick.Check(prop, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropSqrtMulSelf(t *testing.T) {
+	f := MustFormat(16, 1)
+	prop := func(a uint16) bool {
+		p := f.FromBits(uint64(a))
+		if p.IsNaR() || p.Negative() || p.IsZero() {
+			return true
+		}
+		r := p.Sqrt()
+		// r^2 must be within one grid step of p
+		rr := r.Mul(r)
+		return math.Abs(rr.Float64()-p.Float64()) <= 2.0*math.Max(p.ULP(), rr.ULP())
+	}
+	if err := quick.Check(prop, qcfg()); err != nil {
+		t.Error(err)
+	}
+}

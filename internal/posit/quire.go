@@ -1,0 +1,262 @@
+package posit
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/bitutil"
+	"repro/internal/dyadic"
+	"repro/internal/wide"
+)
+
+// QuireSize returns the accumulator width of eq. (4) of the paper:
+//
+//	qsize = 2^(es+2) × (n-2) + 2 + ceil(log2(k)),   n >= 3
+//
+// wide enough to hold the exact sum of k products of posits without any
+// rounding: 2^(es+1)(n-2) fraction bits (down to minpos²), the same again
+// in integer bits (up to maxpos²), a sign bit, and ceil(log2 k) carry bits.
+func QuireSize(f Format, k int) uint {
+	f.mustValid()
+	if k < 1 {
+		panic("posit: quire capacity must be >= 1")
+	}
+	return (uint(1)<<(f.es+2))*(f.n-2) + 2 + bitutil.Clog2(uint64(k))
+}
+
+// Quire is the posit Kulisch accumulator: a wide two's-complement
+// fixed-point register into which exact products of posits are added, with
+// a single round-to-nearest-even when the final value is read out. It
+// implements the accumulation loop of the paper's Algorithm 2
+// (lines 11-19) in software, bit-for-bit.
+type Quire struct {
+	f        Format
+	capacity int
+	fracBits uint // position of the binary point: 2^(es+1)(n-2)
+	acc      *wide.Int
+	adds     int
+	nar      bool
+	// dropped counts fraction bits removed from the bottom of the
+	// register (0 for the exact eq.-(4) quire; >0 for the truncated
+	// ablation variant). Product bits below the register floor are
+	// discarded, exactly as narrower hardware would.
+	dropped uint
+}
+
+// NewQuire returns an empty quire for format f sized for k accumulations.
+func NewQuire(f Format, k int) *Quire {
+	f.mustValid()
+	return &Quire{
+		f:        f,
+		capacity: k,
+		fracBits: (uint(1) << (f.es + 1)) * (f.n - 2),
+		acc:      wide.New(QuireSize(f, k)),
+	}
+}
+
+// NewTruncatedQuire returns the ablation variant: a register shortened by
+// `drop` fraction bits at the bottom. Products contributing only below
+// the register floor vanish, and partial products lose their low bits —
+// the accuracy/area trade-off hardware designers take when the full
+// eq.-(4) width (e.g. 103 bits for posit(8,2), k=32) is too expensive.
+// drop must be less than the fraction depth 2^(es+1)(n-2).
+func NewTruncatedQuire(f Format, k int, drop uint) *Quire {
+	f.mustValid()
+	frac := (uint(1) << (f.es + 1)) * (f.n - 2)
+	if drop >= frac {
+		panic("posit: truncated quire would drop all fraction bits")
+	}
+	return &Quire{
+		f:        f,
+		capacity: k,
+		fracBits: frac - drop,
+		acc:      wide.New(QuireSize(f, k) - drop),
+		dropped:  drop,
+	}
+}
+
+// Dropped returns the number of truncated low fraction bits (0 for the
+// exact quire).
+func (q *Quire) Dropped() uint { return q.dropped }
+
+// Format returns the posit format this quire accumulates.
+func (q *Quire) Format() Format { return q.f }
+
+// Capacity returns the number of accumulations the register was sized for.
+func (q *Quire) Capacity() int { return q.capacity }
+
+// Width returns the register width in bits (eq. (4)).
+func (q *Quire) Width() uint { return q.acc.Width() }
+
+// Adds returns how many accumulation operations have been performed since
+// the last Reset.
+func (q *Quire) Adds() int { return q.adds }
+
+// IsNaR reports whether a NaR has been absorbed.
+func (q *Quire) IsNaR() bool { return q.nar }
+
+// Reset clears the accumulator to zero.
+func (q *Quire) Reset() {
+	q.acc.SetZero()
+	q.adds = 0
+	q.nar = false
+}
+
+// ResetToBias clears the accumulator and preloads it with the fixed-point
+// representation of the bias posit — the paper's trick of resetting the
+// accumulation flip-flop to the bias so products accumulate on top of it.
+func (q *Quire) ResetToBias(bias Posit) {
+	q.Reset()
+	q.AddPosit(bias)
+	q.adds = 0
+}
+
+// AddPosit accumulates the exact value of p into the register.
+func (q *Quire) AddPosit(p Posit) {
+	if p.f != q.f {
+		panic("posit: quire format mismatch")
+	}
+	if p.IsNaR() {
+		q.nar = true
+		return
+	}
+	q.adds++
+	if p.bits == 0 {
+		return
+	}
+	d := p.decode()
+	sig, shift, ok := q.place(d.sig, d.sf-int(d.sigW)+1)
+	if !ok {
+		return
+	}
+	if d.sign {
+		q.acc.SubUint64Shifted(sig, shift)
+	} else {
+		q.acc.AddUint64Shifted(sig, shift)
+	}
+}
+
+// place aligns a magnitude with LSB scale lsbScale to the register,
+// truncating below the register floor when the quire is the shortened
+// ablation variant. ok reports whether anything remains to add.
+func (q *Quire) place(sig uint64, lsbScale int) (uint64, uint, bool) {
+	shift := int(q.fracBits) + lsbScale
+	if shift >= 0 {
+		return sig, uint(shift), sig != 0
+	}
+	if q.dropped == 0 {
+		panic("posit: quire shift underflow") // impossible for the exact quire
+	}
+	s := uint(-shift)
+	if s >= 64 {
+		return 0, 0, false
+	}
+	sig >>= s // magnitude truncation: low bits fall below the floor
+	return sig, 0, sig != 0
+}
+
+// MulAdd accumulates the exact product w × a into the register: the
+// multiplication stage (Alg. 2 lines 6-10) followed by fixed-point
+// conversion and wide addition (lines 11-14). No rounding occurs.
+func (q *Quire) MulAdd(w, a Posit) {
+	if w.f != q.f || a.f != q.f {
+		panic("posit: quire format mismatch")
+	}
+	if w.IsNaR() || a.IsNaR() {
+		q.nar = true
+		return
+	}
+	q.adds++
+	if w.bits == 0 || a.bits == 0 {
+		return
+	}
+	dw, da := w.decode(), a.decode()
+	prod := dw.sig * da.sig
+	// LSB weight of the product: 2^(sf_w - (w_w-1) + sf_a - (w_a-1)).
+	lsbScale := dw.sf - int(dw.sigW) + 1 + da.sf - int(da.sigW) + 1
+	sig, shift, ok := q.place(prod, lsbScale)
+	if !ok {
+		return
+	}
+	if dw.sign != da.sign {
+		q.acc.SubUint64Shifted(sig, shift)
+	} else {
+		q.acc.AddUint64Shifted(sig, shift)
+	}
+}
+
+// SubPosit accumulates -p.
+func (q *Quire) SubPosit(p Posit) { q.AddPosit(p.Neg()) }
+
+// Result rounds the accumulated value to the nearest posit — the single
+// rounding of the exact dot product (Alg. 2 lines 15-43).
+func (q *Quire) Result() Posit {
+	if q.nar {
+		return q.f.NaR()
+	}
+	if q.acc.IsZero() {
+		return q.f.Zero()
+	}
+	mag := q.acc.Clone()
+	sign := mag.Sign()
+	if sign {
+		mag.Neg()
+	}
+	l := mag.Len() // MSB position + 1 (Alg. 2 line 17: LZD)
+	var count uint = 64
+	if l < count {
+		count = l
+	}
+	sig := mag.Extract(l-count, count)
+	sticky := mag.AnyBelow(l - count)
+	sf := int(l) - 1 - int(q.fracBits)
+	return q.f.encode(sign, sf, sig, count, sticky)
+}
+
+// Float64 returns the current exact register value as a float64 (rounded
+// to double, for diagnostics).
+func (q *Quire) Float64() float64 {
+	f := new(big.Float).SetPrec(256).SetInt(q.acc.Big())
+	f.SetMantExp(f, -int(q.fracBits)) // value = acc × 2^-fracBits
+	out, _ := f.Float64()
+	return out
+}
+
+// Dyadic returns the current exact register value as a dyadic rational,
+// used by the oracle tests to check that the quire really is exact.
+func (q *Quire) Dyadic() dyadic.D {
+	return dyadic.FromBig(q.acc.Big(), -int(q.fracBits))
+}
+
+// DotProduct computes the exactly-rounded dot product of two posit
+// vectors: Σ w[i]·a[i] with one rounding at the end.
+func DotProduct(w, a []Posit) Posit {
+	if len(w) != len(a) {
+		panic("posit: DotProduct length mismatch")
+	}
+	if len(w) == 0 {
+		panic("posit: DotProduct of empty vectors")
+	}
+	q := NewQuire(w[0].f, len(w))
+	for i := range w {
+		q.MulAdd(w[i], a[i])
+	}
+	return q.Result()
+}
+
+// Sum computes the exactly-rounded sum of posits with one rounding.
+func Sum(xs []Posit) Posit {
+	if len(xs) == 0 {
+		panic("posit: Sum of empty slice")
+	}
+	q := NewQuire(xs[0].f, len(xs))
+	for _, x := range xs {
+		q.AddPosit(x)
+	}
+	return q.Result()
+}
+
+// String renders the quire state for debugging.
+func (q *Quire) String() string {
+	return fmt.Sprintf("quire[%s,k=%d,w=%d] %s", q.f, q.capacity, q.acc.Width(), q.acc.HexString())
+}

@@ -1,0 +1,23 @@
+package posit
+
+// FastSigmoid computes Gustafson's fast sigmoid approximation for es = 0
+// posits: flipping the sign bit and shifting the pattern right by two
+// approximates 1/(1+e^-x) with no arithmetic at all. This is the
+// "extension" the posit-DNN literature highlights as a hardware bonus of
+// the format (cited by the paper's related work via [10]); we include it
+// as an optional activation for Deep Positron networks.
+//
+// The trick requires es == 0; calling it on other formats panics.
+func (p Posit) FastSigmoid() Posit {
+	if p.f.es != 0 {
+		panic("posit: FastSigmoid requires es == 0")
+	}
+	if p.IsNaR() {
+		return p
+	}
+	bits := (p.bits ^ p.f.signBit()) >> 2
+	return Posit{f: p.f, bits: bits & p.f.Mask()}
+}
+
+// FastSigmoidValid reports whether the format supports FastSigmoid.
+func (f Format) FastSigmoidValid() bool { return f.valid() && f.es == 0 }

@@ -1,0 +1,20 @@
+package posit
+
+// Standard formats. The 2022 posit standard fixes es = 2 for every width;
+// the paper predates it (and sweeps es), but downstream users expect the
+// standard formats by name, and the Deep Positron results for es = 2 are
+// directly comparable to standard-posit hardware.
+
+// Posit8 is the standard 8-bit format, posit(8,2).
+func Posit8() Format { return MustFormat(8, 2) }
+
+// Posit16 is the standard 16-bit format, posit(16,2).
+func Posit16() Format { return MustFormat(16, 2) }
+
+// Posit32 is the standard 32-bit format, posit(32,2).
+func Posit32() Format { return MustFormat(32, 2) }
+
+// Posit8Legacy is the pre-standard 8-bit convention, posit(8,0), used by
+// much of the early posit-DNN literature (and the best Iris/Mushroom
+// configurations in the paper).
+func Posit8Legacy() Format { return MustFormat(8, 0) }

@@ -1,0 +1,97 @@
+package posit
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// String renders the value in decimal, e.g. "posit(8,0)[0x52]=1.28125".
+func (p Posit) String() string {
+	if p.IsNaR() {
+		return fmt.Sprintf("%s[NaR]", p.f)
+	}
+	return fmt.Sprintf("%s[0x%02x]=%g", p.f, p.bits, p.Float64())
+}
+
+// BitString renders the raw pattern as a binary string with field
+// separators: sign|regime|exponent|fraction, e.g. "0|10|1|10110".
+// Zero and NaR render without separators.
+func (p Posit) BitString() string {
+	n := p.f.n
+	raw := fmt.Sprintf("%0*b", n, p.bits)
+	if p.bits == 0 || p.IsNaR() {
+		return raw
+	}
+	// Re-derive field boundaries from the magnitude pattern.
+	mag := p.Abs()
+	d := mag.decode()
+	k, _ := d.regime(p.f.es)
+	var rlen uint
+	if k >= 0 {
+		rlen = uint(k) + 2
+	} else {
+		rlen = uint(-k) + 1
+	}
+	if rlen > n-1 {
+		rlen = n - 1
+	}
+	rem := n - 1 - rlen
+	eLen := p.f.es
+	if eLen > rem {
+		eLen = rem
+	}
+	var b strings.Builder
+	b.WriteString(raw[:1])
+	b.WriteByte('|')
+	b.WriteString(raw[1 : 1+rlen])
+	if eLen > 0 {
+		b.WriteByte('|')
+		b.WriteString(raw[1+rlen : 1+rlen+eLen])
+	}
+	if rem-eLen > 0 {
+		b.WriteByte('|')
+		b.WriteString(raw[1+rlen+eLen:])
+	}
+	return b.String()
+}
+
+// ParseBits parses a binary pattern string (optionally containing '|' or
+// '_' separators) into a posit of format f.
+func (f Format) ParseBits(s string) (Posit, error) {
+	f.mustValid()
+	clean := strings.NewReplacer("|", "", "_", "", " ", "").Replace(s)
+	if uint(len(clean)) != f.n {
+		return Posit{}, fmt.Errorf("posit: pattern %q has %d bits, format needs %d", s, len(clean), f.n)
+	}
+	v, err := strconv.ParseUint(clean, 2, 64)
+	if err != nil {
+		return Posit{}, fmt.Errorf("posit: bad pattern %q: %w", s, err)
+	}
+	return f.FromBits(v), nil
+}
+
+// RegimeFromRun decodes a standalone regime bit string (as in the paper's
+// Table I, e.g. "0001" -> -3, "1110" -> 2). The string must be a run of
+// identical bits optionally terminated by one opposite bit.
+func RegimeFromRun(s string) (int, error) {
+	if len(s) == 0 {
+		return 0, fmt.Errorf("posit: empty regime string")
+	}
+	r0 := s[0]
+	if r0 != '0' && r0 != '1' {
+		return 0, fmt.Errorf("posit: bad regime string %q", s)
+	}
+	run := 1
+	for run < len(s) && s[run] == r0 {
+		run++
+	}
+	// anything after the run must be exactly one terminator bit
+	if run < len(s)-1 {
+		return 0, fmt.Errorf("posit: %q is not a regime run", s)
+	}
+	if r0 == '1' {
+		return run - 1, nil
+	}
+	return -run, nil
+}

@@ -1,0 +1,146 @@
+package posit
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestRegimeTableI reproduces Table I of the paper exactly: the regime
+// interpretation of six binary strings.
+func TestRegimeTableI(t *testing.T) {
+	table := []struct {
+		bits string
+		k    int
+	}{
+		{"0001", -3},
+		{"001", -2},
+		{"01", -1},
+		{"10", 0},
+		{"110", 1},
+		{"1110", 2},
+	}
+	for _, row := range table {
+		got, err := RegimeFromRun(row.bits)
+		if err != nil {
+			t.Fatalf("RegimeFromRun(%q): %v", row.bits, err)
+		}
+		if got != row.k {
+			t.Errorf("RegimeFromRun(%q) = %d want %d", row.bits, got, row.k)
+		}
+	}
+}
+
+func TestRegimeFromRunErrors(t *testing.T) {
+	for _, s := range []string{"", "2", "0101", "1101"} {
+		if _, err := RegimeFromRun(s); err == nil {
+			t.Errorf("RegimeFromRun(%q) should fail", s)
+		}
+	}
+	// pure runs without terminator are valid
+	if k, err := RegimeFromRun("1111"); err != nil || k != 3 {
+		t.Errorf("RegimeFromRun(1111) = %d,%v", k, err)
+	}
+	if k, err := RegimeFromRun("0000"); err != nil || k != -4 {
+		t.Errorf("RegimeFromRun(0000) = %d,%v", k, err)
+	}
+}
+
+func TestBitString(t *testing.T) {
+	f := MustFormat(8, 1)
+	p, err := f.ParseBits("01010110")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.BitString(); got != "0|10|1|0110" {
+		t.Errorf("BitString = %q", got)
+	}
+	if got := f.Zero().BitString(); got != "00000000" {
+		t.Errorf("zero BitString = %q", got)
+	}
+	if got := f.NaR().BitString(); got != "10000000" {
+		t.Errorf("NaR BitString = %q", got)
+	}
+}
+
+func TestBitStringRoundTrips(t *testing.T) {
+	f := MustFormat(8, 2)
+	for b := uint64(0); b < f.Count(); b++ {
+		p := f.FromBits(b)
+		back, err := f.ParseBits(p.BitString())
+		if err != nil {
+			t.Fatalf("ParseBits(%q): %v", p.BitString(), err)
+		}
+		if back.Bits() != p.Bits() {
+			t.Fatalf("BitString round trip failed for %08b", b)
+		}
+	}
+}
+
+func TestParseBitsErrors(t *testing.T) {
+	f := MustFormat(8, 0)
+	if _, err := f.ParseBits("0101"); err == nil {
+		t.Error("short pattern should fail")
+	}
+	if _, err := f.ParseBits("01012110"); err == nil {
+		t.Error("non-binary pattern should fail")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	f := MustFormat(8, 0)
+	s := f.One().String()
+	if !strings.Contains(s, "=1") {
+		t.Errorf("One renders as %q", s)
+	}
+	if !strings.Contains(f.NaR().String(), "NaR") {
+		t.Errorf("NaR renders as %q", f.NaR().String())
+	}
+}
+
+func TestFastSigmoid(t *testing.T) {
+	f := MustFormat(8, 0)
+	// The approximation must be monotone, bounded to (0,1), exact at 0
+	// (sigmoid(0)=0.5) and close to the true sigmoid elsewhere.
+	if got := f.Zero().FastSigmoid().Float64(); got != 0.5 {
+		t.Errorf("fast sigmoid(0) = %v want 0.5", got)
+	}
+	maxErr := 0.0
+	prev := -1.0
+	for sb := -int64(127); sb <= 127; sb++ {
+		p := f.FromBits(uint64(sb) & f.Mask())
+		if p.IsNaR() {
+			continue
+		}
+		s := p.FastSigmoid().Float64()
+		x := p.Float64()
+		want := 1 / (1 + math.Exp(-x))
+		if e := math.Abs(s - want); e > maxErr {
+			maxErr = e
+		}
+		if s < 0 || s > 1 {
+			t.Fatalf("fast sigmoid out of range: σ(%g)=%g", x, s)
+		}
+		if s < prev {
+			t.Fatalf("fast sigmoid not monotone at x=%g", x)
+		}
+		prev = s
+	}
+	if maxErr > 0.065 {
+		t.Errorf("fast sigmoid max error %.4f exceeds expected bound", maxErr)
+	}
+	t.Logf("fast sigmoid max abs error vs exact: %.4f", maxErr)
+}
+
+func TestFastSigmoidRequiresES0(t *testing.T) {
+	f := MustFormat(8, 1)
+	if f.FastSigmoidValid() {
+		t.Error("es=1 must not claim FastSigmoid support")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FastSigmoid on es=1 must panic")
+		}
+	}()
+	f.One().FastSigmoid()
+}

@@ -1,0 +1,177 @@
+package posit
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dyadic"
+	"repro/internal/rng"
+)
+
+func TestMinMaxCopySign(t *testing.T) {
+	f := MustFormat(8, 0)
+	a, b := f.FromFloat64(-2), f.FromFloat64(3)
+	if Min(a, b).Float64() != -2 || Max(a, b).Float64() != 3 {
+		t.Error("Min/Max")
+	}
+	if Min(f.NaR(), b).IsNaR() == false {
+		t.Error("NaR sorts lowest")
+	}
+	if got := CopySign(b, a).Float64(); got != -3 {
+		t.Errorf("CopySign = %v", got)
+	}
+	if got := CopySign(a, b).Float64(); got != 2 {
+		t.Errorf("CopySign = %v", got)
+	}
+	if !CopySign(f.NaR(), b).IsNaR() {
+		t.Error("CopySign NaR passthrough")
+	}
+	if !CopySign(f.Zero(), a).IsZero() {
+		t.Error("CopySign zero")
+	}
+}
+
+func TestVectorRoundTrip(t *testing.T) {
+	f := MustFormat(8, 1)
+	xs := []float64{0.5, -1.25, 3, 0}
+	v := NewVector(f, xs)
+	got := v.Float64s()
+	for i := range xs {
+		if got[i] != xs[i] {
+			t.Errorf("element %d: %v", i, got[i])
+		}
+	}
+}
+
+func TestAXPYExact(t *testing.T) {
+	f := MustFormat(8, 0)
+	alpha := f.FromFloat64(0.5)
+	x := NewVector(f, []float64{1, 2, -3})
+	y := NewVector(f, []float64{0.25, -1, 1})
+	out := AXPY(alpha, x, y)
+	da, _ := alpha.Dyadic()
+	for i := range out {
+		dx, _ := x[i].Dyadic()
+		dy, _ := y[i].Dyadic()
+		want := f.FromDyadic(da.Mul(dx).Add(dy))
+		if out[i].Bits() != want.Bits() {
+			t.Fatalf("AXPY[%d] = %v want %v", i, out[i], want)
+		}
+	}
+}
+
+func TestNorm2(t *testing.T) {
+	f := MustFormat(16, 1)
+	v := NewVector(f, []float64{3, 4})
+	if got := v.Norm2().Float64(); got != 5 {
+		t.Errorf("||(3,4)|| = %v", got)
+	}
+	// exactness: sum of squares held in the quire, rounded once
+	r := rng.New(31)
+	for trial := 0; trial < 50; trial++ {
+		vals := make([]float64, 8)
+		for i := range vals {
+			vals[i] = r.NormMS(0, 2)
+		}
+		v := NewVector(f, vals)
+		exact := dyadic.Zero()
+		for _, p := range v {
+			d, _ := p.Dyadic()
+			exact = exact.Add(d.Mul(d))
+		}
+		want := f.FromDyadic(exact).Sqrt()
+		if got := v.Norm2(); got.Bits() != want.Bits() {
+			t.Fatalf("Norm2 = %v want %v", got, want)
+		}
+	}
+}
+
+func TestMatrixMulVecIsLayerCompute(t *testing.T) {
+	f := MustFormat(8, 1)
+	m := NewMatrix(f, 2, 3, []float64{1, 0.5, -1, 2, -0.25, 0})
+	x := NewVector(f, []float64{2, 4, 1})
+	y := m.MulVec(x)
+	// row 0: 2 + 2 - 1 = 3; row 1: 4 - 1 + 0 = 3
+	if y[0].Float64() != 3 || y[1].Float64() != 3 {
+		t.Errorf("MulVec = %v, %v", y[0], y[1])
+	}
+}
+
+func TestMatrixMulExactPerElement(t *testing.T) {
+	f := MustFormat(8, 0)
+	r := rng.New(77)
+	mk := func(rows, cols int) *Matrix {
+		xs := make([]float64, rows*cols)
+		for i := range xs {
+			xs[i] = r.NormMS(0, 1)
+		}
+		return NewMatrix(f, rows, cols, xs)
+	}
+	a := mk(3, 4)
+	b := mk(4, 2)
+	c := a.Mul(b)
+	if c.Rows != 3 || c.Cols != 2 {
+		t.Fatal("shape")
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 2; j++ {
+			exact := dyadic.Zero()
+			for k := 0; k < 4; k++ {
+				da, _ := a.At(i, k).Dyadic()
+				db, _ := b.At(k, j).Dyadic()
+				exact = exact.Add(da.Mul(db))
+			}
+			var want Posit
+			if exact.IsZero() {
+				want = f.Zero()
+			} else {
+				want = f.FromDyadic(exact)
+			}
+			if c.At(i, j).Bits() != want.Bits() {
+				t.Fatalf("C[%d][%d] = %v want %v", i, j, c.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestVectorDotMatchesFloatClosely(t *testing.T) {
+	f := MustFormat(16, 1)
+	r := rng.New(5)
+	for trial := 0; trial < 20; trial++ {
+		n := 32
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormMS(0, 1)
+			ys[i] = r.NormMS(0, 1)
+		}
+		v, w := NewVector(f, xs), NewVector(f, ys)
+		got := v.Dot(w).Float64()
+		var ref float64
+		for i := range xs {
+			ref += v[i].Float64() * w[i].Float64()
+		}
+		if ref != 0 && math.Abs(got-ref)/math.Abs(ref) > 0.01 {
+			t.Errorf("dot %v vs float ref %v", got, ref)
+		}
+	}
+}
+
+func TestVectorPanics(t *testing.T) {
+	f := MustFormat(8, 0)
+	for _, fn := range []func(){
+		func() { Vector{}.format() },
+		func() { AXPY(f.One(), NewVector(f, []float64{1}), NewVector(f, []float64{1, 2})) },
+		func() { NewMatrix(f, 2, 2, []float64{1}) },
+		func() { NewMatrix(f, 1, 2, []float64{1, 2}).MulVec(NewVector(f, []float64{1})) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

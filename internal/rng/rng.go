@@ -1,0 +1,129 @@
+// Package rng provides a small deterministic pseudo-random source
+// (SplitMix64) plus the Gaussian and categorical samplers the dataset
+// generators and weight initializers need. Determinism across runs and
+// platforms matters here: every experiment in EXPERIMENTS.md must
+// regenerate bit-identical tables, so we avoid math/rand's unspecified
+// cross-version behaviour and fix the algorithm ourselves.
+package rng
+
+import "math"
+
+// Source is a deterministic SplitMix64 generator. The zero value is a
+// valid generator seeded with 0; prefer New for clarity.
+type Source struct {
+	state uint64
+	// cached spare Gaussian deviate from the Marsaglia polar method
+	hasSpare bool
+	spare    float64
+}
+
+// New returns a Source seeded deterministically.
+func New(seed uint64) *Source { return &Source{state: seed} }
+
+// Uint64 returns the next 64 random bits (SplitMix64 step).
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0,1) with 53 random bits.
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0,n). n must be > 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire-style rejection-free for our purposes: modulo bias is
+	// irrelevant at n << 2^64 but we reject to stay exactly uniform.
+	bound := uint64(n)
+	threshold := (-bound) % bound
+	for {
+		v := s.Uint64()
+		if v >= threshold {
+			return int(v % bound)
+		}
+	}
+}
+
+// Norm returns a standard Gaussian deviate via the Marsaglia polar method.
+func (s *Source) Norm() float64 {
+	if s.hasSpare {
+		s.hasSpare = false
+		return s.spare
+	}
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q == 0 || q >= 1 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(q) / q)
+		s.spare = v * f
+		s.hasSpare = true
+		return u * f
+	}
+}
+
+// NormMS returns a Gaussian deviate with the given mean and stddev.
+func (s *Source) NormMS(mean, std float64) float64 {
+	return mean + std*s.Norm()
+}
+
+// Categorical samples an index from the (unnormalized, non-negative)
+// weights. It panics if all weights are zero or any is negative.
+func (s *Source) Categorical(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("rng: negative categorical weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("rng: categorical weights sum to zero")
+	}
+	r := s.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if r < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Perm returns a random permutation of [0,n) (Fisher–Yates).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes the first n indices in place via the swap callback.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Fork derives an independent child stream; streams forked with different
+// labels are decorrelated even from the same parent.
+func (s *Source) Fork(label uint64) *Source {
+	mix := s.Uint64() ^ (label * 0x9e3779b97f4a7c15) ^ 0xd1b54a32d192ed03
+	return New(mix)
+}

@@ -1,0 +1,134 @@
+// Package tabulate renders plain-text tables and simple ASCII scatter
+// series — the output surface for every regenerated table and figure.
+package tabulate
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// New creates a table with the given column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// Add appends a row; values are formatted with %v.
+func (t *Table) Add(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddStrings appends a pre-formatted row.
+func (t *Table) AddStrings(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// Len returns the number of data rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// String renders the table.
+func (t *Table) String() string {
+	cols := len(t.headers)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.headers)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(r []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(r) {
+				cell = r[i]
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Series is one named (x, y) sequence of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is a set of series with axis labels, rendered as the numeric
+// rows a plotting tool would consume plus a coarse ASCII scatter.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	LogY   bool
+	Series []*Series
+}
+
+// NewFigure creates a figure.
+func NewFigure(title, xlabel, ylabel string) *Figure {
+	return &Figure{Title: title, XLabel: xlabel, YLabel: ylabel}
+}
+
+// AddSeries appends a named series.
+func (f *Figure) AddSeries(name string, x, y []float64) *Series {
+	s := &Series{Name: name, X: x, Y: y}
+	f.Series = append(f.Series, s)
+	return s
+}
+
+// String renders the per-series rows.
+func (f *Figure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n  x: %s\n  y: %s\n", f.Title, f.XLabel, f.YLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "  series %q:\n", s.Name)
+		for i := range s.X {
+			fmt.Fprintf(&b, "    %12.5g  %12.5g\n", s.X[i], s.Y[i])
+		}
+	}
+	return b.String()
+}

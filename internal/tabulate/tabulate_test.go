@@ -1,0 +1,68 @@
+package tabulate
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := New("My Table", "name", "value")
+	tab.Add("alpha", 1)
+	tab.Add("beta", 2.5)
+	tab.AddStrings("gamma", "x")
+	s := tab.String()
+	if !strings.Contains(s, "My Table") {
+		t.Error("missing title")
+	}
+	for _, want := range []string{"name", "value", "alpha", "beta", "2.5", "gamma"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+	if tab.Len() != 3 {
+		t.Errorf("Len = %d", tab.Len())
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tab := New("", "a", "b")
+	tab.Add("short", "x")
+	tab.Add("muchlongervalue", "y")
+	lines := strings.Split(strings.TrimSpace(tab.String()), "\n")
+	// column b starts at the same offset on both data rows
+	r1, r2 := lines[len(lines)-2], lines[len(lines)-1]
+	if strings.Index(r1, "x") != strings.Index(r2, "y") {
+		t.Errorf("columns misaligned:\n%s\n%s", r1, r2)
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tab := New("", "v")
+	tab.Add(0.123456789)
+	if !strings.Contains(tab.String(), "0.1235") {
+		t.Errorf("float not compacted: %s", tab.String())
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	fig := NewFigure("F", "xs", "ys")
+	fig.AddSeries("s1", []float64{1, 2}, []float64{10, 20})
+	fig.AddSeries("s2", []float64{3}, []float64{30})
+	s := fig.String()
+	for _, want := range []string{"F", "xs", "ys", `"s1"`, `"s2"`, "10", "30"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in %s", want, s)
+		}
+	}
+	if len(fig.Series) != 2 {
+		t.Error("series count")
+	}
+}
+
+func TestRaggedRows(t *testing.T) {
+	tab := New("", "a")
+	tab.AddStrings("1", "2", "3") // more cells than headers must not panic
+	if !strings.Contains(tab.String(), "3") {
+		t.Error("extra cells dropped")
+	}
+}

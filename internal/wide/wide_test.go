@@ -1,0 +1,283 @@
+package wide
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func big64(v int64) *big.Int { return big.NewInt(v) }
+
+func TestNewAndZero(t *testing.T) {
+	x := New(100)
+	if !x.IsZero() || x.Width() != 100 || x.Words() != 2 {
+		t.Errorf("New(100): zero=%v width=%d words=%d", x.IsZero(), x.Width(), x.Words())
+	}
+	if x.Sign() {
+		t.Error("zero must be non-negative")
+	}
+}
+
+func TestNewPanicsOnZeroWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) must panic")
+		}
+	}()
+	New(0)
+}
+
+func TestSetInt64RoundTrip(t *testing.T) {
+	for _, w := range []uint{7, 33, 64, 65, 130, 500} {
+		for _, v := range []int64{0, 1, -1, 42, -42, 1 << 40, -(1 << 40)} {
+			x := New(w).SetInt64(v)
+			// value mod 2^w two's complement: for small |v| vs width it's exact
+			if w >= 42 {
+				if got := x.Int64(); got != v {
+					t.Errorf("w=%d v=%d: got %d", w, v, got)
+				}
+			}
+		}
+	}
+}
+
+func TestWrapNarrow(t *testing.T) {
+	x := New(4).SetInt64(7)
+	x.Add(New(4).SetInt64(1))
+	if got := x.Int64(); got != -8 {
+		t.Errorf("4-bit 7+1 = %d want -8 (wrap)", got)
+	}
+}
+
+func TestAddSubNegBig(t *testing.T) {
+	r := rng.New(1)
+	mod := new(big.Int).Lsh(big64(1), 200)
+	half := new(big.Int).Rsh(mod, 1)
+	toSigned := func(b *big.Int) *big.Int {
+		v := new(big.Int).Mod(b, mod)
+		if v.Cmp(half) >= 0 {
+			v.Sub(v, mod)
+		}
+		return v
+	}
+	for i := 0; i < 300; i++ {
+		a := randBig(r, 199)
+		b := randBig(r, 199)
+		x := New(200).SetBig(a)
+		y := New(200).SetBig(b)
+		sum := x.Clone().Add(y)
+		if want := toSigned(new(big.Int).Add(a, b)); sum.Big().Cmp(want) != 0 {
+			t.Fatalf("add: %v + %v = %v want %v", a, b, sum.Big(), want)
+		}
+		diff := x.Clone().Sub(y)
+		if want := toSigned(new(big.Int).Sub(a, b)); diff.Big().Cmp(want) != 0 {
+			t.Fatalf("sub mismatch")
+		}
+		neg := x.Clone().Neg()
+		if want := toSigned(new(big.Int).Neg(a)); neg.Big().Cmp(want) != 0 {
+			t.Fatalf("neg mismatch: %v -> %v want %v", a, neg.Big(), want)
+		}
+	}
+}
+
+func randBig(r *rng.Source, maxBits uint) *big.Int {
+	out := new(big.Int)
+	words := int(maxBits/64) + 1
+	for i := 0; i < words; i++ {
+		out.Lsh(out, 64)
+		out.Or(out, new(big.Int).SetUint64(r.Uint64()))
+	}
+	out.Rsh(out, uint(r.Intn(int(maxBits))))
+	if r.Intn(2) == 1 {
+		out.Neg(out)
+	}
+	return out
+}
+
+func TestShlShr(t *testing.T) {
+	r := rng.New(2)
+	for i := 0; i < 200; i++ {
+		a := new(big.Int).Abs(randBig(r, 150))
+		s := uint(r.Intn(200))
+		x := New(180).SetBig(a)
+		x.Shl(s)
+		want := new(big.Int).Lsh(a, s)
+		want.Mod(want, new(big.Int).Lsh(big64(1), 180))
+		// interpret unsigned for comparison: use extraction
+		got := New(180).SetBig(want)
+		if x.HexString() != got.HexString() {
+			t.Fatalf("shl %d mismatch", s)
+		}
+		y := New(180).SetBig(a)
+		y.Shr(s)
+		wantR := new(big.Int).Rsh(new(big.Int).Mod(a, new(big.Int).Lsh(big64(1), 180)), s)
+		gotR := New(180).SetBig(wantR)
+		if y.HexString() != gotR.HexString() {
+			t.Fatalf("shr %d mismatch", s)
+		}
+	}
+}
+
+func TestSar(t *testing.T) {
+	x := New(8).SetInt64(-64) // 11000000
+	x.Sar(3)
+	if got := x.Int64(); got != -8 {
+		t.Errorf("sar(-64,3) = %d want -8", got)
+	}
+	x = New(8).SetInt64(64)
+	x.Sar(3)
+	if got := x.Int64(); got != 8 {
+		t.Errorf("sar(64,3) = %d want 8", got)
+	}
+	x = New(8).SetInt64(-1)
+	x.Sar(100)
+	if got := x.Int64(); got != -1 {
+		t.Errorf("sar(-1,100) = %d want -1", got)
+	}
+	x = New(8).SetInt64(5)
+	x.Sar(100)
+	if got := x.Int64(); got != 0 {
+		t.Errorf("sar(5,100) = %d want 0", got)
+	}
+}
+
+func TestAddUint64Shifted(t *testing.T) {
+	r := rng.New(3)
+	for i := 0; i < 300; i++ {
+		width := uint(65 + r.Intn(300))
+		x := New(width)
+		ref := new(big.Int)
+		for j := 0; j < 10; j++ {
+			v := r.Uint64()
+			s := uint(r.Intn(int(width)))
+			if r.Intn(2) == 0 {
+				x.AddUint64Shifted(v, s)
+				ref.Add(ref, new(big.Int).Lsh(new(big.Int).SetUint64(v), s))
+			} else {
+				x.SubUint64Shifted(v, s)
+				ref.Sub(ref, new(big.Int).Lsh(new(big.Int).SetUint64(v), s))
+			}
+		}
+		want := New(width).SetBig(ref)
+		if x.HexString() != want.HexString() {
+			t.Fatalf("shifted add/sub mismatch at width %d", width)
+		}
+	}
+}
+
+func TestLenLeadingZeros(t *testing.T) {
+	x := New(100)
+	if x.Len() != 0 || x.LeadingZeros() != 100 {
+		t.Error("zero Len/LZ")
+	}
+	x.SetBit(70, 1)
+	if x.Len() != 71 || x.LeadingZeros() != 29 {
+		t.Errorf("Len=%d LZ=%d", x.Len(), x.LeadingZeros())
+	}
+}
+
+func TestExtractAnyBelow(t *testing.T) {
+	x := New(128)
+	x.AddUint64Shifted(0b1011, 62) // straddles the word boundary
+	if got := x.Extract(62, 4); got != 0b1011 {
+		t.Errorf("Extract = %b", got)
+	}
+	if x.AnyBelow(62) {
+		t.Error("AnyBelow(62) must be false")
+	}
+	if !x.AnyBelow(63) {
+		t.Error("AnyBelow(63) must be true")
+	}
+	if got := x.Extract(120, 64); got != 0 {
+		t.Errorf("Extract past top = %b", got)
+	}
+}
+
+func TestCmp(t *testing.T) {
+	a := New(128).SetInt64(-5)
+	b := New(128).SetInt64(3)
+	if a.Cmp(b) != -1 || b.Cmp(a) != 1 || a.Cmp(a) != 0 {
+		t.Error("Cmp sign handling")
+	}
+	c := New(128).SetInt64(100)
+	d := New(128).SetInt64(101)
+	if c.Cmp(d) != -1 {
+		t.Error("Cmp magnitude")
+	}
+}
+
+func TestBitSetBit(t *testing.T) {
+	x := New(130)
+	x.SetBit(129, 1)
+	if x.Bit(129) != 1 || !x.Sign() {
+		t.Error("setting the top bit must make the value negative")
+	}
+	x.SetBit(129, 0)
+	if !x.IsZero() {
+		t.Error("clearing top bit must restore zero")
+	}
+}
+
+func TestBigSetBigRoundTrip(t *testing.T) {
+	r := rng.New(4)
+	for i := 0; i < 200; i++ {
+		a := randBig(r, 250)
+		x := New(260).SetBig(a)
+		if x.Big().Cmp(a) != 0 {
+			t.Fatalf("SetBig/Big roundtrip: %v -> %v", a, x.Big())
+		}
+	}
+}
+
+func TestPropNegInvolution(t *testing.T) {
+	prop := func(v int64) bool {
+		x := New(77).SetInt64(v)
+		y := x.Clone().Neg().Neg()
+		return x.Cmp(y) == 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropAddCommutes(t *testing.T) {
+	prop := func(a, b int64) bool {
+		x := New(90).SetInt64(a)
+		y := New(90).SetInt64(b)
+		l := x.Clone().Add(y)
+		r := y.Clone().Add(x)
+		return l.Cmp(r) == 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("width mismatch must panic")
+		}
+	}()
+	New(10).Add(New(11))
+}
+
+func TestInt64Panics(t *testing.T) {
+	x := New(100)
+	x.SetBit(90, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Int64 overflow must panic")
+		}
+	}()
+	x.Int64()
+}
+
+func TestString(t *testing.T) {
+	x := New(64).SetInt64(-123456789)
+	if x.String() != "-123456789" {
+		t.Errorf("String = %s", x.String())
+	}
+}

@@ -1,0 +1,248 @@
+// Package positron is the public API of the Deep Positron reproduction:
+// a Go implementation of "Deep Positron: A Deep Neural Network Using the
+// Posit Number System" (Carmichael et al., DATE 2019).
+//
+// It exposes four layers of the system:
+//
+//   - Number formats: arbitrary posit(n,es) arithmetic (with the quire),
+//     parameterised minifloats, and Q-format fixed point — all bit-exact.
+//   - EMACs: the paper's exact multiply-and-accumulate units for all
+//     three formats behind one Arithmetic interface.
+//   - Deep Positron: quantised feed-forward inference built from EMACs,
+//     plus float64 training to produce the networks.
+//   - Evaluation: the analytic Virtex-7 hardware model and harnesses
+//     regenerating every table and figure of the paper.
+//
+// See the runnable programs under examples/ for end-to-end usage.
+package positron
+
+import (
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/emac"
+	"repro/internal/fixedpoint"
+	"repro/internal/hw"
+	"repro/internal/minifloat"
+	"repro/internal/nn"
+	"repro/internal/posit"
+	"repro/internal/rng"
+)
+
+// --- posit numbers ---
+
+// PositFormat identifies a posit format by width n and exponent size es.
+type PositFormat = posit.Format
+
+// Posit is a single posit value.
+type Posit = posit.Posit
+
+// Quire is the posit Kulisch accumulator (paper eq. (4)).
+type Quire = posit.Quire
+
+// NewPositFormat validates and returns a posit(n, es) format.
+func NewPositFormat(n, es uint) (PositFormat, error) { return posit.NewFormat(n, es) }
+
+// MustPositFormat panics on invalid parameters.
+func MustPositFormat(n, es uint) PositFormat { return posit.MustFormat(n, es) }
+
+// NewQuire returns an empty quire for k accumulations.
+func NewQuire(f PositFormat, k int) *Quire { return posit.NewQuire(f, k) }
+
+// PositDot computes the exactly rounded posit dot product (one rounding).
+func PositDot(w, a []Posit) Posit { return posit.DotProduct(w, a) }
+
+// PositVector is a posit slice with quire-exact kernels (Dot, Norm2, Sum).
+type PositVector = posit.Vector
+
+// PositMatrix is a dense posit matrix with one-rounding-per-element
+// products.
+type PositMatrix = posit.Matrix
+
+// NewPositVector quantises a float64 slice.
+func NewPositVector(f PositFormat, xs []float64) PositVector { return posit.NewVector(f, xs) }
+
+// NewPositMatrix quantises a row-major float64 matrix.
+func NewPositMatrix(f PositFormat, rows, cols int, xs []float64) *PositMatrix {
+	return posit.NewMatrix(f, rows, cols, xs)
+}
+
+// StandardPosit8 returns posit(8,2), the 2022-standard 8-bit format.
+func StandardPosit8() PositFormat { return posit.Posit8() }
+
+// StandardPosit16 returns posit(16,2).
+func StandardPosit16() PositFormat { return posit.Posit16() }
+
+// StandardPosit32 returns posit(32,2).
+func StandardPosit32() PositFormat { return posit.Posit32() }
+
+// --- minifloat / fixed point ---
+
+// FloatFormat is a parameterised IEEE-style minifloat (1, we, wf).
+type FloatFormat = minifloat.Format
+
+// Float is a minifloat value.
+type Float = minifloat.Float
+
+// NewFloatFormat validates and returns a float format.
+func NewFloatFormat(we, wf uint) (FloatFormat, error) { return minifloat.NewFormat(we, wf) }
+
+// FixedFormat is a Q-format fixed-point layout (n total, q fraction bits).
+type FixedFormat = fixedpoint.Format
+
+// Fixed is a fixed-point value.
+type Fixed = fixedpoint.Fixed
+
+// NewFixedFormat validates and returns a fixed format.
+func NewFixedFormat(n, q uint) (FixedFormat, error) { return fixedpoint.NewFormat(n, q) }
+
+// --- EMACs ---
+
+// Arithmetic bundles a number format with its codec and EMAC factory.
+type Arithmetic = emac.Arithmetic
+
+// MAC is one exact multiply-and-accumulate unit (Reset/Step/Result).
+type MAC = emac.MAC
+
+// Code is a quantised scalar in an Arithmetic's wire format.
+type Code = emac.Code
+
+// PositArith returns the posit EMAC arm (paper Fig. 5).
+func PositArith(n, es uint) Arithmetic { return emac.NewPosit(n, es) }
+
+// FloatArith returns the minifloat EMAC arm (paper Fig. 4) for an n-bit
+// format with we exponent bits.
+func FloatArith(n, we uint) Arithmetic { return emac.NewFloatN(n, we) }
+
+// FixedArith returns the fixed-point EMAC arm (paper Fig. 3).
+func FixedArith(n, q uint) Arithmetic { return emac.NewFixed(n, q) }
+
+// Float32Baseline returns the paper's 32-bit float reference arm (a
+// deliberately inexact sequential MAC).
+func Float32Baseline() Arithmetic { return emac.Float32Arith{} }
+
+// --- training substrate ---
+
+// MLP is a float64 feed-forward network (ReLU hidden, affine readout).
+type MLP = nn.Network
+
+// TrainConfig parameterises SGD with momentum.
+type TrainConfig = nn.TrainConfig
+
+// Dataset is a dense classification dataset.
+type Dataset = datasets.Dataset
+
+// NewMLP builds a Xavier-initialised MLP with the given layer sizes,
+// deterministically from the seed.
+func NewMLP(sizes []int, seed uint64) *MLP { return nn.NewMLP(sizes, rng.New(seed)) }
+
+// DefaultTrainConfig returns the experiments' training configuration.
+func DefaultTrainConfig() TrainConfig { return nn.DefaultTrainConfig() }
+
+// Train fits the network with SGD+momentum on softmax cross-entropy.
+func Train(net *MLP, ds *Dataset, cfg TrainConfig) { nn.Train(net, ds, cfg) }
+
+// Accuracy evaluates float64 accuracy.
+func Accuracy(net *MLP, ds *Dataset) float64 { return nn.Accuracy(net, ds) }
+
+// Accuracy32 evaluates the float32 baseline accuracy.
+func Accuracy32(net *MLP, ds *Dataset) float64 { return nn.Accuracy32(net, ds) }
+
+// --- Deep Positron ---
+
+// DeepPositron is a quantised network running on EMACs.
+type DeepPositron = core.Network
+
+// MixedPrecision is a Deep Positron variant with one arithmetic per layer
+// (format-conversion units at layer boundaries).
+type MixedPrecision = core.MixedNetwork
+
+// StreamStats summarises a cycle-level streaming run (latency, initiation
+// interval, throughput).
+type StreamStats = core.StreamStats
+
+// QuantizeNetwork lowers a trained MLP into the target arithmetic.
+func QuantizeNetwork(net *MLP, a Arithmetic) *DeepPositron { return core.Quantize(net, a) }
+
+// QuantizeMixed lowers a trained MLP with one arithmetic per layer.
+func QuantizeMixed(net *MLP, ariths []Arithmetic) *MixedPrecision {
+	return core.QuantizeMixed(net, ariths)
+}
+
+// LoadDeepPositron reads a quantised model saved with
+// DeepPositron.Save — the deployment artifact (format descriptor plus raw
+// weight/bias codes).
+func LoadDeepPositron(path string) (*DeepPositron, error) { return core.Load(path) }
+
+// SearchPerLayerFixed optimises per-layer fixed-point fraction widths by
+// coordinate descent at total width n, returning the mixed network and
+// the chosen q per layer.
+func SearchPerLayerFixed(net *MLP, test *Dataset, n uint) (*MixedPrecision, []uint) {
+	return core.SearchPerLayerFixed(net, test, n)
+}
+
+// SweepResult is one evaluated low-precision configuration.
+type SweepResult = core.Result
+
+// BestConfig evaluates candidate arithmetics and returns the most
+// accurate on the dataset.
+func BestConfig(net *MLP, test *Dataset, cands []Arithmetic) SweepResult {
+	return core.Best(net, test, cands)
+}
+
+// Candidates enumerates the paper's configuration grid at bit width n.
+func Candidates(n uint) (posits, floats, fixeds []Arithmetic) { return core.Candidates(n) }
+
+// --- datasets ---
+
+// IrisSplit returns the paper's Iris split (100 train / 50 inference).
+func IrisSplit(seed uint64) (train, test *Dataset) { return datasets.IrisSplit(seed) }
+
+// BreastCancerSplit returns the WBC split (379 / 190).
+func BreastCancerSplit(seed uint64) (train, test *Dataset) {
+	return datasets.BreastCancerSplit(seed)
+}
+
+// MushroomSplit returns the Mushroom split (5416 / 2708).
+func MushroomSplit(seed uint64) (train, test *Dataset) { return datasets.MushroomSplit(seed) }
+
+// Standardize fits per-feature normalisation on train and applies it to
+// both splits.
+func Standardize(train, test *Dataset) (strain, stest *Dataset) {
+	return datasets.Standardize(train, test)
+}
+
+// Standardizer is a fitted per-feature affine normalisation; combine with
+// MLP.FoldInputAffine to deploy a standardized-trained network on raw
+// features.
+type Standardizer = datasets.Standardizer
+
+// FitStandardizer estimates per-feature mean/std on a training split.
+func FitStandardizer(train *Dataset) *Standardizer { return datasets.FitStandardizer(train) }
+
+// --- hardware model ---
+
+// HWReport is one synthesized EMAC configuration (LUTs, fmax, EDP...).
+type HWReport = hw.Report
+
+// Synthesize costs an Arithmetic's EMAC on the Virtex-7 model, sized for
+// k-term dot products. The float32 baseline is not a hardware EMAC and
+// reports ok == false.
+func Synthesize(a Arithmetic, k int) (HWReport, bool) {
+	switch arm := a.(type) {
+	case emac.PositArith:
+		return hw.Virtex7.SynthPosit(arm.F, k), true
+	case emac.FloatArith:
+		return hw.Virtex7.SynthFloat(arm.F, k), true
+	case emac.FixedArith:
+		return hw.Virtex7.SynthFixed(arm.F, k), true
+	default:
+		return HWReport{}, false
+	}
+}
+
+// NetworkCost extends an EMAC report to a full network: latency, energy
+// and EDP per inference.
+func NetworkCost(r HWReport, net *DeepPositron) hw.InferenceCost {
+	fanins, widths := net.Shape()
+	return hw.NetworkCost(r, fanins, widths)
+}

@@ -1,0 +1,90 @@
+package positron
+
+import (
+	"testing"
+)
+
+// The facade tests exercise the public API exactly as the examples do.
+
+func TestFacadePositRoundTrip(t *testing.T) {
+	f := MustPositFormat(8, 0)
+	p := f.FromFloat64(1.5)
+	if p.Float64() != 1.5 {
+		t.Fatalf("posit(8,0) 1.5 -> %g", p.Float64())
+	}
+	if got := p.Mul(f.FromFloat64(2)).Float64(); got != 3 {
+		t.Fatalf("1.5*2 = %g", got)
+	}
+}
+
+func TestFacadeQuire(t *testing.T) {
+	f := MustPositFormat(8, 1)
+	q := NewQuire(f, 4)
+	for i := 0; i < 4; i++ {
+		q.MulAdd(f.FromFloat64(0.5), f.FromFloat64(0.5))
+	}
+	if got := q.Result().Float64(); got != 1 {
+		t.Fatalf("4 × 0.25 = %g", got)
+	}
+	w := []Posit{f.FromFloat64(1), f.FromFloat64(2)}
+	a := []Posit{f.FromFloat64(3), f.FromFloat64(-1)}
+	if got := PositDot(w, a).Float64(); got != 1 {
+		t.Fatalf("dot = %g", got)
+	}
+}
+
+func TestFacadeFormats(t *testing.T) {
+	if _, err := NewPositFormat(2, 0); err == nil {
+		t.Error("invalid posit format accepted")
+	}
+	if _, err := NewFloatFormat(4, 3); err != nil {
+		t.Error(err)
+	}
+	if _, err := NewFixedFormat(8, 4); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	train, test := IrisSplit(42)
+	strain, stest := Standardize(train, test)
+	net := NewMLP([]int{4, 8, 3}, 1)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 40
+	Train(net, strain, cfg)
+	ref := Accuracy(net, stest)
+	dp := QuantizeNetwork(net, PositArith(8, 0))
+	acc := dp.Accuracy(stest)
+	if acc < ref-0.1 {
+		t.Errorf("posit(8,0) %.3f far below float64 %.3f", acc, ref)
+	}
+	// hardware costing through the facade
+	rep, ok := Synthesize(PositArith(8, 0), 16)
+	if !ok || rep.FMaxMHz <= 0 {
+		t.Fatal("Synthesize failed")
+	}
+	cost := NetworkCost(rep, dp)
+	if cost.LatencyNs <= 0 || cost.EnergyJ <= 0 {
+		t.Error("degenerate network cost")
+	}
+	if _, ok := Synthesize(Float32Baseline(), 16); ok {
+		t.Error("float32 baseline must not synthesize")
+	}
+}
+
+func TestFacadeBestConfig(t *testing.T) {
+	train, test := IrisSplit(42)
+	strain, stest := Standardize(train, test)
+	net := NewMLP([]int{4, 8, 3}, 1)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 30
+	Train(net, strain, cfg)
+	posits, floats, fixeds := Candidates(8)
+	if len(posits) == 0 || len(floats) == 0 || len(fixeds) == 0 {
+		t.Fatal("empty candidate sets")
+	}
+	best := BestConfig(net, stest, posits)
+	if best.Accuracy < 0.5 {
+		t.Errorf("best posit accuracy %.3f", best.Accuracy)
+	}
+}
