@@ -340,3 +340,67 @@ func sizeName(k int) string {
 		return "k16"
 	}
 }
+
+// --- allocation-tracking microbenchmarks (perf trajectory) ---
+//
+// These four track the fast-path contract: zero allocations per MAC on
+// the tabled posit paths. cmd/benchsnap runs the same shapes and emits
+// BENCH_arith.json so the numbers are recorded per PR.
+
+func BenchmarkAllocPositMul(b *testing.B) {
+	f := posit.MustFormat(8, 0)
+	posit.WarmTables(f) // the lazy LUT build must not count as a MAC alloc
+	xs := randomPosits(f, 1024, 21)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink posit.Posit
+	for i := 0; i < b.N; i++ {
+		sink = xs[i%1024].Mul(xs[(i+7)%1024])
+	}
+	_ = sink
+}
+
+func BenchmarkAllocPositAdd(b *testing.B) {
+	f := posit.MustFormat(8, 0)
+	posit.WarmTables(f)
+	xs := randomPosits(f, 1024, 22)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink posit.Posit
+	for i := 0; i < b.N; i++ {
+		sink = xs[i%1024].Add(xs[(i+7)%1024])
+	}
+	_ = sink
+}
+
+func BenchmarkAllocDotProduct(b *testing.B) {
+	f := posit.MustFormat(8, 0)
+	posit.WarmTables(f)
+	w := randomPosits(f, 256, 23)
+	x := randomPosits(f, 256, 24)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		posit.DotProduct(w, x)
+	}
+}
+
+// BenchmarkAllocForwardPosit8 is the Table II-style end-to-end
+// microbenchmark: one full posit(8,0) forward pass through a WBC-shaped
+// network (30-16-8-2) on the pre-decoded inference plane.
+func BenchmarkAllocForwardPosit8(b *testing.B) {
+	posit.WarmTables(posit.MustFormat(8, 0))
+	net := NewMLP([]int{30, 16, 8, 2}, 42)
+	dp := QuantizeNetwork(net, emac.NewPosit(8, 0))
+	x := make([]float64, 30)
+	r := rng.New(25)
+	for i := range x {
+		x[i] = r.NormMS(0, 1)
+	}
+	dp.Infer(x) // one warm pass so lazy buffers don't count
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dp.Infer(x)
+	}
+}

@@ -1,0 +1,139 @@
+// Command benchsnap runs the arithmetic/inference microbenchmark suite
+// in-process (testing.Benchmark) and writes a machine-readable snapshot
+// to BENCH_arith.json — the per-PR record of the fast-path performance
+// trajectory. Run from the repository root:
+//
+//	go run ./cmd/benchsnap            # writes ./BENCH_arith.json
+//	go run ./cmd/benchsnap -o out.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/emac"
+	"repro/internal/nn"
+	"repro/internal/posit"
+	"repro/internal/rng"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// Snapshot is the whole BENCH_arith.json document.
+type Snapshot struct {
+	GoVersion string   `json:"go_version"`
+	GOARCH    string   `json:"goarch"`
+	Timestamp string   `json:"timestamp"`
+	Results   []Result `json:"results"`
+}
+
+func randomPosits(f posit.Format, n int, seed uint64) []posit.Posit {
+	r := rng.New(seed)
+	out := make([]posit.Posit, n)
+	for i := range out {
+		for {
+			p := f.FromBits(r.Uint64() & f.Mask())
+			if !p.IsNaR() {
+				out[i] = p
+				break
+			}
+		}
+	}
+	return out
+}
+
+func measure(name string, fn func(b *testing.B)) Result {
+	r := testing.Benchmark(fn)
+	return Result{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Iterations:  r.N,
+	}
+}
+
+func main() {
+	out := flag.String("o", "BENCH_arith.json", "output path")
+	flag.Parse()
+
+	f80 := posit.MustFormat(8, 0)
+	posit.WarmTables(f80)
+	mulXs := randomPosits(f80, 1024, 21)
+	addXs := randomPosits(f80, 1024, 22)
+	dotW := randomPosits(f80, 256, 23)
+	dotX := randomPosits(f80, 256, 24)
+
+	net := nn.NewMLP([]int{30, 16, 8, 2}, rng.New(42))
+	dp := core.Quantize(net, emac.NewPosit(8, 0))
+	inX := make([]float64, 30)
+	r := rng.New(25)
+	for i := range inX {
+		inX[i] = r.NormMS(0, 1)
+	}
+
+	snap := Snapshot{
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+	}
+	snap.Results = append(snap.Results,
+		measure("PositMul/posit(8,0)", func(b *testing.B) {
+			b.ReportAllocs()
+			var sink posit.Posit
+			for i := 0; i < b.N; i++ {
+				sink = mulXs[i%1024].Mul(mulXs[(i+7)%1024])
+			}
+			_ = sink
+		}),
+		measure("PositAdd/posit(8,0)", func(b *testing.B) {
+			b.ReportAllocs()
+			var sink posit.Posit
+			for i := 0; i < b.N; i++ {
+				sink = addXs[i%1024].Add(addXs[(i+7)%1024])
+			}
+			_ = sink
+		}),
+		measure("DotProduct256/posit(8,0)", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				posit.DotProduct(dotW, dotX)
+			}
+		}),
+		measure("Forward30-16-8-2/posit(8,0)", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dp.Infer(inX)
+			}
+		}),
+	)
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+	for _, res := range snap.Results {
+		fmt.Printf("%-30s %10.1f ns/op %6d B/op %4d allocs/op\n",
+			res.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+	}
+	fmt.Println("wrote", *out)
+}

@@ -27,6 +27,11 @@ type Layer struct {
 	// macs holds one EMAC unit per neuron, reused across inputs exactly
 	// like the hardware units are.
 	macs []emac.MAC
+	// kernel is the batched pre-decoded datapath for the whole layer
+	// (nil when the arithmetic has none); bit-identical to the macs.
+	kernel emac.LayerKernel
+	// act is the layer's reused output activation buffer.
+	act []emac.Code
 }
 
 // Network is a Deep Positron instance.
@@ -37,6 +42,9 @@ type Network struct {
 	// on hidden layers (extension; requires a posit arithmetic with
 	// es=0).
 	Sigmoid bool
+	// in is the reused input-code buffer; Infer is not safe for
+	// concurrent use (the EMACs and kernels are stateful anyway).
+	in []emac.Code
 }
 
 // Quantize lowers a trained float64 network into the target arithmetic.
@@ -62,9 +70,46 @@ func Quantize(src *nn.Network, a emac.Arithmetic) *Network {
 		for j := range ql.macs {
 			ql.macs[j] = a.NewMAC(l.In)
 		}
+		ql.attachFastPath(a)
 		net.Layers = append(net.Layers, ql)
 	}
 	return net
+}
+
+// attachFastPath builds the optional batched kernel and the reused output
+// activation buffer for a layer whose W/B codes are final. Every layer
+// constructor (Quantize, QuantizeMixed, model loading) goes through this
+// one helper so the fast-path wiring cannot diverge between them.
+func (l *Layer) attachFastPath(a emac.Arithmetic) {
+	if kb, ok := a.(emac.KernelBuilder); ok {
+		if k, ok := kb.NewLayerKernel(l.W, l.B); ok {
+			l.kernel = k
+		}
+	}
+	l.act = make([]emac.Code, l.Out)
+}
+
+// forward computes the layer's raw MAC outputs (bias + dot product, one
+// rounding each, no activation function) into the layer's reused act
+// buffer, via the batched kernel when one exists and per-neuron EMACs
+// otherwise. Single- and mixed-precision inference share this one
+// implementation.
+func (l *Layer) forward(act []emac.Code) []emac.Code {
+	next := l.act
+	if l.kernel != nil {
+		l.kernel.Forward(act, next)
+		return next
+	}
+	for j := 0; j < l.Out; j++ {
+		mac := l.macs[j]
+		mac.Reset(l.B[j])
+		wrow := l.W[j]
+		for i, a := range act {
+			mac.Step(wrow[i], a)
+		}
+		next[j] = mac.Result()
+	}
+	return next
 }
 
 // QuantizeInput converts a raw feature vector into activation codes.
@@ -76,29 +121,37 @@ func (n *Network) QuantizeInput(x []float64) []emac.Code {
 	return codes
 }
 
+// quantizeInputReused is QuantizeInput into the network's reused buffer.
+func (n *Network) quantizeInputReused(x []float64) []emac.Code {
+	if cap(n.in) < len(x) {
+		n.in = make([]emac.Code, len(x))
+	}
+	codes := n.in[:len(x)]
+	for i, v := range x {
+		codes[i] = n.Arith.Quantize(v)
+	}
+	return codes
+}
+
 // Infer runs one input through the network and returns the decoded output
 // logits. The compute follows the paper's dataflow: each layer's EMACs
 // reset to their bias, consume one activation per cycle, and the layer
-// fires when its predecessor finishes.
+// fires when its predecessor finishes. Layers whose arithmetic provides a
+// batched kernel run it instead of stepping per-neuron MACs (identical
+// results, one pre-decoded pass); activations flow through per-layer
+// reused buffers, so steady-state inference only allocates the returned
+// logits. Not safe for concurrent use.
 func (n *Network) Infer(x []float64) []float64 {
-	act := n.QuantizeInput(x)
+	act := n.quantizeInputReused(x)
 	for li, layer := range n.Layers {
 		if len(act) != layer.In {
 			panic(fmt.Sprintf("core: layer %d expects %d inputs, got %d", li, layer.In, len(act)))
 		}
-		next := make([]emac.Code, layer.Out)
-		for j := 0; j < layer.Out; j++ {
-			mac := layer.macs[j]
-			mac.Reset(layer.B[j])
-			wrow := layer.W[j]
-			for i, a := range act {
-				mac.Step(wrow[i], a)
+		next := layer.forward(act)
+		if li < len(n.Layers)-1 {
+			for j, c := range next {
+				next[j] = n.activate(c)
 			}
-			out := mac.Result()
-			if li < len(n.Layers)-1 {
-				out = n.activate(out)
-			}
-			next[j] = out
 		}
 		act = next
 	}

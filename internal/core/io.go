@@ -144,6 +144,7 @@ func (n *Network) UnmarshalJSON(data []byte) error {
 		for j := range l.macs {
 			l.macs[j] = arith.NewMAC(lj.In)
 		}
+		l.attachFastPath(arith)
 		net.Layers = append(net.Layers, l)
 	}
 	if len(net.Layers) == 0 {

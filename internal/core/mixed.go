@@ -18,6 +18,9 @@ import (
 type MixedNetwork struct {
 	Ariths []emac.Arithmetic // one per layer
 	Layers []*Layer
+	// in is the reused input-code buffer; Infer is not safe for
+	// concurrent use (the EMACs and kernels are stateful anyway).
+	in []emac.Code
 }
 
 // QuantizeMixed lowers a trained float64 network with one arithmetic per
@@ -46,6 +49,7 @@ func QuantizeMixed(src *nn.Network, ariths []emac.Arithmetic) *MixedNetwork {
 		for j := range ql.macs {
 			ql.macs[j] = a.NewMAC(l.In)
 		}
+		ql.attachFastPath(a)
 		net.Layers = append(net.Layers, ql)
 	}
 	return net
@@ -56,26 +60,21 @@ func (n *MixedNetwork) Infer(x []float64) []float64 {
 	if len(x) != n.Layers[0].In {
 		panic("core: mixed input size mismatch")
 	}
-	// quantise input in the first layer's format
-	act := make([]emac.Code, len(x))
+	// quantise input in the first layer's format (reused buffer)
+	if cap(n.in) < len(x) {
+		n.in = make([]emac.Code, len(x))
+	}
+	act := n.in[:len(x)]
 	for i, v := range x {
 		act[i] = n.Ariths[0].Quantize(v)
 	}
 	for li, layer := range n.Layers {
 		a := n.Ariths[li]
-		next := make([]emac.Code, layer.Out)
-		for j := 0; j < layer.Out; j++ {
-			mac := layer.macs[j]
-			mac.Reset(layer.B[j])
-			wrow := layer.W[j]
-			for i, c := range act {
-				mac.Step(wrow[i], c)
+		next := layer.forward(act)
+		if li < len(n.Layers)-1 {
+			for j, c := range next {
+				next[j] = a.ReLU(c)
 			}
-			out := mac.Result()
-			if li < len(n.Layers)-1 {
-				out = a.ReLU(out)
-			}
-			next[j] = out
 		}
 		if li < len(n.Layers)-1 {
 			// format-conversion unit at the layer boundary

@@ -36,6 +36,27 @@ type MAC interface {
 	Result() Code
 }
 
+// LayerKernel is a whole-layer batched datapath: pre-decoded parameters,
+// activations decoded once per call, one reused exact accumulator. It
+// computes out[j] = Result(bias[j] + Σ_i W[j][i]·act[i]) with results
+// bit-identical to driving one MAC per neuron, but without per-step
+// interface dispatch or per-MAC decode. Kernels reuse internal scratch
+// and are not safe for concurrent use.
+type LayerKernel interface {
+	// Forward fills out with the rounded MAC results for act. No
+	// activation function is applied.
+	Forward(act, out []Code)
+}
+
+// KernelBuilder is implemented by arithmetics that offer a pre-decoded
+// batched fast path. NewLayerKernel returns ok == false when this
+// particular configuration has no fast path (callers fall back to
+// per-neuron MACs); w is row-major [out][in] and must not be mutated
+// afterwards.
+type KernelBuilder interface {
+	NewLayerKernel(w [][]Code, b []Code) (LayerKernel, bool)
+}
+
 // Arithmetic abstracts one number system at one parameterisation.
 type Arithmetic interface {
 	// Name identifies the arm, e.g. "posit(8,0)".
@@ -101,6 +122,50 @@ func (p PositArith) NewMAC(k int) MAC {
 		return &positMAC{f: p.F, q: posit.NewTruncatedQuire(p.F, k, p.QuireDrop)}
 	}
 	return &positMAC{f: p.F, q: posit.NewQuire(p.F, k)}
+}
+
+// NewLayerKernel implements KernelBuilder: the posit fast path pre-decodes
+// weights and biases once and accumulates on a reused inline-register
+// quire. The truncated-quire ablation stays on the reference MAC path.
+func (p PositArith) NewLayerKernel(w [][]Code, b []Code) (LayerKernel, bool) {
+	if p.QuireDrop > 0 || len(w) == 0 || len(w[0]) == 0 {
+		return nil, false
+	}
+	pw := make([][]posit.Posit, len(w))
+	for j, row := range w {
+		pr := make([]posit.Posit, len(row))
+		for i, c := range row {
+			pr[i] = p.F.FromBits(uint64(c))
+		}
+		pw[j] = pr
+	}
+	pb := make([]posit.Posit, len(b))
+	for j, c := range b {
+		pb[j] = p.F.FromBits(uint64(c))
+	}
+	return &positLayerKernel{
+		k:   posit.NewDenseKernel(p.F, pw, pb),
+		act: make([]uint64, len(w[0])),
+		out: make([]uint64, len(w)),
+	}, true
+}
+
+type positLayerKernel struct {
+	k        *posit.DenseKernel
+	act, out []uint64
+}
+
+func (lk *positLayerKernel) Forward(act, out []Code) {
+	if len(act) != len(lk.act) || len(out) != len(lk.out) {
+		panic("emac: layer kernel size mismatch")
+	}
+	for i, c := range act {
+		lk.act[i] = uint64(c)
+	}
+	lk.k.ForwardBits(lk.act, lk.out)
+	for j, bits := range lk.out {
+		out[j] = Code(bits)
+	}
 }
 
 type positMAC struct {

@@ -50,12 +50,68 @@ func NewMLP(sizes []int, r *rng.Source) *Network {
 	return net
 }
 
+// Scratch holds per-layer activation buffers so repeated forward passes
+// (accuracy sweeps, quantisation searches) run without per-layer
+// allocation. Each precision's buffer set is allocated on first use, so
+// a float64-only caller never pays for the float32 set and vice versa.
+// One Scratch serves one goroutine.
+type Scratch struct {
+	owner *Network // buffers are sized for this network's layer widths
+	f64   [][]float64
+	f32   [][]float32
+	in32  []float32
+}
+
+// NewScratch returns an empty scratch bound to n; buffers are sized
+// lazily from n's layer widths by the forward passes. Passing the
+// scratch to a different network simply rebinds it (dropping the old
+// buffers) — stale buffers from another topology are never reused.
+func (n *Network) NewScratch() *Scratch { return &Scratch{owner: n} }
+
+// rebind drops all buffers when the scratch is used with a different
+// network than the one it was sized for.
+func (s *Scratch) rebind(n *Network) {
+	if s.owner != n {
+		*s = Scratch{owner: n}
+	}
+}
+
+func (s *Scratch) ensure64(n *Network) {
+	s.rebind(n)
+	if s.f64 != nil {
+		return
+	}
+	s.f64 = make([][]float64, len(n.Layers))
+	for l, layer := range n.Layers {
+		s.f64[l] = make([]float64, layer.Out)
+	}
+}
+
+func (s *Scratch) ensure32(n *Network) {
+	s.rebind(n)
+	if s.f32 != nil {
+		return
+	}
+	s.f32 = make([][]float32, len(n.Layers))
+	for l, layer := range n.Layers {
+		s.f32[l] = make([]float32, layer.Out)
+	}
+	s.in32 = make([]float32, n.Layers[0].In)
+}
+
 // Forward runs the float64 inference path: ReLU on hidden layers,
 // identity readout. Returns the output logits.
 func (n *Network) Forward(x []float64) []float64 {
+	return n.ForwardScratch(x, n.NewScratch())
+}
+
+// ForwardScratch is Forward through reused buffers; the returned slice
+// aliases the scratch and is valid until the next pass.
+func (n *Network) ForwardScratch(x []float64, s *Scratch) []float64 {
+	s.ensure64(n)
 	act := x
 	for l, layer := range n.Layers {
-		next := make([]float64, layer.Out)
+		next := s.f64[l]
 		for j := 0; j < layer.Out; j++ {
 			sum := layer.B[j]
 			row := layer.W[j]
@@ -76,12 +132,22 @@ func (n *Network) Forward(x []float64) []float64 {
 // "32-bit float" baseline (weights, activations and the sequential MAC
 // all rounded to binary32).
 func (n *Network) Forward32(x []float64) []float64 {
-	act := make([]float32, len(x))
+	return n.Forward32Scratch(x, n.NewScratch())
+}
+
+// Forward32Scratch is Forward32 through reused buffers; the returned
+// slice is freshly allocated (the float64 view of the final layer).
+func (n *Network) Forward32Scratch(x []float64, s *Scratch) []float64 {
+	s.ensure32(n)
+	if cap(s.in32) < len(x) {
+		s.in32 = make([]float32, len(x))
+	}
+	act := s.in32[:len(x)]
 	for i, v := range x {
 		act[i] = float32(v)
 	}
 	for l, layer := range n.Layers {
-		next := make([]float32, layer.Out)
+		next := s.f32[l]
 		for j := 0; j < layer.Out; j++ {
 			sum := float32(layer.B[j])
 			row := layer.W[j]
@@ -285,9 +351,10 @@ func Train(net *Network, ds *datasets.Dataset, cfg TrainConfig) {
 
 // Accuracy evaluates float64 classification accuracy (fraction correct).
 func Accuracy(net *Network, ds *datasets.Dataset) float64 {
+	s := net.NewScratch()
 	correct := 0
 	for i := range ds.X {
-		if net.Predict(ds.X[i]) == ds.Y[i] {
+		if Argmax(net.ForwardScratch(ds.X[i], s)) == ds.Y[i] {
 			correct++
 		}
 	}
@@ -296,9 +363,10 @@ func Accuracy(net *Network, ds *datasets.Dataset) float64 {
 
 // Accuracy32 evaluates the float32 baseline accuracy.
 func Accuracy32(net *Network, ds *datasets.Dataset) float64 {
+	s := net.NewScratch()
 	correct := 0
 	for i := range ds.X {
-		if net.Predict32(ds.X[i]) == ds.Y[i] {
+		if Argmax(net.Forward32Scratch(ds.X[i], s)) == ds.Y[i] {
 			correct++
 		}
 	}

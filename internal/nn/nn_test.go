@@ -273,3 +273,28 @@ func TestNewMLPPanics(t *testing.T) {
 	}()
 	NewMLP([]int{4}, rng.New(1))
 }
+
+// TestScratchRebindsAcrossNetworks: reusing a Scratch with a different
+// network must not serve stale buffers from the first network's topology
+// (regression: a [4,3]-output scratch reused on a [4,2] net returned a
+// stale third logit).
+func TestScratchRebindsAcrossNetworks(t *testing.T) {
+	net1 := NewMLP([]int{4, 5, 3}, rng.New(1))
+	net2 := NewMLP([]int{4, 5, 2}, rng.New(2))
+	x := []float64{0.5, -1, 2, 0.25}
+	s := net1.NewScratch()
+	net1.ForwardScratch(x, s)
+	got := net2.ForwardScratch(x, s)
+	want := net2.Forward(x)
+	if len(got) != len(want) {
+		t.Fatalf("rebound scratch returned %d logits, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("logit %d: %g != %g", i, got[i], want[i])
+		}
+	}
+	if out := net2.Forward32Scratch(x, s); len(out) != 2 {
+		t.Fatalf("float32 path returned %d logits", len(out))
+	}
+}

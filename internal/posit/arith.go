@@ -6,14 +6,26 @@ import (
 	"repro/internal/bitutil"
 )
 
-// Mul returns p*q rounded to nearest even. The significand product of two
-// n<=32 posits fits in a uint64 (at most 2(n-2) bits), so multiplication is
-// a single integer multiply plus normalisation — the same structure as the
+// Mul returns p*q rounded to nearest even. Formats with n <= 8 resolve
+// through the full 2^n × 2^n result table (built lazily from the
+// reference path, so the two are bit-identical by construction); wider
+// formats compute directly: the significand product of two n<=32 posits
+// fits in a uint64 (at most 2(n-2) bits), so multiplication is a single
+// integer multiply plus normalisation — the same structure as the
 // multiplication stage of the paper's Algorithm 2 (lines 6-10).
 func (p Posit) Mul(q Posit) Posit {
 	if p.f != q.f {
 		panic("posit: Mul across formats")
 	}
+	if t := p.f.mulTab(); t != nil {
+		return Posit{f: p.f, bits: uint64(t[p.bits<<p.f.n|q.bits])}
+	}
+	return p.mulRef(q)
+}
+
+// mulRef is the direct (non-tabled) multiplication used for wide formats
+// and for building the result tables.
+func (p Posit) mulRef(q Posit) Posit {
 	if p.IsNaR() || q.IsNaR() {
 		return p.f.NaR()
 	}
@@ -29,15 +41,25 @@ func (p Posit) Mul(q Posit) Posit {
 	return p.f.encode(dp.sign != dq.sign, sf, prod, l, false)
 }
 
-// Add returns p+q rounded to nearest even. Addition aligns the two exact
-// values in a double-width register; for low-precision posits everything
-// stays well inside 64 bits unless the scales are very far apart, in which
-// case the smaller operand collapses into guard/sticky information exactly
-// as in a hardware near/far-path adder.
+// Add returns p+q rounded to nearest even. Formats with n <= 8 resolve
+// through the full result table; wider formats align the two exact values
+// in a double-width register — for low-precision posits everything stays
+// well inside 64 bits unless the scales are very far apart, in which case
+// the smaller operand collapses into guard/sticky information exactly as
+// in a hardware near/far-path adder.
 func (p Posit) Add(q Posit) Posit {
 	if p.f != q.f {
 		panic("posit: Add across formats")
 	}
+	if t := p.f.addTab(); t != nil {
+		return Posit{f: p.f, bits: uint64(t[p.bits<<p.f.n|q.bits])}
+	}
+	return p.addRef(q)
+}
+
+// addRef is the direct (non-tabled) addition used for wide formats and
+// for building the result tables.
+func (p Posit) addRef(q Posit) Posit {
 	if p.IsNaR() || q.IsNaR() {
 		return p.f.NaR()
 	}

@@ -1,6 +1,8 @@
 package posit
 
 import (
+	mbits "math/bits"
+
 	"repro/internal/bitutil"
 )
 
@@ -52,8 +54,57 @@ func (p Posit) Decode() (sign bool, k int, e uint, frac uint64, fracW uint, ok b
 }
 
 // decode performs the Algorithm 1 data extraction. The caller must have
-// excluded zero and NaR.
+// excluded zero and NaR. Small formats resolve through the per-format
+// decode table (see table.go); larger ones use the leading-run-count
+// decoder. Both are verified bit-identical to decodeRef, the bit-serial
+// reference, by the exhaustive and fuzz equivalence tests.
 func (p Posit) decode() decoded {
+	if t := p.f.decTab(); t != nil {
+		return unpackDec(t[p.bits])
+	}
+	return p.decodeLZC()
+}
+
+// decodeLZC is the Algorithm 1 data extraction with the regime run length
+// obtained from a single leading-run count (math/bits) instead of the
+// bit-serial loop — the software analogue of the hardware LZD after the
+// conditional invert (Alg. 1 lines 5-8).
+func (p Posit) decodeLZC() decoded {
+	f := p.f
+	n := f.n
+	bits := p.bits & f.Mask()
+	sign := bits&f.signBit() != 0
+	ap := bits
+	if sign {
+		ap = bitutil.TwosComplement(bits, n)
+	}
+	// Left-justify the regime field (bits n-2..0 of ap) so its first bit
+	// sits at bit 63. ap has its sign bit clear after the two's
+	// complement, so only the n-1 regime/exponent/fraction bits remain.
+	x := ap << (65 - n)
+	var run uint
+	rc := uint64(x >> 63)
+	if rc == 1 {
+		run = uint(mbits.LeadingZeros64(^x))
+	} else {
+		// ap != 0 guarantees a 1 bit inside the field, so the count
+		// cannot run into the low zero padding.
+		run = uint(mbits.LeadingZeros64(x))
+	}
+	var k int
+	if rc == 1 {
+		k = int(run) - 1
+	} else {
+		k = -int(run)
+	}
+	return finishDecode(f, sign, ap, run, k)
+}
+
+// decodeRef is the bit-serial reference decoder: the regime run is counted
+// bit by bit, exactly as the paper's Algorithm 1 describes it. It is the
+// oracle the table and LZC fast paths are validated against, and the
+// implementation the decode tables are built from.
+func (p Posit) decodeRef() decoded {
 	f := p.f
 	n := f.n
 	bits := p.bits & f.Mask()
@@ -77,6 +128,13 @@ func (p Posit) decode() decoded {
 	} else {
 		k = -int(run)
 	}
+	return finishDecode(f, sign, ap, run, k)
+}
+
+// finishDecode extracts exponent and fraction once the regime run length
+// and value are known (shared tail of the reference and LZC decoders).
+func finishDecode(f Format, sign bool, ap uint64, run uint, k int) decoded {
+	n := f.n
 	// Bits consumed: sign (1) + run + terminator (1, unless the run
 	// reached bit 0).
 	rem := int(n) - 1 - int(run) - 1

@@ -17,7 +17,94 @@ import (
 //
 // sig must be normalised: its most significant set bit at position sigW-1
 // (the hidden bit). sig == 0 is rejected; callers handle exact zeros.
+//
+// encode assembles the regime|exponent|fraction string with shifts and a
+// single round step; encodeRef is the original bit-serial writer, kept as
+// the oracle the fast version is verified against (exhaustively for small
+// formats, by fuzz for large ones).
 func (f Format) encode(sign bool, sf int, sig uint64, sigW uint, sticky bool) Posit {
+	f.mustValid()
+	if sig == 0 {
+		panic("posit: encode of zero significand")
+	}
+	if bitutil.Len(sig) != sigW {
+		panic("posit: encode significand not normalised")
+	}
+	n := f.n
+	es := f.es
+	// k = floor(sf / 2^es), e = sf mod 2^es: arithmetic shift and mask.
+	k := sf >> es
+	// Regime saturation: a ones-run of n-1 or longer fills the whole
+	// pattern (rounding can only push it into the maxpos clamp), and a
+	// zeros-run of n-1 or longer rounds/clamps to minpos.
+	if k >= int(n)-2 {
+		p := Posit{f: f, bits: bitutil.Mask(n - 1)}
+		if sign {
+			p.bits = bitutil.TwosComplement(p.bits, n)
+		}
+		return p
+	}
+	if -k >= int(n)-1 {
+		p := Posit{f: f, bits: 1}
+		if sign {
+			p.bits = bitutil.TwosComplement(p.bits, n)
+		}
+		return p
+	}
+	e := uint64(sf & (1<<es - 1))
+	// head = regime run, terminator and exponent, MSB-aligned at headW.
+	var head uint64
+	var headW uint
+	if k >= 0 {
+		run := uint(k) + 1
+		head = (bitutil.Mask(run)<<1)<<es | e
+		headW = run + 1 + es
+	} else {
+		run := uint(-k)
+		head = uint64(1)<<es | e
+		headW = run + 1 + es
+	}
+	// Append the fraction (sig without its hidden bit). If the full
+	// string would not fit 64 bits, pre-truncate its tail into sticky —
+	// those bits are beyond the guard position for every n <= 32.
+	fw := sigW - 1
+	frac := sig & bitutil.Mask(fw)
+	if fw > 64-headW {
+		drop := fw - (64 - headW)
+		sticky = sticky || frac&bitutil.Mask(drop) != 0
+		frac >>= drop
+		fw -= drop
+	}
+	full := head<<fw | frac
+	w := headW + fw
+	// Cut after n-1 pattern bits: next bit is the guard, the rest join
+	// sticky — the same split the bit-serial writer performs.
+	var pattern uint64
+	guard := false
+	if cut := int(w) - int(n-1); cut > 0 {
+		pattern = full >> uint(cut)
+		guard = full>>(uint(cut)-1)&1 == 1
+		sticky = sticky || full&bitutil.Mask(uint(cut)-1) != 0
+	} else {
+		pattern = full << uint(-cut)
+	}
+	pattern = bitutil.RoundNearestEven(pattern, guard, sticky)
+	maxPat := bitutil.Mask(n - 1)
+	if pattern > maxPat {
+		pattern = maxPat // overflow rounds to maxpos, never to NaR
+	}
+	if pattern == 0 {
+		pattern = 1 // underflow rounds to minpos, never to zero
+	}
+	if sign {
+		pattern = bitutil.TwosComplement(pattern, n)
+	}
+	return Posit{f: f, bits: pattern}
+}
+
+// encodeRef is the bit-serial reference encoder (the paper's "Convergent
+// Rounding & Encoding" stage streamed bit by bit through a writer).
+func (f Format) encodeRef(sign bool, sf int, sig uint64, sigW uint, sticky bool) Posit {
 	f.mustValid()
 	if sig == 0 {
 		panic("posit: encode of zero significand")

@@ -136,3 +136,59 @@ func FuzzEncodeDecodeBitStrings(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeLZC drives the leading-run-count decoder (the fast path for
+// every format above the table ceiling) against the bit-serial reference.
+// The seed corpus concentrates on the n > 8 regime shapes the exhaustive
+// small-format tests cannot reach: minpos/maxpos runs, run/terminator
+// boundaries, alternating patterns and negative (two's-complemented)
+// operands at n up to 32.
+func FuzzDecodeLZC(f *testing.F) {
+	// (bits, n-selector, es-selector); fuzzFormat maps n = 3 + nb%30.
+	seeds := []struct {
+		bits   uint64
+		nb, eb byte
+	}{
+		{0x001, 9, 0},                    // minpos, n=12
+		{0x7FF, 9, 1},                    // maxpos, n=12
+		{0x801, 9, 2},                    // most negative real, n=12
+		{0x0001, 13, 0},                  // minpos, n=16
+		{0x7FFF, 13, 2},                  // maxpos, n=16
+		{0x8001, 13, 3},                  // negative minpos magnitude, n=16
+		{0x5555, 13, 1},                  // alternating regime/frac, n=16
+		{0x4000, 13, 2},                  // one = 01000..., n=16
+		{0x3FFF, 13, 2},                  // just below one
+		{0x00000001, 29, 0},              // minpos, n=32
+		{0x7FFFFFFF, 29, 2},              // maxpos, n=32
+		{0x80000001, 29, 5},              // deep negative, n=32, es=5
+		{0x55555555, 29, 1},              // alternating, n=32
+		{0x40000000, 29, 2},              // one, n=32
+		{0x60000000, 29, 3},              // short run + exponent cut, n=32
+		{0x0000FFFF, 29, 2},              // long zero run into ones, n=32
+		{0x7FFFFFFE, 29, 0},              // maxpos-1: run terminator at LSB
+		{0x2AAAAAAA, 29, 4},              // zero regime then alternating
+		{0xB6DB6DB6 & 0xFFFFFFFF, 29, 2}, // 3-periodic pattern
+		{0x123456789 & 0xFFFFF, 17, 3},   // n=20 mixed
+	}
+	for _, s := range seeds {
+		f.Add(s.bits, s.nb, s.eb)
+	}
+	f.Fuzz(func(t *testing.T, bits uint64, nb, eb byte) {
+		fm := fuzzFormat(nb, eb)
+		p := fm.FromBits(bits)
+		if p.IsZero() || p.IsNaR() {
+			return
+		}
+		got, ref := p.decodeLZC(), p.decodeRef()
+		if got != ref {
+			t.Fatalf("%s pattern %#x: LZC %+v != ref %+v", fm, p.Bits(), got, ref)
+		}
+		// The packed-table representation must round-trip the same
+		// decode wherever a table exists.
+		if tab := fm.decTab(); tab != nil {
+			if te := unpackDec(tab[p.Bits()]); te != ref {
+				t.Fatalf("%s pattern %#x: table %+v != ref %+v", fm, p.Bits(), te, ref)
+			}
+		}
+	})
+}

@@ -1,0 +1,194 @@
+package posit
+
+// DenseKernel is the pre-decoded batched datapath for one dense layer:
+// y[j] = round(b[j] + Σ_i W[j][i]·x[i]), one rounding per output. Weights
+// and biases are decoded exactly once at construction (network
+// quantisation time); per forward pass the activations are decoded once
+// into a reused scratch buffer and a single inline-register quire is
+// reset and reused across rows, so the MAC loop itself performs no
+// decode, no interface dispatch and no heap allocation. Results are
+// bit-identical to driving a per-neuron Quire through ResetToBias/MulAdd/
+// Result, which the equivalence tests verify.
+type DenseKernel struct {
+	f       Format
+	in, out int
+	w       []pdec   // row-major out×in pre-decoded weights
+	b       []pdec   // pre-decoded biases
+	acts    []pdec   // activation scratch, decoded once per Forward
+	outBuf  []uint64 // result scratch for the Posit-typed Forward
+	// narRow[j] records a NaR weight or bias in row j (precomputed so
+	// the MAC loop carries no NaR branch); a NaR activation poisons
+	// every row, matching MulAdd semantics.
+	narRow []bool
+	q      Quire
+}
+
+// NewDenseKernel pre-decodes a row-major weight matrix (out rows of in
+// weights) and bias vector of format f into a reusable layer kernel.
+func NewDenseKernel(f Format, w [][]Posit, b []Posit) *DenseKernel {
+	f.mustValid()
+	out := len(w)
+	if len(b) != out {
+		panic("posit: DenseKernel bias length mismatch")
+	}
+	if out == 0 {
+		panic("posit: DenseKernel with no outputs")
+	}
+	in := len(w[0])
+	if in == 0 {
+		panic("posit: DenseKernel with no inputs")
+	}
+	k := &DenseKernel{
+		f:      f,
+		in:     in,
+		out:    out,
+		w:      make([]pdec, out*in),
+		b:      make([]pdec, out),
+		acts:   make([]pdec, in),
+		outBuf: make([]uint64, out),
+		narRow: make([]bool, out),
+	}
+	for j, row := range w {
+		if len(row) != in {
+			panic("posit: DenseKernel ragged weight matrix")
+		}
+		predecodeInto(k.w[j*in:(j+1)*in], row, f)
+	}
+	predecodeInto(k.b, b, f)
+	for j := 0; j < out; j++ {
+		nar := k.b[j].cls == pdNaR
+		for _, wd := range k.w[j*in : (j+1)*in] {
+			if wd.cls == pdNaR {
+				nar = true
+				break
+			}
+		}
+		k.narRow[j] = nar
+	}
+	// The register is sized for in accumulations, matching a per-neuron
+	// EMAC built with NewMAC(in).
+	k.q.init(f, in, 0)
+	return k
+}
+
+// In returns the layer fan-in.
+func (k *DenseKernel) In() int { return k.in }
+
+// Out returns the layer width.
+func (k *DenseKernel) Out() int { return k.out }
+
+// Format returns the kernel's posit format.
+func (k *DenseKernel) Format() Format { return k.f }
+
+// Forward computes out[j] = round(b[j] + Σ_i W[j][i]·act[i]) for every
+// row. len(act) must equal In() and len(dst) must equal Out(). No
+// activation function is applied. Not safe for concurrent use (the
+// register and activation scratch are reused).
+func (k *DenseKernel) Forward(act []Posit, dst []Posit) {
+	if len(act) != k.in {
+		panic("posit: DenseKernel input size mismatch")
+	}
+	if len(dst) != k.out {
+		panic("posit: DenseKernel output size mismatch")
+	}
+	predecodeInto(k.acts, act, k.f)
+	k.forwardDecoded(k.outBuf)
+	for j, bits := range k.outBuf {
+		dst[j] = Posit{f: k.f, bits: bits}
+	}
+}
+
+// ForwardBits is Forward on raw bit patterns (the emac.Code plane): act
+// and dst hold n-bit patterns of the kernel's format. This is the entry
+// point the EMAC layer kernels use, avoiding any Posit wrapping in the
+// caller's loop.
+func (k *DenseKernel) ForwardBits(act, dst []uint64) {
+	if len(act) != k.in {
+		panic("posit: DenseKernel input size mismatch")
+	}
+	if len(dst) != k.out {
+		panic("posit: DenseKernel output size mismatch")
+	}
+	t := k.f.decTab()
+	for i, bits := range act {
+		k.acts[i] = predecodeBits(k.f, t, bits&k.f.Mask())
+	}
+	k.forwardDecoded(dst)
+}
+
+// forwardDecoded runs the row loop once k.acts holds the decoded
+// activations, picking the small-register fast path when the quire fits.
+func (k *DenseKernel) forwardDecoded(dst []uint64) {
+	q := &k.q
+	if q.smallWords() > 0 {
+		// The small tiers hoist NaR detection out of the MAC loop; the
+		// generic path below handles NaR per-operand in mulAddPre.
+		actNaR := false
+		for i := range k.acts {
+			if k.acts[i].cls == pdNaR {
+				actNaR = true
+				break
+			}
+		}
+		k.forwardSmall(dst, actNaR)
+		return
+	}
+	for j := 0; j < k.out; j++ {
+		q.Reset()
+		q.addPre(&k.b[j])
+		row := k.w[j*k.in : (j+1)*k.in]
+		for i := range row {
+			q.mulAddPre(&row[i], &k.acts[i])
+		}
+		dst[j] = q.Result().bits
+	}
+}
+
+// forwardSmall runs the row loop on a local 128-bit register (the
+// register of every small-format quire fits two words), writing it back
+// into the quire only for the per-row rounding. k.acts must already hold
+// the decoded activations; actNaR reports a NaR among them (poisons every
+// row, exactly as per-MAC accumulation would). The inner loops are
+// branchless: zero/NaR operands carry sig = 0 and the sign is a XOR mask.
+func (k *DenseKernel) forwardSmall(dst []uint64, actNaR bool) {
+	q := &k.q
+	fb := int(q.fracBits)
+	single := q.words == 1
+	for j := 0; j < k.out; j++ {
+		if actNaR || k.narRow[j] {
+			dst[j] = q.f.NaR().bits
+			continue
+		}
+		var a0, a1 uint64
+		if b := &k.b[j]; b.cls == pdReal {
+			a0, a1 = acc128(a0, a1, b.sig, uint(fb+int(b.adj)), b.sgn != 0)
+		}
+		row := k.w[j*k.in : (j+1)*k.in]
+		acts := k.acts[:len(row)]
+		if single {
+			// Single-word tier: accumulate in one register (see the
+			// DotProduct fast path).
+			for i := range row {
+				w, x := &row[i], &acts[i]
+				v := w.sig * x.sig << uint(fb+int(w.adj)+int(x.adj))
+				sm := w.sgn ^ x.sgn
+				a0 += (v ^ sm) - sm
+			}
+		} else {
+			for i := range row {
+				w, x := &row[i], &acts[i]
+				a0, a1 = accSigned128(a0, a1, w.sig*x.sig,
+					uint(fb+int(w.adj)+int(x.adj)), w.sgn^x.sgn)
+			}
+		}
+		if single {
+			// Keep the invariant that inline words beyond q.words stay
+			// zero: a1 holds 128-bit sign-extension garbage here.
+			a1 = 0
+		}
+		q.nar = false
+		q.sw[0], q.sw[1] = a0, a1
+		q.snorm()
+		dst[j] = q.Result().bits
+	}
+}

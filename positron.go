@@ -66,6 +66,15 @@ func NewPositMatrix(f PositFormat, rows, cols int, xs []float64) *PositMatrix {
 	return posit.NewMatrix(f, rows, cols, xs)
 }
 
+// WarmPositTables eagerly builds the decode and Mul/Add fast-path tables
+// for a format (otherwise built lazily on first use), so the first
+// inference pays no table-construction latency.
+func WarmPositTables(f PositFormat) { posit.WarmTables(f) }
+
+// PositTableMemoryBytes reports the memory the fast-path tables for a
+// format occupy once built (0 for formats too wide to table).
+func PositTableMemoryBytes(f PositFormat) int { return posit.TableMemoryBytes(f) }
+
 // StandardPosit8 returns posit(8,2), the 2022-standard 8-bit format.
 func StandardPosit8() PositFormat { return posit.Posit8() }
 
