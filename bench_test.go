@@ -9,6 +9,7 @@ package positron
 // benchEvalLimit keeps a full `go test -bench=.` run to a few minutes.
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/emac"
@@ -230,6 +231,101 @@ func BenchmarkInferIris(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkLayerKernel measures one pre-decoded 16×30 layer forward pass
+// per EMAC arm against stepping the same layer through per-neuron MACs —
+// the Table II cross-arm datapath comparison at layer granularity.
+func BenchmarkLayerKernel(b *testing.B) {
+	r := rng.New(31)
+	const in, out = 30, 16
+	for _, arith := range []emac.Arithmetic{
+		emac.NewPosit(8, 0), emac.NewFloatN(8, 4), emac.NewFixed(8, 4),
+	} {
+		w := make([][]emac.Code, out)
+		bias := make([]emac.Code, out)
+		for j := range w {
+			row := make([]emac.Code, in)
+			for i := range row {
+				row[i] = arith.Quantize(r.NormMS(0, 1))
+			}
+			w[j] = row
+			bias[j] = arith.Quantize(r.NormMS(0, 0.5))
+		}
+		act := make([]emac.Code, in)
+		for i := range act {
+			act[i] = arith.Quantize(r.NormMS(0, 1))
+		}
+		dst := make([]emac.Code, out)
+		k, ok := arith.(emac.KernelBuilder).NewLayerKernel(w, bias)
+		if !ok {
+			b.Fatalf("%s: no layer kernel", arith.Name())
+		}
+		b.Run("kernel/"+arith.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				k.Forward(act, dst)
+			}
+		})
+		macs := make([]emac.MAC, out)
+		for j := range macs {
+			macs[j] = arith.NewMAC(in)
+		}
+		b.Run("macs/"+arith.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < out; j++ {
+					mac := macs[j]
+					mac.Reset(bias[j])
+					row := w[j]
+					for i, a := range act {
+						mac.Step(row[i], a)
+					}
+					dst[j] = mac.Result()
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSessionInfer measures per-goroutine session inference (the
+// concurrent-serving datapath) for every 8-bit arm on the Iris topology.
+func BenchmarkSessionInfer(b *testing.B) {
+	experiments.Datasets()
+	iris := experiments.Datasets()[1]
+	for _, arith := range []emac.Arithmetic{
+		emac.NewPosit(8, 0), emac.NewFloatN(8, 4), emac.NewFixed(8, 4),
+	} {
+		b.Run(arith.Name(), func(b *testing.B) {
+			s := QuantizeNetwork(iris.Net, arith).NewSession()
+			x := iris.Test.X[0]
+			s.Infer(x)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Infer(x)
+			}
+		})
+	}
+}
+
+// BenchmarkEngineBatch measures the worker-pool batch engine over the
+// full Iris inference split (50 samples per op).
+func BenchmarkEngineBatch(b *testing.B) {
+	experiments.Datasets()
+	iris := experiments.Datasets()[1]
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(sizeWorkers(workers), func(b *testing.B) {
+			e := NewEngine(QuantizeNetwork(iris.Net, emac.NewPosit(8, 0)), workers)
+			defer e.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.InferBatch(iris.Test.X)
+			}
+		})
+	}
+}
+
+func sizeWorkers(w int) string { return fmt.Sprintf("workers%d", w) }
 
 // BenchmarkStreamInfer measures the cycle-level streaming simulator
 // (32 Iris inferences pipelined through the layer FSMs).

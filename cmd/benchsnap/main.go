@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/emac"
+	"repro/internal/engine"
 	"repro/internal/nn"
 	"repro/internal/posit"
 	"repro/internal/rng"
@@ -79,10 +80,20 @@ func main() {
 
 	net := nn.NewMLP([]int{30, 16, 8, 2}, rng.New(42))
 	dp := core.Quantize(net, emac.NewPosit(8, 0))
+	dpFloat := core.Quantize(net, emac.NewFloatN(8, 4))
+	dpFixed := core.Quantize(net, emac.NewFixed(8, 4))
 	inX := make([]float64, 30)
 	r := rng.New(25)
 	for i := range inX {
 		inX[i] = r.NormMS(0, 1)
+	}
+	batch := make([][]float64, 256)
+	for s := range batch {
+		x := make([]float64, 30)
+		for i := range x {
+			x[i] = r.NormMS(0, 1)
+		}
+		batch[s] = x
 	}
 
 	snap := Snapshot{
@@ -119,7 +130,69 @@ func main() {
 				dp.Infer(inX)
 			}
 		}),
+		measure("Forward30-16-8-2/float(8,4)", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dpFloat.Infer(inX)
+			}
+		}),
+		measure("Forward30-16-8-2/fixed(8,4)", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dpFixed.Infer(inX)
+			}
+		}),
 	)
+	// Layer-kernel benches: one pre-decoded 16×30 layer forward per arm
+	// (the Table II cross-arm datapath at layer granularity).
+	for _, arm := range []struct {
+		name string
+		a    emac.Arithmetic
+	}{
+		{"LayerKernel16x30/posit(8,0)", emac.NewPosit(8, 0)},
+		{"LayerKernel16x30/float(8,4)", emac.NewFloatN(8, 4)},
+		{"LayerKernel16x30/fixed(8,4)", emac.NewFixed(8, 4)},
+	} {
+		const in, out = 30, 16
+		w := make([][]emac.Code, out)
+		bias := make([]emac.Code, out)
+		for j := range w {
+			row := make([]emac.Code, in)
+			for i := range row {
+				row[i] = arm.a.Quantize(r.NormMS(0, 1))
+			}
+			w[j] = row
+			bias[j] = arm.a.Quantize(r.NormMS(0, 0.5))
+		}
+		k, ok := arm.a.(emac.KernelBuilder).NewLayerKernel(w, bias)
+		if !ok {
+			fmt.Fprintln(os.Stderr, "benchsnap: no layer kernel for", arm.a.Name())
+			os.Exit(1)
+		}
+		act := make([]emac.Code, in)
+		for i := range act {
+			act[i] = arm.a.Quantize(r.NormMS(0, 1))
+		}
+		dst := make([]emac.Code, out)
+		snap.Results = append(snap.Results, measure(arm.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				k.Forward(act, dst)
+			}
+		}))
+	}
+	// Batch-engine bench: 256 inferences per op through the worker pool.
+	for _, workers := range []int{1, 4} {
+		e := engine.New(dp, workers)
+		snap.Results = append(snap.Results, measure(
+			fmt.Sprintf("EngineBatch256/posit(8,0)/workers%d", workers),
+			func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					e.InferBatch(batch)
+				}
+			}))
+		e.Close()
+	}
 
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {

@@ -14,6 +14,8 @@
 //	           evaluated bit-exactly.
 //	-k N       dot-product length used to size the EMAC accumulators in
 //	           the hardware model (default 32).
+//	-workers N worker count for the parallel inference engine
+//	           (0 = GOMAXPROCS).
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 func main() {
 	limit := flag.Int("limit", 0, "max inference samples per dataset (0 = full)")
 	k := flag.Int("k", 32, "accumulator dot-product capacity for the hardware model")
+	workers := flag.Int("workers", 0, "worker count for the parallel inference engine (0 = GOMAXPROCS)")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -37,10 +40,10 @@ func main() {
 	}
 	for _, name := range args {
 		if name == "all" {
-			runAll(*limit, *k)
+			runAll(*limit, *k, *workers)
 			continue
 		}
-		if !run(name, *limit, *k) {
+		if !run(name, *limit, *k, *workers) {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			usage()
 			os.Exit(2)
@@ -51,7 +54,7 @@ func main() {
 func usage() {
 	fmt.Fprintf(os.Stderr, `positron — regenerate the Deep Positron paper's tables and figures
 
-usage: positron [-limit N] [-k N] <experiment>...
+usage: positron [-limit N] [-k N] [-workers N] <experiment>...
 
 experiments:
   table1   regime interpretation (Table I)
@@ -70,18 +73,20 @@ experiments:
   wide16   16-bit formats: posit16 vs binary16 vs bfloat16 (extension)
   scaling  EMAC hardware scaling to n in {8..32} (extension)
   robust   re-run Table II under alternative master seeds (extension)
+  engine   parallel dataset evaluation: serial session vs worker-pool
+           batch engine, all 8-bit arms (extension)
   verify   re-check every headline paper claim; exit 1 on violation
   all      everything above
 `)
 }
 
-func runAll(limit, k int) {
-	for _, name := range []string{"table1", "fig2", "fig6", "fig7", "fig8", "table2", "sweep", "fig9", "decimals", "hw", "memonly", "qat", "quire"} {
-		run(name, limit, k)
+func runAll(limit, k, workers int) {
+	for _, name := range []string{"table1", "fig2", "fig6", "fig7", "fig8", "table2", "sweep", "fig9", "decimals", "hw", "memonly", "qat", "quire", "engine"} {
+		run(name, limit, k, workers)
 	}
 }
 
-func run(name string, limit, k int) bool {
+func run(name string, limit, k, workers int) bool {
 	switch name {
 	case "table1":
 		_, tab := experiments.Table1()
@@ -140,6 +145,9 @@ func run(name string, limit, k int) bool {
 		fmt.Println(tab)
 	case "scaling":
 		_, tab := experiments.Scaling(k)
+		fmt.Println(tab)
+	case "engine":
+		_, tab := experiments.EngineSweep(limit, workers)
 		fmt.Println(tab)
 	case "robust":
 		_, tab := experiments.RobustnessCheck(

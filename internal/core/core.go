@@ -6,6 +6,15 @@
 // instantiated for any emac.Arithmetic — posit, minifloat, fixed point or
 // the float32 baseline — which is how the paper compares the three
 // number systems at identical bit width.
+//
+// The package separates the model plane from the execution plane:
+// Network/MixedNetwork/Layer hold only the immutable quantised
+// parameters (the bitstream a Deep Positron deployment would flash), so
+// one network can be shared by any number of goroutines; all mutable
+// state — EMAC banks, pre-decoded layer kernels, activation scratch —
+// lives in per-goroutine Session objects (see session.go). Network.Infer
+// and friends remain as thin wrappers over a lazily-built default
+// session for single-goroutine callers.
 package core
 
 import (
@@ -16,25 +25,18 @@ import (
 	"repro/internal/nn"
 )
 
-// Layer is one Deep Positron layer: quantised weights and biases held in
-// the layer's local memory (the paper stores parameters on-chip next to
-// the EMACs to avoid off-chip accesses), plus one EMAC per neuron.
+// Layer is one Deep Positron layer's parameter memory: quantised weights
+// and biases (the paper stores parameters on-chip next to the EMACs to
+// avoid off-chip accesses). A Layer is immutable after construction; the
+// EMAC units and batched kernels that execute it live in a Session.
 type Layer struct {
 	In, Out int
 	// W[j][i] is the code of the weight from input i to neuron j.
 	W [][]emac.Code
 	B []emac.Code
-	// macs holds one EMAC unit per neuron, reused across inputs exactly
-	// like the hardware units are.
-	macs []emac.MAC
-	// kernel is the batched pre-decoded datapath for the whole layer
-	// (nil when the arithmetic has none); bit-identical to the macs.
-	kernel emac.LayerKernel
-	// act is the layer's reused output activation buffer.
-	act []emac.Code
 }
 
-// Network is a Deep Positron instance.
+// Network is a Deep Positron instance: the immutable model plane.
 type Network struct {
 	Arith  emac.Arithmetic
 	Layers []*Layer
@@ -42,9 +44,11 @@ type Network struct {
 	// on hidden layers (extension; requires a posit arithmetic with
 	// es=0).
 	Sigmoid bool
-	// in is the reused input-code buffer; Infer is not safe for
-	// concurrent use (the EMACs and kernels are stateful anyway).
-	in []emac.Code
+	// def is the lazily-built default session backing the Infer/Predict/
+	// Accuracy convenience wrappers. Those wrappers are not safe for
+	// concurrent use — concurrent callers build one Session each via
+	// NewSession.
+	def *Session
 }
 
 // Quantize lowers a trained float64 network into the target arithmetic.
@@ -66,50 +70,9 @@ func Quantize(src *nn.Network, a emac.Arithmetic) *Network {
 		for j, b := range l.B {
 			ql.B[j] = a.Quantize(b)
 		}
-		ql.macs = make([]emac.MAC, l.Out)
-		for j := range ql.macs {
-			ql.macs[j] = a.NewMAC(l.In)
-		}
-		ql.attachFastPath(a)
 		net.Layers = append(net.Layers, ql)
 	}
 	return net
-}
-
-// attachFastPath builds the optional batched kernel and the reused output
-// activation buffer for a layer whose W/B codes are final. Every layer
-// constructor (Quantize, QuantizeMixed, model loading) goes through this
-// one helper so the fast-path wiring cannot diverge between them.
-func (l *Layer) attachFastPath(a emac.Arithmetic) {
-	if kb, ok := a.(emac.KernelBuilder); ok {
-		if k, ok := kb.NewLayerKernel(l.W, l.B); ok {
-			l.kernel = k
-		}
-	}
-	l.act = make([]emac.Code, l.Out)
-}
-
-// forward computes the layer's raw MAC outputs (bias + dot product, one
-// rounding each, no activation function) into the layer's reused act
-// buffer, via the batched kernel when one exists and per-neuron EMACs
-// otherwise. Single- and mixed-precision inference share this one
-// implementation.
-func (l *Layer) forward(act []emac.Code) []emac.Code {
-	next := l.act
-	if l.kernel != nil {
-		l.kernel.Forward(act, next)
-		return next
-	}
-	for j := 0; j < l.Out; j++ {
-		mac := l.macs[j]
-		mac.Reset(l.B[j])
-		wrow := l.W[j]
-		for i, a := range act {
-			mac.Step(wrow[i], a)
-		}
-		next[j] = mac.Result()
-	}
-	return next
 }
 
 // QuantizeInput converts a raw feature vector into activation codes.
@@ -121,46 +84,26 @@ func (n *Network) QuantizeInput(x []float64) []emac.Code {
 	return codes
 }
 
-// quantizeInputReused is QuantizeInput into the network's reused buffer.
-func (n *Network) quantizeInputReused(x []float64) []emac.Code {
-	if cap(n.in) < len(x) {
-		n.in = make([]emac.Code, len(x))
+// session returns the lazily-built default session.
+func (n *Network) session() *Session {
+	if n.def == nil {
+		n.def = n.NewSession()
 	}
-	codes := n.in[:len(x)]
-	for i, v := range x {
-		codes[i] = n.Arith.Quantize(v)
-	}
-	return codes
+	return n.def
 }
 
 // Infer runs one input through the network and returns the decoded output
-// logits. The compute follows the paper's dataflow: each layer's EMACs
-// reset to their bias, consume one activation per cycle, and the layer
-// fires when its predecessor finishes. Layers whose arithmetic provides a
-// batched kernel run it instead of stepping per-neuron MACs (identical
-// results, one pre-decoded pass); activations flow through per-layer
-// reused buffers, so steady-state inference only allocates the returned
-// logits. Not safe for concurrent use.
-func (n *Network) Infer(x []float64) []float64 {
-	act := n.quantizeInputReused(x)
-	for li, layer := range n.Layers {
-		if len(act) != layer.In {
-			panic(fmt.Sprintf("core: layer %d expects %d inputs, got %d", li, layer.In, len(act)))
-		}
-		next := layer.forward(act)
-		if li < len(n.Layers)-1 {
-			for j, c := range next {
-				next[j] = n.activate(c)
-			}
-		}
-		act = next
-	}
-	logits := make([]float64, len(act))
-	for i, c := range act {
-		logits[i] = n.Arith.Decode(c)
-	}
-	return logits
-}
+// logits, via the default session. Not safe for concurrent use — build
+// one Session per goroutine with NewSession for that.
+func (n *Network) Infer(x []float64) []float64 { return n.session().Infer(x) }
+
+// Predict returns the argmax class for one input (default session; not
+// safe for concurrent use).
+func (n *Network) Predict(x []float64) int { return n.session().Predict(x) }
+
+// Accuracy evaluates classification accuracy on a dataset (default
+// session; not safe for concurrent use).
+func (n *Network) Accuracy(ds *datasets.Dataset) float64 { return n.session().Accuracy(ds) }
 
 // activate applies the hidden-layer nonlinearity on a code.
 func (n *Network) activate(c emac.Code) emac.Code {
@@ -172,20 +115,6 @@ func (n *Network) activate(c emac.Code) emac.Code {
 		return emac.Code(pa.F.FromBits(uint64(c)).FastSigmoid().Bits())
 	}
 	return n.Arith.ReLU(c)
-}
-
-// Predict returns the argmax class for one input.
-func (n *Network) Predict(x []float64) int { return nn.Argmax(n.Infer(x)) }
-
-// Accuracy evaluates classification accuracy on a dataset.
-func (n *Network) Accuracy(ds *datasets.Dataset) float64 {
-	correct := 0
-	for i := range ds.X {
-		if n.Predict(ds.X[i]) == ds.Y[i] {
-			correct++
-		}
-	}
-	return float64(correct) / float64(ds.Len())
 }
 
 // Shape returns the per-layer fan-ins and widths (for the hardware cost

@@ -140,11 +140,6 @@ func (n *Network) UnmarshalJSON(data []byte) error {
 			}
 			l.B[j] = emac.Code(c)
 		}
-		l.macs = make([]emac.MAC, lj.Out)
-		for j := range l.macs {
-			l.macs[j] = arith.NewMAC(lj.In)
-		}
-		l.attachFastPath(arith)
 		net.Layers = append(net.Layers, l)
 	}
 	if len(net.Layers) == 0 {

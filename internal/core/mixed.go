@@ -14,13 +14,14 @@ import (
 // nothing in the architecture requires a single global format). At layer
 // boundaries activations are re-encoded into the next layer's format by a
 // format-conversion unit (decode → round), the same single-rounding step
-// the EMAC output stage already performs.
+// the EMAC output stage already performs. Like Network, a MixedNetwork is
+// the immutable model plane; execution state lives in MixedSession.
 type MixedNetwork struct {
 	Ariths []emac.Arithmetic // one per layer
 	Layers []*Layer
-	// in is the reused input-code buffer; Infer is not safe for
-	// concurrent use (the EMACs and kernels are stateful anyway).
-	in []emac.Code
+	// def is the lazily-built default session backing the convenience
+	// wrappers (not safe for concurrent use; see Network.def).
+	def *MixedSession
 }
 
 // QuantizeMixed lowers a trained float64 network with one arithmetic per
@@ -45,69 +46,31 @@ func QuantizeMixed(src *nn.Network, ariths []emac.Arithmetic) *MixedNetwork {
 		for j, b := range l.B {
 			ql.B[j] = a.Quantize(b)
 		}
-		ql.macs = make([]emac.MAC, l.Out)
-		for j := range ql.macs {
-			ql.macs[j] = a.NewMAC(l.In)
-		}
-		ql.attachFastPath(a)
 		net.Layers = append(net.Layers, ql)
 	}
 	return net
 }
 
-// Infer runs one input through the mixed-precision pipeline.
-func (n *MixedNetwork) Infer(x []float64) []float64 {
-	if len(x) != n.Layers[0].In {
-		panic("core: mixed input size mismatch")
+// session returns the lazily-built default session.
+func (n *MixedNetwork) session() *MixedSession {
+	if n.def == nil {
+		n.def = n.NewSession()
 	}
-	// quantise input in the first layer's format (reused buffer)
-	if cap(n.in) < len(x) {
-		n.in = make([]emac.Code, len(x))
-	}
-	act := n.in[:len(x)]
-	for i, v := range x {
-		act[i] = n.Ariths[0].Quantize(v)
-	}
-	for li, layer := range n.Layers {
-		a := n.Ariths[li]
-		next := layer.forward(act)
-		if li < len(n.Layers)-1 {
-			for j, c := range next {
-				next[j] = a.ReLU(c)
-			}
-		}
-		if li < len(n.Layers)-1 {
-			// format-conversion unit at the layer boundary
-			to := n.Ariths[li+1]
-			if to != a {
-				for j, c := range next {
-					next[j] = to.Quantize(a.Decode(c))
-				}
-			}
-		}
-		act = next
-	}
-	last := n.Ariths[len(n.Ariths)-1]
-	logits := make([]float64, len(act))
-	for i, c := range act {
-		logits[i] = last.Decode(c)
-	}
-	return logits
+	return n.def
 }
 
-// Predict returns the argmax class.
-func (n *MixedNetwork) Predict(x []float64) int { return nn.Argmax(n.Infer(x)) }
+// Infer runs one input through the mixed-precision pipeline via the
+// default session. Not safe for concurrent use — build one MixedSession
+// per goroutine with NewSession for that.
+func (n *MixedNetwork) Infer(x []float64) []float64 { return n.session().Infer(x) }
 
-// Accuracy evaluates classification accuracy.
-func (n *MixedNetwork) Accuracy(ds *datasets.Dataset) float64 {
-	correct := 0
-	for i := range ds.X {
-		if n.Predict(ds.X[i]) == ds.Y[i] {
-			correct++
-		}
-	}
-	return float64(correct) / float64(ds.Len())
-}
+// Predict returns the argmax class (default session; not safe for
+// concurrent use).
+func (n *MixedNetwork) Predict(x []float64) int { return n.session().Predict(x) }
+
+// Accuracy evaluates classification accuracy (default session; not safe
+// for concurrent use).
+func (n *MixedNetwork) Accuracy(ds *datasets.Dataset) float64 { return n.session().Accuracy(ds) }
 
 // MemoryBits returns the per-layer-format parameter storage.
 func (n *MixedNetwork) MemoryBits() int {

@@ -1,0 +1,225 @@
+package core
+
+// The execution plane. A Session owns every piece of mutable inference
+// state for one Network — EMAC banks, pre-decoded layer kernels and
+// activation scratch — mirroring the nn.Scratch pattern: one Session
+// serves one goroutine, and any number of sessions can share one
+// immutable Network. This is the shared-nothing substrate the batch
+// engine (internal/engine) builds its worker pool on.
+
+import (
+	"fmt"
+
+	"repro/internal/datasets"
+	"repro/internal/emac"
+	"repro/internal/nn"
+)
+
+// execLayer is the execution-plane state for one model layer: either a
+// pre-decoded batched kernel (when the arithmetic offers one) or a bank
+// of per-neuron EMACs, plus the layer's reused output activation buffer.
+type execLayer struct {
+	model *Layer
+	// kernel is the batched pre-decoded datapath for the whole layer
+	// (nil when the arithmetic has none); bit-identical to the MACs.
+	kernel emac.LayerKernel
+	// macs holds one EMAC unit per neuron, reused across inputs exactly
+	// like the hardware units are. Built only when there is no kernel.
+	macs []emac.MAC
+	// act is the layer's reused output activation buffer.
+	act []emac.Code
+}
+
+// newExecLayer builds the execution state for one layer under one
+// arithmetic.
+func newExecLayer(l *Layer, a emac.Arithmetic) execLayer {
+	e := execLayer{model: l, act: make([]emac.Code, l.Out)}
+	if kb, ok := a.(emac.KernelBuilder); ok {
+		if k, ok := kb.NewLayerKernel(l.W, l.B); ok {
+			e.kernel = k
+			return e
+		}
+	}
+	e.macs = make([]emac.MAC, l.Out)
+	for j := range e.macs {
+		e.macs[j] = a.NewMAC(l.In)
+	}
+	return e
+}
+
+// forward computes the layer's raw MAC outputs (bias + dot product, one
+// rounding each, no activation function) into the reused act buffer, via
+// the batched kernel when one exists and per-neuron EMACs otherwise.
+// Single- and mixed-precision inference share this one implementation.
+func (e *execLayer) forward(act []emac.Code) []emac.Code {
+	next := e.act
+	if e.kernel != nil {
+		e.kernel.Forward(act, next)
+		return next
+	}
+	l := e.model
+	for j := 0; j < l.Out; j++ {
+		mac := e.macs[j]
+		mac.Reset(l.B[j])
+		wrow := l.W[j]
+		for i, a := range act {
+			mac.Step(wrow[i], a)
+		}
+		next[j] = mac.Result()
+	}
+	return next
+}
+
+// Session is the per-goroutine execution state for one Network. Sessions
+// are cheap relative to a dataset sweep (construction pre-decodes the
+// weights once per layer) and are not safe for concurrent use; the
+// Network they execute is never written through them.
+type Session struct {
+	net    *Network
+	layers []execLayer
+	// in is the reused input-code buffer.
+	in []emac.Code
+}
+
+// NewSession builds an independent execution plane for the network. Any
+// number of sessions may run concurrently over the same Network.
+func (n *Network) NewSession() *Session {
+	s := &Session{net: n, layers: make([]execLayer, len(n.Layers))}
+	for i, l := range n.Layers {
+		s.layers[i] = newExecLayer(l, n.Arith)
+	}
+	return s
+}
+
+// Network returns the model plane this session executes.
+func (s *Session) Network() *Network { return s.net }
+
+// quantizeInput converts a raw feature vector into the session's reused
+// input-code buffer.
+func (s *Session) quantizeInput(x []float64) []emac.Code {
+	if cap(s.in) < len(x) {
+		s.in = make([]emac.Code, len(x))
+	}
+	codes := s.in[:len(x)]
+	for i, v := range x {
+		codes[i] = s.net.Arith.Quantize(v)
+	}
+	return codes
+}
+
+// Infer runs one input through the network and returns the decoded output
+// logits. The compute follows the paper's dataflow: each layer's EMACs
+// reset to their bias, consume one activation per cycle, and the layer
+// fires when its predecessor finishes. Layers whose arithmetic provides a
+// batched kernel run it instead of stepping per-neuron MACs (identical
+// results, one pre-decoded pass); activations flow through per-layer
+// reused buffers, so steady-state inference only allocates the returned
+// logits.
+func (s *Session) Infer(x []float64) []float64 {
+	n := s.net
+	act := s.quantizeInput(x)
+	for li := range s.layers {
+		e := &s.layers[li]
+		if len(act) != e.model.In {
+			panic(fmt.Sprintf("core: layer %d expects %d inputs, got %d", li, e.model.In, len(act)))
+		}
+		next := e.forward(act)
+		if li < len(s.layers)-1 {
+			for j, c := range next {
+				next[j] = n.activate(c)
+			}
+		}
+		act = next
+	}
+	logits := make([]float64, len(act))
+	for i, c := range act {
+		logits[i] = n.Arith.Decode(c)
+	}
+	return logits
+}
+
+// Predict returns the argmax class for one input.
+func (s *Session) Predict(x []float64) int { return nn.Argmax(s.Infer(x)) }
+
+// Accuracy evaluates classification accuracy on a dataset.
+func (s *Session) Accuracy(ds *datasets.Dataset) float64 {
+	correct := 0
+	for i := range ds.X {
+		if s.Predict(ds.X[i]) == ds.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len())
+}
+
+// MixedSession is the per-goroutine execution state for one MixedNetwork.
+type MixedSession struct {
+	net    *MixedNetwork
+	layers []execLayer
+	in     []emac.Code
+}
+
+// NewSession builds an independent execution plane for the mixed network.
+func (n *MixedNetwork) NewSession() *MixedSession {
+	s := &MixedSession{net: n, layers: make([]execLayer, len(n.Layers))}
+	for i, l := range n.Layers {
+		s.layers[i] = newExecLayer(l, n.Ariths[i])
+	}
+	return s
+}
+
+// Network returns the model plane this session executes.
+func (s *MixedSession) Network() *MixedNetwork { return s.net }
+
+// Infer runs one input through the mixed-precision pipeline.
+func (s *MixedSession) Infer(x []float64) []float64 {
+	n := s.net
+	if len(x) != n.Layers[0].In {
+		panic("core: mixed input size mismatch")
+	}
+	// quantise input in the first layer's format (reused buffer)
+	if cap(s.in) < len(x) {
+		s.in = make([]emac.Code, len(x))
+	}
+	act := s.in[:len(x)]
+	for i, v := range x {
+		act[i] = n.Ariths[0].Quantize(v)
+	}
+	for li := range s.layers {
+		a := n.Ariths[li]
+		next := s.layers[li].forward(act)
+		if li < len(s.layers)-1 {
+			for j, c := range next {
+				next[j] = a.ReLU(c)
+			}
+			// format-conversion unit at the layer boundary
+			to := n.Ariths[li+1]
+			if to != a {
+				for j, c := range next {
+					next[j] = to.Quantize(a.Decode(c))
+				}
+			}
+		}
+		act = next
+	}
+	last := n.Ariths[len(n.Ariths)-1]
+	logits := make([]float64, len(act))
+	for i, c := range act {
+		logits[i] = last.Decode(c)
+	}
+	return logits
+}
+
+// Predict returns the argmax class.
+func (s *MixedSession) Predict(x []float64) int { return nn.Argmax(s.Infer(x)) }
+
+// Accuracy evaluates classification accuracy.
+func (s *MixedSession) Accuracy(ds *datasets.Dataset) float64 {
+	correct := 0
+	for i := range ds.X {
+		if s.Predict(ds.X[i]) == ds.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len())
+}

@@ -1,0 +1,146 @@
+package core
+
+// Execution-plane tests: sessions are shared-nothing, so any number of
+// goroutines driving one immutable Network must produce outputs
+// bit-identical to a serial pass. Run with -race (CI does) to prove the
+// model plane really is read-only under concurrency.
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/emac"
+)
+
+// serialLogits runs the whole test split through one fresh session.
+func serialLogits(n *Network, xs [][]float64) [][]float64 {
+	s := n.NewSession()
+	out := make([][]float64, len(xs))
+	for i, x := range xs {
+		out[i] = s.Infer(x)
+	}
+	return out
+}
+
+// TestSessionsConcurrentBitIdentical: one shared Network, 12 goroutines,
+// one session each, every goroutine sweeps the full test set; every
+// logit must be bit-identical to the serial reference for every arm.
+func TestSessionsConcurrentBitIdentical(t *testing.T) {
+	net, test := trainedIris(t)
+	for _, a := range []emac.Arithmetic{
+		emac.NewPosit(8, 0), emac.NewFloatN(8, 4), emac.NewFixed(8, 4),
+		emac.Float32Arith{}, // MAC path: no kernel, per-neuron EMACs
+	} {
+		q := Quantize(net, a)
+		want := serialLogits(q, test.X)
+		const goroutines = 12
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				s := q.NewSession()
+				for i, x := range test.X {
+					got := s.Infer(x)
+					for j := range got {
+						if got[j] != want[i][j] {
+							t.Errorf("%s goroutine %d sample %d logit %d: %v != %v",
+								a.Name(), g, i, j, got[j], want[i][j])
+							return
+						}
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+	}
+}
+
+// TestMixedSessionsConcurrent: the mixed-precision pipeline under the
+// same contract (different arithmetics per layer, conversion units at
+// boundaries).
+func TestMixedSessionsConcurrent(t *testing.T) {
+	net, test := trainedIris(t)
+	m := QuantizeMixed(net, []emac.Arithmetic{
+		emac.NewPosit(8, 0), emac.NewFixed(8, 4), emac.NewFloatN(8, 4),
+	})
+	ref := m.NewSession()
+	want := make([][]float64, len(test.X))
+	for i, x := range test.X {
+		want[i] = ref.Infer(x)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := m.NewSession()
+			for i, x := range test.X {
+				got := s.Infer(x)
+				for j := range got {
+					if got[j] != want[i][j] {
+						t.Errorf("sample %d logit %d: %v != %v", i, j, got[j], want[i][j])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestDefaultWrappersMatchSessions: the Network-level convenience methods
+// are thin wrappers over a default session and must agree with an
+// explicit one, including the accuracy sweep.
+func TestDefaultWrappersMatchSessions(t *testing.T) {
+	net, test := trainedIris(t)
+	q := Quantize(net, emac.NewPosit(8, 0))
+	s := q.NewSession()
+	for i, x := range test.X {
+		a, b := q.Infer(x), s.Infer(x)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("sample %d: wrapper %v != session %v", i, a, b)
+			}
+		}
+	}
+	if qa, sa := q.Accuracy(test), s.Accuracy(test); qa != sa {
+		t.Fatalf("wrapper accuracy %v != session accuracy %v", qa, sa)
+	}
+	if s.Network() != q {
+		t.Fatal("session does not report its network")
+	}
+}
+
+// TestSessionStateIsolation: interleaving inferences across two sessions
+// of one network must not perturb either (no shared scratch).
+func TestSessionStateIsolation(t *testing.T) {
+	net, test := trainedIris(t)
+	q := Quantize(net, emac.NewFixed(8, 4))
+	s1, s2 := q.NewSession(), q.NewSession()
+	a := s1.Infer(test.X[0])
+	_ = s2.Infer(test.X[1]) // interleave different input on another session
+	b := s1.Infer(test.X[0])
+	for j := range a {
+		if a[j] != b[j] {
+			t.Fatalf("session state leaked: %v vs %v", a, b)
+		}
+	}
+}
+
+// TestStreamInferMatchesSessions: the cycle-level simulator owns its own
+// execution plane and must still match per-input session inference.
+func TestStreamInferMatchesSessions(t *testing.T) {
+	net, test := trainedIris(t)
+	q := Quantize(net, emac.NewFloatN(8, 4))
+	inputs := test.X[:16]
+	outs, _, _ := q.StreamInfer(inputs, false)
+	want := serialLogits(q, inputs)
+	for i := range outs {
+		for j := range outs[i] {
+			if outs[i][j] != want[i][j] {
+				t.Fatalf("stream sample %d logit %d: %v != %v", i, j, outs[i][j], want[i][j])
+			}
+		}
+	}
+}

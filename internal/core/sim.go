@@ -42,9 +42,14 @@ func (s layerState) String() string {
 	}
 }
 
-// simLayer is the runtime state of one layer in the streaming simulator.
+// simLayer is the runtime state of one layer in the streaming simulator:
+// the FSM bookkeeping plus the layer's execution plane (borrowed from the
+// network's default session — the simulator shares Infer's
+// single-goroutine contract, and reusing the session keeps repeated
+// StreamInfer calls from re-decoding the weights).
 type simLayer struct {
 	layer *Layer
+	exec  *execLayer
 	state layerState
 	// step counts consumed activations for the current input.
 	step int
@@ -78,15 +83,17 @@ type StreamStats struct {
 // schedule statistics and (optionally, when trace is true) the FSM
 // transition log. The numerical results are identical to calling Infer
 // per input — the simulator only reorders *when* work happens, never
-// what is computed.
+// what is computed. Like Infer, it drives the default session and is not
+// safe for concurrent use.
 func (n *Network) StreamInfer(inputs [][]float64, trace bool) ([][]float64, StreamStats, []TraceEvent) {
 	if len(inputs) == 0 {
 		return nil, StreamStats{}, nil
 	}
 	depth := pipelineDepth
+	sess := n.session()
 	layers := make([]*simLayer, len(n.Layers))
 	for i, l := range n.Layers {
-		layers[i] = &simLayer{layer: l, state: layerIdle, tag: -1}
+		layers[i] = &simLayer{layer: l, exec: &sess.layers[i], state: layerIdle, tag: -1}
 	}
 	outputs := make([][]float64, len(inputs))
 	outCycles := make([]int, 0, len(inputs))
@@ -183,20 +190,16 @@ func (sl *simLayer) accept(input []emac.Code, tag int) {
 	sl.step = 0
 }
 
-// compute runs the layer's EMACs over the loaded input (the numeric work
-// all happens when the FSM says the layer has finished consuming; the
-// per-cycle Step calls are semantically identical, so we batch them).
+// compute runs the layer's execution plane over the loaded input (the
+// numeric work all happens when the FSM says the layer has finished
+// consuming; the per-cycle Step calls are semantically identical, so we
+// batch them). The output is latched into a fresh slice because the exec
+// layer's activation buffer is reused on the layer's next firing, which
+// can happen while the successor still holds this output.
 func (sl *simLayer) compute(n *Network, li int) {
-	l := sl.layer
-	out := make([]emac.Code, l.Out)
-	for j := 0; j < l.Out; j++ {
-		mac := l.macs[j]
-		mac.Reset(l.B[j])
-		wrow := l.W[j]
-		for i, a := range sl.input {
-			mac.Step(wrow[i], a)
-		}
-		c := mac.Result()
+	raw := sl.exec.forward(sl.input)
+	out := make([]emac.Code, len(raw))
+	for j, c := range raw {
 		if li < len(n.Layers)-1 {
 			c = n.activate(c)
 		}

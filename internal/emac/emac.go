@@ -143,26 +143,29 @@ func (p PositArith) NewLayerKernel(w [][]Code, b []Code) (LayerKernel, bool) {
 	for j, c := range b {
 		pb[j] = p.F.FromBits(uint64(c))
 	}
-	return &positLayerKernel{
-		k:   posit.NewDenseKernel(p.F, pw, pb),
-		act: make([]uint64, len(w[0])),
-		out: make([]uint64, len(w)),
-	}, true
+	return newBitsLayerKernel(posit.NewDenseKernel(p.F, pw, pb).ForwardBits, len(w[0]), len(w)), true
 }
 
-type positLayerKernel struct {
-	k        *posit.DenseKernel
+// bitsLayerKernel adapts a package-level ForwardBits kernel (posit, float
+// or fixed DenseKernel) to the Code plane, reusing uint64 scratch so the
+// adaptation itself allocates nothing per call.
+type bitsLayerKernel struct {
+	forward  func(act, out []uint64)
 	act, out []uint64
 }
 
-func (lk *positLayerKernel) Forward(act, out []Code) {
+func newBitsLayerKernel(forward func(act, out []uint64), in, out int) *bitsLayerKernel {
+	return &bitsLayerKernel{forward: forward, act: make([]uint64, in), out: make([]uint64, out)}
+}
+
+func (lk *bitsLayerKernel) Forward(act, out []Code) {
 	if len(act) != len(lk.act) || len(out) != len(lk.out) {
 		panic("emac: layer kernel size mismatch")
 	}
 	for i, c := range act {
 		lk.act[i] = uint64(c)
 	}
-	lk.k.ForwardBits(lk.act, lk.out)
+	lk.forward(lk.act, lk.out)
 	for j, bits := range lk.out {
 		out[j] = Code(bits)
 	}
@@ -232,6 +235,32 @@ func (p FloatArith) NewMAC(k int) MAC {
 	return &floatMAC{f: p.F, a: minifloat.NewAccumulator(p.F, k)}
 }
 
+// NewLayerKernel implements KernelBuilder: the float fast path unpacks
+// weights and biases once (sign/significand/scale, subnormals resolved)
+// and accumulates rows on one reused eq.-(3) wide register.
+func (p FloatArith) NewLayerKernel(w [][]Code, b []Code) (LayerKernel, bool) {
+	if len(w) == 0 || len(w[0]) == 0 {
+		return nil, false
+	}
+	fw := make([][]minifloat.Float, len(w))
+	for j, row := range w {
+		fr := make([]minifloat.Float, len(row))
+		for i, c := range row {
+			fr[i] = p.F.FromBits(uint64(c))
+		}
+		fw[j] = fr
+	}
+	fb := make([]minifloat.Float, len(b))
+	for j, c := range b {
+		fb[j] = p.F.FromBits(uint64(c))
+	}
+	k, ok := minifloat.NewDenseKernel(p.F, fw, fb)
+	if !ok {
+		return nil, false
+	}
+	return newBitsLayerKernel(k.ForwardBits, len(w[0]), len(w)), true
+}
+
 type floatMAC struct {
 	f minifloat.Format
 	a *minifloat.Accumulator
@@ -288,6 +317,34 @@ func (p FixedArith) NewMAC(k int) MAC {
 	a := fixedpoint.NewAccumulator(p.F, k)
 	a.RoundNearest = p.RoundNearest
 	return &fixedMAC{f: p.F, a: a}
+}
+
+// NewLayerKernel implements KernelBuilder: the fixed fast path
+// sign-extends weights once, pre-shifts biases to the product scale and
+// accumulates each row in a single int64 register (the constructor
+// refuses configurations whose eq.-(3) register would not fit — callers
+// fall back to the per-neuron MAC path).
+func (p FixedArith) NewLayerKernel(w [][]Code, b []Code) (LayerKernel, bool) {
+	if len(w) == 0 || len(w[0]) == 0 {
+		return nil, false
+	}
+	fw := make([][]fixedpoint.Fixed, len(w))
+	for j, row := range w {
+		fr := make([]fixedpoint.Fixed, len(row))
+		for i, c := range row {
+			fr[i] = p.F.FromBits(uint64(c))
+		}
+		fw[j] = fr
+	}
+	fb := make([]fixedpoint.Fixed, len(b))
+	for j, c := range b {
+		fb[j] = p.F.FromBits(uint64(c))
+	}
+	k, ok := fixedpoint.NewDenseKernel(p.F, fw, fb, p.RoundNearest)
+	if !ok {
+		return nil, false
+	}
+	return newBitsLayerKernel(k.ForwardBits, len(w[0]), len(w)), true
 }
 
 type fixedMAC struct {

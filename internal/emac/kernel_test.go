@@ -1,0 +1,94 @@
+package emac
+
+// Cross-arm layer-kernel tests: every Arithmetic that offers a
+// KernelBuilder fast path must produce results bit-identical to stepping
+// its per-neuron MACs, on the Code plane the core package drives.
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func randomLayer(a Arithmetic, in, out int, seed uint64) (w [][]Code, b []Code) {
+	r := rng.New(seed)
+	w = make([][]Code, out)
+	b = make([]Code, out)
+	for j := range w {
+		row := make([]Code, in)
+		for i := range row {
+			row[i] = a.Quantize(r.NormMS(0, 1))
+		}
+		w[j] = row
+		b[j] = a.Quantize(r.NormMS(0, 0.5))
+	}
+	return w, b
+}
+
+// TestLayerKernelMatchesMACs: for every hardware arm (posit, float,
+// fixed, fixed-RNE) a pre-decoded layer kernel and a bank of per-neuron
+// MACs must agree bit-for-bit on random activation streams.
+func TestLayerKernelMatchesMACs(t *testing.T) {
+	rneFixed := NewFixed(8, 4)
+	rneFixed.RoundNearest = true
+	ariths := []Arithmetic{
+		NewPosit(8, 0), NewPosit(8, 2), NewPosit(12, 1),
+		NewFloatN(8, 4), NewFloatN(6, 2), NewFloatN(16, 5),
+		NewFixed(8, 4), NewFixed(8, 1), NewFixed(12, 6), rneFixed,
+	}
+	const in, out = 30, 16
+	for _, a := range ariths {
+		kb, ok := a.(KernelBuilder)
+		if !ok {
+			t.Fatalf("%s: no KernelBuilder", a.Name())
+		}
+		w, b := randomLayer(a, in, out, 101)
+		k, ok := kb.NewLayerKernel(w, b)
+		if !ok {
+			t.Fatalf("%s: kernel declined fan-in %d", a.Name(), in)
+		}
+		macs := make([]MAC, out)
+		for j := range macs {
+			macs[j] = a.NewMAC(in)
+		}
+		r := rng.New(202)
+		act := make([]Code, in)
+		got := make([]Code, out)
+		for trial := 0; trial < 100; trial++ {
+			for i := range act {
+				act[i] = a.Quantize(r.NormMS(0, 1))
+			}
+			k.Forward(act, got)
+			for j := 0; j < out; j++ {
+				mac := macs[j]
+				mac.Reset(b[j])
+				for i, c := range act {
+					mac.Step(w[j][i], c)
+				}
+				if ref := mac.Result(); got[j] != ref {
+					t.Fatalf("%s trial %d neuron %d: kernel %#x != mac %#x",
+						a.Name(), trial, j, got[j], ref)
+				}
+			}
+		}
+	}
+}
+
+// TestFloat32HasNoKernel: the float32 baseline is deliberately a naive
+// sequential MAC; it must not grow a batched fast path.
+func TestFloat32HasNoKernel(t *testing.T) {
+	var a Arithmetic = Float32Arith{}
+	if _, ok := a.(KernelBuilder); ok {
+		t.Fatal("float32 baseline offers a KernelBuilder")
+	}
+}
+
+// TestKernelDeclinesDegenerateShapes: empty layers fall back cleanly.
+func TestKernelDeclinesDegenerateShapes(t *testing.T) {
+	for _, a := range []Arithmetic{NewPosit(8, 0), NewFloatN(8, 4), NewFixed(8, 4)} {
+		kb := a.(KernelBuilder)
+		if _, ok := kb.NewLayerKernel(nil, nil); ok {
+			t.Errorf("%s: kernel accepted an empty layer", a.Name())
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Package engine is the concurrent batch-inference plane on top of the
+// core model/session split: a worker pool in which every worker owns one
+// shared-nothing core.Session over one immutable core.Network. The paper
+// describes Deep Positron as a streaming accelerator serving a stream of
+// inputs; this package is the software analogue for dataset-scale
+// evaluation and serving — a batched API (InferBatch) for offline sweeps
+// and a streaming Submit/Results API for request/response traffic.
+package engine
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/nn"
+)
+
+// Result is one completed streaming inference.
+type Result struct {
+	// ID is the caller's identifier from Submit.
+	ID int
+	// Logits are the decoded output logits.
+	Logits []float64
+	// Class is the argmax class (lowest index wins ties).
+	Class int
+}
+
+// task is one unit of work: an input plus where its logits go.
+type task struct {
+	id      int
+	x       []float64
+	deliver func(id int, logits []float64)
+}
+
+// Engine is a worker-pool inference engine. All methods except Close may
+// be called from any number of goroutines concurrently; inputs are
+// handed to workers as-is (callers must not mutate a submitted slice
+// until its result arrives).
+type Engine struct {
+	net     *core.Network
+	workers int
+	jobs    chan task
+	results chan Result
+	wg      sync.WaitGroup
+	close   sync.Once
+}
+
+// New starts an engine with the given number of workers over one
+// immutable network; workers <= 0 selects GOMAXPROCS. Each worker builds
+// its own core.Session (pre-decoded kernels included), so workers share
+// nothing but the read-only model. Call Close to release the pool.
+func New(net *core.Network, workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{
+		net:     net,
+		workers: workers,
+		jobs:    make(chan task, 2*workers),
+		results: make(chan Result, 2*workers),
+	}
+	e.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go e.worker()
+	}
+	return e
+}
+
+// worker drains the job queue through one private session.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	s := e.net.NewSession()
+	for t := range e.jobs {
+		t.deliver(t.id, s.Infer(t.x))
+	}
+}
+
+// Network returns the model plane the engine serves.
+func (e *Engine) Network() *core.Network { return e.net }
+
+// Workers returns the pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// InferBatch runs every input through the pool and returns the logits in
+// input order. Results are bit-identical to calling Infer serially (each
+// inference is independent; only scheduling differs). Safe to call from
+// multiple goroutines; a batch does not consume from or feed the
+// streaming Results channel.
+func (e *Engine) InferBatch(xs [][]float64) [][]float64 {
+	out := make([][]float64, len(xs))
+	var wg sync.WaitGroup
+	wg.Add(len(xs))
+	deliver := func(id int, logits []float64) {
+		out[id] = logits
+		wg.Done()
+	}
+	for i, x := range xs {
+		e.jobs <- task{id: i, x: x, deliver: deliver}
+	}
+	wg.Wait()
+	return out
+}
+
+// PredictBatch runs every input through the pool and returns the argmax
+// classes in input order.
+func (e *Engine) PredictBatch(xs [][]float64) []int {
+	logits := e.InferBatch(xs)
+	classes := make([]int, len(logits))
+	for i, l := range logits {
+		classes[i] = nn.Argmax(l)
+	}
+	return classes
+}
+
+// Accuracy evaluates classification accuracy over a dataset with the
+// whole pool (the parallel counterpart of core.Network.Accuracy; the
+// count is exact, so the value is identical).
+func (e *Engine) Accuracy(ds *datasets.Dataset) float64 {
+	classes := e.PredictBatch(ds.X)
+	correct := 0
+	for i, c := range classes {
+		if c == ds.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len())
+}
+
+// Submit enqueues one streaming inference; its Result (tagged with id)
+// arrives on the Results channel in completion order. Submit blocks when
+// the pool is saturated and the Results channel is full — callers must
+// drain Results concurrently. Submitting after Close panics.
+func (e *Engine) Submit(id int, x []float64) {
+	e.jobs <- task{id: id, x: x, deliver: e.deliverResult}
+}
+
+// deliverResult is the streaming delivery path (one shared func value so
+// Submit allocates no closure per call).
+func (e *Engine) deliverResult(id int, logits []float64) {
+	e.results <- Result{ID: id, Logits: logits, Class: nn.Argmax(logits)}
+}
+
+// Results returns the streaming output channel. It is closed by Close
+// after every in-flight inference has delivered.
+func (e *Engine) Results() <-chan Result { return e.results }
+
+// Close stops accepting work, waits for in-flight inferences and closes
+// the Results channel. Idempotent; do not call concurrently with Submit
+// or InferBatch.
+func (e *Engine) Close() {
+	e.close.Do(func() {
+		close(e.jobs)
+		e.wg.Wait()
+		close(e.results)
+	})
+}

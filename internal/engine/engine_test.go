@@ -1,0 +1,145 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/emac"
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+// fixture builds a quantised network and a synthetic dataset (no
+// training needed: bit-identity is a property of the datapath, not of
+// accuracy).
+func fixture(a emac.Arithmetic, samples int) (*core.Network, *datasets.Dataset) {
+	src := nn.NewMLP([]int{12, 16, 8, 3}, rng.New(5))
+	net := core.Quantize(src, a)
+	r := rng.New(6)
+	ds := &datasets.Dataset{Name: "synthetic", NumClasses: 3}
+	for i := 0; i < samples; i++ {
+		x := make([]float64, 12)
+		for j := range x {
+			x[j] = r.NormMS(0, 1)
+		}
+		ds.X = append(ds.X, x)
+		ds.Y = append(ds.Y, i%3)
+	}
+	return net, ds
+}
+
+func TestInferBatchMatchesSerial(t *testing.T) {
+	for _, a := range []emac.Arithmetic{
+		emac.NewPosit(8, 0), emac.NewFloatN(8, 4), emac.NewFixed(8, 4), emac.Float32Arith{},
+	} {
+		net, ds := fixture(a, 200)
+		want := make([][]float64, len(ds.X))
+		s := net.NewSession()
+		for i, x := range ds.X {
+			want[i] = s.Infer(x)
+		}
+		e := New(net, 8)
+		got := e.InferBatch(ds.X)
+		e.Close()
+		for i := range got {
+			for j := range got[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("%s sample %d logit %d: %v != %v", a.Name(), i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestAccuracyMatchesCore(t *testing.T) {
+	net, ds := fixture(emac.NewPosit(8, 0), 300)
+	e := New(net, 0) // GOMAXPROCS workers
+	defer e.Close()
+	if e.Workers() != runtime.GOMAXPROCS(0) {
+		t.Fatalf("workers = %d", e.Workers())
+	}
+	if got, want := e.Accuracy(ds), net.Accuracy(ds); got != want {
+		t.Fatalf("engine accuracy %v != core accuracy %v", got, want)
+	}
+}
+
+func TestStreaming(t *testing.T) {
+	net, ds := fixture(emac.NewFixed(8, 4), 100)
+	want := make([][]float64, len(ds.X))
+	s := net.NewSession()
+	for i, x := range ds.X {
+		want[i] = s.Infer(x)
+	}
+	e := New(net, 4)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	seen := make([]bool, len(ds.X))
+	go func() {
+		defer wg.Done()
+		for res := range e.Results() {
+			if seen[res.ID] {
+				t.Errorf("duplicate result id %d", res.ID)
+			}
+			seen[res.ID] = true
+			for j := range res.Logits {
+				if res.Logits[j] != want[res.ID][j] {
+					t.Errorf("id %d logit %d: %v != %v", res.ID, j, res.Logits[j], want[res.ID][j])
+				}
+			}
+			if res.Class != nn.Argmax(want[res.ID]) {
+				t.Errorf("id %d class %d", res.ID, res.Class)
+			}
+		}
+	}()
+	for i, x := range ds.X {
+		e.Submit(i, x)
+	}
+	e.Close() // drains in-flight work, closes Results
+	wg.Wait()
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("result %d never arrived", i)
+		}
+	}
+}
+
+func TestConcurrentBatches(t *testing.T) {
+	net, ds := fixture(emac.NewFloatN(8, 4), 60)
+	s := net.NewSession()
+	want := make([][]float64, len(ds.X))
+	for i, x := range ds.X {
+		want[i] = s.Infer(x)
+	}
+	e := New(net, 4)
+	defer e.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := e.InferBatch(ds.X)
+			for i := range got {
+				for j := range got[i] {
+					if got[i][j] != want[i][j] {
+						t.Errorf("sample %d: %v != %v", i, got[i], want[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	net, _ := fixture(emac.NewPosit(8, 0), 1)
+	e := New(net, 2)
+	e.Close()
+	e.Close() // second close must not panic
+	if _, ok := <-e.Results(); ok {
+		t.Fatal("results channel open after Close")
+	}
+}

@@ -370,6 +370,24 @@ func (a *Accumulator) MulAdd(w, x Fixed) {
 // Result shifts the register right by q (aligning the 2q-fraction product
 // scale back to q), truncates or rounds, and clips to n bits.
 func (a *Accumulator) Result() Fixed {
+	// Registers up to 64 bits (every paper configuration: eq. (3) stays
+	// under 64 until n > 23 at k = 256) read out through one
+	// sign-extended machine word with no heap traffic; resultBig is the
+	// arbitrary-width reference, and the two are cross-checked in the
+	// tests.
+	if w := a.acc.Width(); w <= 64 {
+		v := bitutil.SignExtend(a.acc.Extract(0, w), w)
+		if a.RoundNearest {
+			return a.f.FromRaw(shiftRNE(v, a.f.q))
+		}
+		return a.f.FromRaw(v >> a.f.q)
+	}
+	return a.resultBig()
+}
+
+// resultBig is Result for registers beyond 64 bits (and the readout
+// oracle for the word-sized fast path).
+func (a *Accumulator) resultBig() Fixed {
 	v := a.acc.Big()
 	// register holds value × 2^2q; target integer = value × 2^q
 	if a.RoundNearest {

@@ -1,0 +1,115 @@
+package fixedpoint
+
+// DenseKernel is the pre-decoded batched datapath for one dense layer in
+// the fixed-point arm: y[j] = round(b[j] + Σ_i W[j][i]·x[i]), one
+// truncate-and-clip (or RNE) per output. Weights are sign-extended to
+// int64 once at construction and the bias is pre-shifted to the product
+// scale 2^-2q; per forward pass the activations are sign-extended once
+// into a reused scratch buffer and each row accumulates in a single int64
+// register. int64 arithmetic is exact modulo 2^64, so sign-wrapping the
+// final sum to the eq.-(3) register width reproduces the wide register's
+// residue bit-for-bit (including the wrap a degenerate narrow register
+// would perform); the constructor refuses widths beyond 64 bits, where a
+// single machine word could no longer carry the residue. Results are
+// bit-identical to driving a per-neuron Accumulator through
+// ResetToBias/MulAdd/Result — the equivalence tests verify this
+// exhaustively.
+type DenseKernel struct {
+	f            Format
+	in, out      int
+	w            []int64 // row-major out×in sign-extended raw weights
+	b            []int64 // biases pre-shifted left by q (product scale)
+	acts         []int64 // activation scratch, sign-extended once per Forward
+	wrap         uint    // 64 - AccumSize(f, in): the register emulation shift
+	roundNearest bool
+}
+
+// NewDenseKernel pre-decodes a row-major weight matrix (out rows of in
+// weights) and bias vector of format f. ok is false when the eq.-(3)
+// register for this fan-in is wider than 64 bits (callers fall back to
+// the per-neuron Accumulator path).
+func NewDenseKernel(f Format, w [][]Fixed, b []Fixed, roundNearest bool) (*DenseKernel, bool) {
+	f.mustValid()
+	out := len(w)
+	if out == 0 || len(b) != out || len(w[0]) == 0 {
+		return nil, false
+	}
+	in := len(w[0])
+	width := AccumSize(f, in)
+	if width > 64 {
+		return nil, false
+	}
+	k := &DenseKernel{
+		f:            f,
+		in:           in,
+		out:          out,
+		w:            make([]int64, out*in),
+		b:            make([]int64, out),
+		acts:         make([]int64, in),
+		wrap:         64 - width,
+		roundNearest: roundNearest,
+	}
+	for j, row := range w {
+		if len(row) != in {
+			panic("fixedpoint: DenseKernel ragged weight matrix")
+		}
+		dst := k.w[j*in : (j+1)*in]
+		for i, v := range row {
+			if v.f != f {
+				panic("fixedpoint: DenseKernel weight format mismatch")
+			}
+			dst[i] = v.v
+		}
+	}
+	for j, v := range b {
+		if v.f != f {
+			panic("fixedpoint: DenseKernel bias format mismatch")
+		}
+		k.b[j] = v.v << f.q
+	}
+	return k, true
+}
+
+// In returns the layer fan-in.
+func (k *DenseKernel) In() int { return k.in }
+
+// Out returns the layer width.
+func (k *DenseKernel) Out() int { return k.out }
+
+// Format returns the kernel's fixed-point format.
+func (k *DenseKernel) Format() Format { return k.f }
+
+// ForwardBits computes dst[j] = round(b[j] + Σ_i W[j][i]·act[i]) on raw
+// n-bit two's-complement patterns. len(act) must equal In() and len(dst)
+// must equal Out(). Not safe for concurrent use (the activation scratch
+// is reused).
+func (k *DenseKernel) ForwardBits(act, dst []uint64) {
+	if len(act) != k.in {
+		panic("fixedpoint: DenseKernel input size mismatch")
+	}
+	if len(dst) != k.out {
+		panic("fixedpoint: DenseKernel output size mismatch")
+	}
+	for i, bits := range act {
+		k.acts[i] = k.f.FromBits(bits).v
+	}
+	for j := 0; j < k.out; j++ {
+		acc := k.b[j]
+		row := k.w[j*k.in : (j+1)*k.in]
+		for i, w := range row {
+			acc += w * k.acts[i]
+		}
+		// Sign-wrap to the eq.-(3) register width (the residue the wide
+		// register would hold), then shift the product scale 2^2q back to
+		// the stored scale with the paper's floor truncation (or the RNE
+		// ablation) and clip — exactly Accumulator.Result.
+		acc = acc << k.wrap >> k.wrap
+		var v int64
+		if k.roundNearest {
+			v = shiftRNE(acc, k.f.q)
+		} else {
+			v = acc >> k.f.q
+		}
+		dst[j] = k.f.FromRaw(v).Bits()
+	}
+}

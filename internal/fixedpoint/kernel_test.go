@@ -1,0 +1,166 @@
+package fixedpoint
+
+// Equivalence tests for the pre-decoded layer kernel: the int64 fast path
+// must be bit-identical to the per-neuron Accumulator reference over the
+// ENTIRE operand space for the paper's 8-bit format (both rounding arms),
+// exhaustively for every small format, and on random multi-term layers.
+// Style mirrors internal/posit/table_test.go.
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// macBits drives the reference per-neuron path for one (w, x, bias).
+func macBits(f Format, w, x, b Fixed, rne bool) uint64 {
+	a := NewAccumulator(f, 1)
+	a.RoundNearest = rne
+	a.ResetToBias(b)
+	a.MulAdd(w, x)
+	return a.Result().Bits()
+}
+
+// allPatternsKernel builds a 2^n-row, fan-in-1 kernel whose row j holds
+// weight pattern j, so one ForwardBits sweeps every weight against one
+// activation.
+func allPatternsKernel(t *testing.T, f Format, bias Fixed, rne bool) *DenseKernel {
+	t.Helper()
+	count := int(f.Count())
+	w := make([][]Fixed, count)
+	b := make([]Fixed, count)
+	for j := 0; j < count; j++ {
+		w[j] = []Fixed{f.FromBits(uint64(j))}
+		b[j] = bias
+	}
+	k, ok := NewDenseKernel(f, w, b, rne)
+	if !ok {
+		t.Fatalf("%s: no fast path for fan-in 1", f)
+	}
+	return k
+}
+
+func sweepPairs(t *testing.T, f Format, bias Fixed, rne bool) {
+	t.Helper()
+	k := allPatternsKernel(t, f, bias, rne)
+	count := f.Count()
+	act := make([]uint64, 1)
+	dst := make([]uint64, count)
+	for x := uint64(0); x < count; x++ {
+		act[0] = x
+		k.ForwardBits(act, dst)
+		xf := f.FromBits(x)
+		for wbits := uint64(0); wbits < count; wbits++ {
+			ref := macBits(f, f.FromBits(wbits), xf, bias, rne)
+			if dst[wbits] != ref {
+				t.Fatalf("%s rne=%v bias=%v: w=%#x x=%#x kernel %#x != mac %#x",
+					f, rne, bias, wbits, x, dst[wbits], ref)
+			}
+		}
+	}
+}
+
+// TestKernelExhaustive8Bit: every (weight, activation) pair of the
+// paper's fixed(8,q) formats through the kernel vs the MAC reference,
+// with zero, saturated and mid-scale biases, truncation and RNE arms.
+func TestKernelExhaustive8Bit(t *testing.T) {
+	f := MustFormat(8, 4)
+	biases := []Fixed{f.Zero(), f.Max(), f.Min(), f.FromFloat64(0.8125)}
+	for _, bias := range biases {
+		for _, rne := range []bool{false, true} {
+			sweepPairs(t, f, bias, rne)
+		}
+	}
+	// Extreme fraction splits at n = 8, one bias each.
+	for _, q := range []uint{1, 7} {
+		fq := MustFormat(8, q)
+		sweepPairs(t, fq, fq.FromFloat64(-0.5), false)
+		sweepPairs(t, fq, fq.FromFloat64(0.25), true)
+	}
+}
+
+// TestKernelExhaustiveSmall: all (w, x) pairs of every format with
+// n <= 6, every q, both rounding arms, one nonzero bias.
+func TestKernelExhaustiveSmall(t *testing.T) {
+	for n := uint(2); n <= 6; n++ {
+		for q := uint(1); q < n; q++ {
+			f := MustFormat(n, q)
+			bias := f.FromFloat64(-0.75)
+			for _, rne := range []bool{false, true} {
+				sweepPairs(t, f, bias, rne)
+			}
+		}
+	}
+}
+
+// TestKernelRandomLayers: multi-term rows (the int64 register carries
+// real accumulation, not just one product) against per-neuron
+// accumulators, across widths and fraction splits.
+func TestKernelRandomLayers(t *testing.T) {
+	r := rng.New(77)
+	for _, cfg := range []struct{ n, q uint }{{8, 4}, {8, 2}, {7, 3}, {12, 6}, {16, 8}} {
+		f := MustFormat(cfg.n, cfg.q)
+		const in, out = 30, 16
+		w := make([][]Fixed, out)
+		b := make([]Fixed, out)
+		for j := range w {
+			row := make([]Fixed, in)
+			for i := range row {
+				row[i] = f.FromBits(r.Uint64() & (f.Count() - 1))
+			}
+			w[j] = row
+			b[j] = f.FromBits(r.Uint64() & (f.Count() - 1))
+		}
+		for _, rne := range []bool{false, true} {
+			k, ok := NewDenseKernel(f, w, b, rne)
+			if !ok {
+				t.Fatalf("%s: no fast path at fan-in %d", f, in)
+			}
+			act := make([]uint64, in)
+			dst := make([]uint64, out)
+			for trial := 0; trial < 50; trial++ {
+				for i := range act {
+					act[i] = r.Uint64() & (f.Count() - 1)
+				}
+				k.ForwardBits(act, dst)
+				for j := 0; j < out; j++ {
+					a := NewAccumulator(f, in)
+					a.RoundNearest = rne
+					a.ResetToBias(b[j])
+					for i := range act {
+						a.MulAdd(w[j][i], f.FromBits(act[i]))
+					}
+					if ref := a.Result().Bits(); dst[j] != ref {
+						t.Fatalf("%s rne=%v trial %d row %d: kernel %#x != mac %#x",
+							f, rne, trial, j, dst[j], ref)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestKernelRefusesOversizedRegister: configurations whose eq.-(3)
+// register exceeds 64 bits must decline the fast path (the int64 residue
+// could no longer emulate the wide register).
+func TestKernelRefusesOversizedRegister(t *testing.T) {
+	f := MustFormat(32, 16)
+	w := [][]Fixed{{f.One(), f.One()}} // AccumSize(32-bit, 2) = 65
+	b := []Fixed{f.Zero()}
+	if _, ok := NewDenseKernel(f, w, b, false); ok {
+		t.Fatal("32-bit format accepted an int64 accumulator at fan-in 2")
+	}
+	// At fan-in 1 the 32-bit register is exactly 64 bits and still fits.
+	if _, ok := NewDenseKernel(f, [][]Fixed{{f.One()}}, b[:1], false); !ok {
+		t.Fatal("32-bit fan-in-1 register (64 bits) refused")
+	}
+	// n = 16 fits comfortably even at large fan-in.
+	f16 := MustFormat(16, 8)
+	row := make([]Fixed, 1<<10)
+	for i := range row {
+		row[i] = f16.One()
+	}
+	if _, ok := NewDenseKernel(f16, [][]Fixed{row}, []Fixed{f16.Zero()}, false); !ok {
+		t.Fatal("16-bit format refused a fitting accumulator")
+	}
+}

@@ -1,0 +1,42 @@
+package fixedpoint
+
+// Cross-check of the word-sized Result fast path against the
+// arbitrary-width big.Int readout, over random accumulation streams for
+// every register width the paper's configurations produce.
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestResultFastMatchesBig(t *testing.T) {
+	r := rng.New(91)
+	for _, cfg := range []struct {
+		n, q uint
+		k    int
+	}{
+		{8, 4, 1}, {8, 1, 32}, {8, 7, 256}, {5, 2, 16},
+		{12, 6, 64}, {16, 8, 1024}, {23, 11, 256},
+	} {
+		f := MustFormat(cfg.n, cfg.q)
+		if AccumSize(f, cfg.k) > 64 {
+			t.Fatalf("%s k=%d: register %d bits exceeds the fast path", f, cfg.k, AccumSize(f, cfg.k))
+		}
+		for _, rne := range []bool{false, true} {
+			a := NewAccumulator(f, cfg.k)
+			a.RoundNearest = rne
+			for trial := 0; trial < 200; trial++ {
+				a.ResetToBias(f.FromBits(r.Uint64() & (f.Count() - 1)))
+				steps := 1 + int(r.Uint64()%uint64(cfg.k))
+				for s := 0; s < steps; s++ {
+					a.MulAdd(f.FromBits(r.Uint64()&(f.Count()-1)), f.FromBits(r.Uint64()&(f.Count()-1)))
+				}
+				fast, big := a.Result(), a.resultBig()
+				if fast.Bits() != big.Bits() {
+					t.Fatalf("%s rne=%v trial %d: fast %#x != big %#x", f, rne, trial, fast.Bits(), big.Bits())
+				}
+			}
+		}
+	}
+}

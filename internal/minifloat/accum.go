@@ -33,8 +33,11 @@ type Accumulator struct {
 	capacity int
 	fracBits uint // binary point: 2 × (bias - 1 + wf)
 	acc      *wide.Int
-	adds     int
-	nan      bool
+	// mag is the reused readout scratch (|register| during Result), so
+	// steady-state accumulate/readout cycles do not touch the heap.
+	mag  *wide.Int
+	adds int
+	nan  bool
 }
 
 // NewAccumulator returns an empty accumulator sized by eq. (3).
@@ -140,7 +143,10 @@ func (a *Accumulator) Result() Float {
 	if a.acc.IsZero() {
 		return a.f.Zero()
 	}
-	mag := a.acc.Clone()
+	if a.mag == nil {
+		a.mag = wide.New(a.acc.Width())
+	}
+	mag := a.mag.Set(a.acc)
 	sign := mag.Sign()
 	if sign {
 		mag.Neg()

@@ -1,0 +1,171 @@
+package minifloat
+
+// DenseKernel is the pre-decoded batched datapath for one dense layer in
+// the float arm: y[j] = round(b[j] + Σ_i W[j][i]·x[i]), one RNE rounding
+// per output. Weights and biases are unpacked once at construction into
+// (sign, significand, LSB scale) triples — the work the EMAC's input
+// stage (subnormal detection, hidden-bit insertion) does per operand on
+// the per-neuron path. Per forward pass the activations are unpacked once
+// into a reused scratch buffer and every row accumulates into one reused
+// eq.-(3) wide register, so the MAC loop is multiply / shift / wide-add
+// with no decode and no interface dispatch. Results are bit-identical to
+// driving a per-neuron Accumulator through ResetToBias/MulAdd/Result,
+// which the equivalence tests verify exhaustively.
+
+// fdec is one pre-decoded operand: value = (-1)^neg × sig × 2^lsb.
+// Zero is sig == 0; NaN/Inf carry special (and sig == 0 so a special
+// operand contributes nothing if it ever reaches an accumulation loop).
+type fdec struct {
+	sig     uint64
+	lsb     int32
+	neg     bool
+	special bool
+}
+
+// predecodeFloat unpacks one raw pattern.
+func predecodeFloat(f Format, bits uint64) fdec {
+	x := f.FromBits(bits)
+	if x.IsNaN() || x.IsInf() {
+		return fdec{special: true}
+	}
+	if x.IsZero() {
+		return fdec{}
+	}
+	d := x.decode()
+	return fdec{sig: d.sig, lsb: int32(d.sf - int(d.sigW) + 1), neg: d.sign}
+}
+
+// DenseKernel holds the pre-decoded parameters and reused execution
+// scratch for one layer. Not safe for concurrent use.
+type DenseKernel struct {
+	f       Format
+	in, out int
+	w       []fdec // row-major out×in pre-decoded weights
+	b       []fdec // pre-decoded biases
+	// specialRow[j] records a NaN/Inf weight or bias in row j: the row's
+	// result is NaN regardless of the activations (MulAdd's poisoning
+	// semantics), so the MAC loop carries no special-value branch.
+	specialRow []bool
+	acts       []fdec
+	acc        *Accumulator
+}
+
+// NewDenseKernel pre-decodes a row-major weight matrix (out rows of in
+// weights) and bias vector of format f into a reusable layer kernel.
+// ok is false for empty shapes.
+func NewDenseKernel(f Format, w [][]Float, b []Float) (*DenseKernel, bool) {
+	f.mustValid()
+	out := len(w)
+	if out == 0 || len(b) != out || len(w[0]) == 0 {
+		return nil, false
+	}
+	in := len(w[0])
+	k := &DenseKernel{
+		f:          f,
+		in:         in,
+		out:        out,
+		w:          make([]fdec, out*in),
+		b:          make([]fdec, out),
+		specialRow: make([]bool, out),
+		acts:       make([]fdec, in),
+		// Sized for in accumulations, matching a per-neuron EMAC built
+		// with NewMAC(in): same register width, same wrap behaviour.
+		acc: NewAccumulator(f, in),
+	}
+	for j, row := range w {
+		if len(row) != in {
+			panic("minifloat: DenseKernel ragged weight matrix")
+		}
+		dst := k.w[j*in : (j+1)*in]
+		for i, v := range row {
+			if v.f != f {
+				panic("minifloat: DenseKernel weight format mismatch")
+			}
+			dst[i] = predecodeFloat(f, v.bits)
+		}
+	}
+	for j, v := range b {
+		if v.f != f {
+			panic("minifloat: DenseKernel bias format mismatch")
+		}
+		k.b[j] = predecodeFloat(f, v.bits)
+	}
+	for j := 0; j < out; j++ {
+		special := k.b[j].special
+		for _, wd := range k.w[j*in : (j+1)*in] {
+			if wd.special {
+				special = true
+				break
+			}
+		}
+		k.specialRow[j] = special
+	}
+	return k, true
+}
+
+// In returns the layer fan-in.
+func (k *DenseKernel) In() int { return k.in }
+
+// Out returns the layer width.
+func (k *DenseKernel) Out() int { return k.out }
+
+// Format returns the kernel's float format.
+func (k *DenseKernel) Format() Format { return k.f }
+
+// ForwardBits computes dst[j] = round(b[j] + Σ_i W[j][i]·act[i]) on raw
+// n-bit patterns. len(act) must equal In() and len(dst) must equal
+// Out(). Not safe for concurrent use (the register and activation
+// scratch are reused).
+func (k *DenseKernel) ForwardBits(act, dst []uint64) {
+	if len(act) != k.in {
+		panic("minifloat: DenseKernel input size mismatch")
+	}
+	if len(dst) != k.out {
+		panic("minifloat: DenseKernel output size mismatch")
+	}
+	actSpecial := false
+	for i, bits := range act {
+		d := predecodeFloat(k.f, bits)
+		k.acts[i] = d
+		if d.special {
+			actSpecial = true
+		}
+	}
+	a := k.acc
+	fb := int(a.fracBits)
+	nan := k.f.NaN().Bits()
+	for j := 0; j < k.out; j++ {
+		if actSpecial || k.specialRow[j] {
+			// A NaN/Inf operand anywhere poisons the whole accumulation,
+			// exactly as MulAdd's sticky nan flag would.
+			dst[j] = nan
+			continue
+		}
+		a.acc.SetZero()
+		a.nan = false
+		if bd := &k.b[j]; bd.sig != 0 {
+			shift := uint(fb + int(bd.lsb))
+			if bd.neg {
+				a.acc.SubUint64Shifted(bd.sig, shift)
+			} else {
+				a.acc.AddUint64Shifted(bd.sig, shift)
+			}
+		}
+		row := k.w[j*k.in : (j+1)*k.in]
+		acts := k.acts[:len(row)]
+		for i := range row {
+			w, x := &row[i], &acts[i]
+			prod := w.sig * x.sig
+			if prod == 0 {
+				continue
+			}
+			shift := uint(fb + int(w.lsb) + int(x.lsb))
+			if w.neg != x.neg {
+				a.acc.SubUint64Shifted(prod, shift)
+			} else {
+				a.acc.AddUint64Shifted(prod, shift)
+			}
+		}
+		dst[j] = a.Result().Bits()
+	}
+}

@@ -1,0 +1,134 @@
+package minifloat
+
+// Equivalence tests for the pre-decoded layer kernel: the batched path
+// must be bit-identical to the per-neuron Accumulator reference over the
+// ENTIRE operand space (including NaN/Inf/subnormal patterns) for the
+// paper's 8-bit formats, and on random multi-term layers. Style mirrors
+// internal/posit/table_test.go.
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// macBits drives the reference per-neuron path for one (w, x, bias).
+func macBits(f Format, w, x, b Float) uint64 {
+	a := NewAccumulator(f, 1)
+	a.ResetToBias(b)
+	a.MulAdd(w, x)
+	return a.Result().Bits()
+}
+
+// allPatternsKernel builds a 2^n-row, fan-in-1 kernel whose row j holds
+// weight pattern j, so one ForwardBits sweeps every weight against one
+// activation.
+func allPatternsKernel(t *testing.T, f Format, bias Float) *DenseKernel {
+	t.Helper()
+	count := int(f.Count())
+	w := make([][]Float, count)
+	b := make([]Float, count)
+	for j := 0; j < count; j++ {
+		w[j] = []Float{f.FromBits(uint64(j))}
+		b[j] = bias
+	}
+	k, ok := NewDenseKernel(f, w, b)
+	if !ok {
+		t.Fatalf("%s: no fast path for fan-in 1", f)
+	}
+	return k
+}
+
+func sweepPairs(t *testing.T, f Format, bias Float) {
+	t.Helper()
+	k := allPatternsKernel(t, f, bias)
+	count := f.Count()
+	act := make([]uint64, 1)
+	dst := make([]uint64, count)
+	for x := uint64(0); x < count; x++ {
+		act[0] = x
+		k.ForwardBits(act, dst)
+		xf := f.FromBits(x)
+		for wbits := uint64(0); wbits < count; wbits++ {
+			ref := macBits(f, f.FromBits(wbits), xf, bias)
+			if dst[wbits] != ref {
+				t.Fatalf("%s bias=%v: w=%#x x=%#x kernel %#x != mac %#x",
+					f, bias, wbits, x, dst[wbits], ref)
+			}
+		}
+	}
+}
+
+// TestKernelExhaustive8Bit: every (weight, activation) pair — NaN, Inf,
+// subnormals and all — of the paper's float(8,4) format and the extreme
+// exponent splits at n = 8, against the MAC reference, for zero,
+// saturated, subnormal and special biases.
+func TestKernelExhaustive8Bit(t *testing.T) {
+	f := MustFormat(4, 3) // float(8): we=4, wf=3 — the Table II arm
+	biases := []Float{
+		f.Zero(), f.Max(), f.Max().Neg(), f.One(),
+		f.FromBits(1), // smallest subnormal
+		f.NaN(), f.Inf(1),
+	}
+	for _, bias := range biases {
+		sweepPairs(t, f, bias)
+	}
+	for _, cfg := range []struct{ we, wf uint }{{2, 5}, {5, 2}} {
+		fe := MustFormat(cfg.we, cfg.wf)
+		sweepPairs(t, fe, fe.FromFloat64(-0.375))
+	}
+}
+
+// TestKernelExhaustiveSmall: all pairs of every format with n <= 6 and a
+// nonzero bias.
+func TestKernelExhaustiveSmall(t *testing.T) {
+	for we := uint(2); we <= 4; we++ {
+		for wf := uint(1); 1+we+wf <= 6; wf++ {
+			f := MustFormat(we, wf)
+			sweepPairs(t, f, f.FromFloat64(0.75))
+		}
+	}
+}
+
+// TestKernelRandomLayers: multi-term rows against per-neuron
+// accumulators, random patterns including specials.
+func TestKernelRandomLayers(t *testing.T) {
+	r := rng.New(78)
+	for _, cfg := range []struct{ we, wf uint }{{4, 3}, {2, 5}, {5, 10}, {8, 7}} {
+		f := MustFormat(cfg.we, cfg.wf)
+		const in, out = 30, 16
+		w := make([][]Float, out)
+		b := make([]Float, out)
+		for j := range w {
+			row := make([]Float, in)
+			for i := range row {
+				row[i] = f.FromBits(r.Uint64() & f.Mask())
+			}
+			w[j] = row
+			b[j] = f.FromBits(r.Uint64() & f.Mask())
+		}
+		k, ok := NewDenseKernel(f, w, b)
+		if !ok {
+			t.Fatalf("%s: no fast path at fan-in %d", f, in)
+		}
+		act := make([]uint64, in)
+		dst := make([]uint64, out)
+		for trial := 0; trial < 50; trial++ {
+			for i := range act {
+				act[i] = r.Uint64() & f.Mask()
+			}
+			k.ForwardBits(act, dst)
+			for j := 0; j < out; j++ {
+				a := NewAccumulator(f, in)
+				a.ResetToBias(b[j])
+				for i := range act {
+					a.MulAdd(w[j][i], f.FromBits(act[i]))
+				}
+				if ref := a.Result().Bits(); dst[j] != ref {
+					t.Fatalf("%s trial %d row %d: kernel %#x != mac %#x",
+						f, trial, j, dst[j], ref)
+				}
+			}
+		}
+	}
+}

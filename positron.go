@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datasets"
 	"repro/internal/emac"
+	"repro/internal/engine"
 	"repro/internal/fixedpoint"
 	"repro/internal/hw"
 	"repro/internal/minifloat"
@@ -188,6 +189,31 @@ func LoadDeepPositron(path string) (*DeepPositron, error) { return core.Load(pat
 func SearchPerLayerFixed(net *MLP, test *Dataset, n uint) (*MixedPrecision, []uint) {
 	return core.SearchPerLayerFixed(net, test, n)
 }
+
+// --- inference sessions and the batch engine ---
+
+// Session is the per-goroutine execution plane for a DeepPositron: EMAC
+// banks, pre-decoded layer kernels and activation scratch. The network
+// itself is immutable, so any number of sessions (one per goroutine,
+// via DeepPositron.NewSession) can share it.
+type Session = core.Session
+
+// MixedSession is the execution plane for a MixedPrecision network.
+type MixedSession = core.MixedSession
+
+// Engine is a worker-pool batch-inference engine: each worker owns one
+// shared-nothing Session over one immutable DeepPositron. It offers a
+// batched API (InferBatch/PredictBatch/Accuracy) and a streaming
+// Submit/Results API.
+type Engine = engine.Engine
+
+// EngineResult is one completed streaming inference (ID, logits, class).
+type EngineResult = engine.Result
+
+// NewEngine starts an inference engine with the given worker count over
+// the network (workers <= 0 selects GOMAXPROCS). Call Close to release
+// the pool.
+func NewEngine(net *DeepPositron, workers int) *Engine { return engine.New(net, workers) }
 
 // SweepResult is one evaluated low-precision configuration.
 type SweepResult = core.Result
