@@ -9,6 +9,7 @@ package positron
 // benchEvalLimit keeps a full `go test -bench=.` run to a few minutes.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -326,6 +327,43 @@ func BenchmarkEngineBatch(b *testing.B) {
 }
 
 func sizeWorkers(w int) string { return fmt.Sprintf("workers%d", w) }
+
+// BenchmarkRuntimeBatch measures the context-aware Runtime over the full
+// Iris inference split (50 samples per op), comparing the default
+// allocating batch path against WithSharedOutputs — the ROADMAP item
+// making dataset sweeps allocation-free end to end. Run with -benchmem:
+// the shared arm's allocs/op is the proof.
+func BenchmarkRuntimeBatch(b *testing.B) {
+	experiments.Datasets()
+	iris := experiments.Datasets()[1]
+	dp := QuantizeNetwork(iris.Net, emac.NewPosit(8, 0))
+	ctx := context.Background()
+	for _, mode := range []struct {
+		name string
+		opts []RuntimeOption
+	}{
+		{"alloc", []RuntimeOption{WithWorkers(4), WithWarmTables()}},
+		{"shared-outputs", []RuntimeOption{WithWorkers(4), WithWarmTables(), WithSharedOutputs()}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			rt, err := NewRuntime(dp, mode.opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer rt.Close()
+			if _, err := rt.InferBatch(ctx, iris.Test.X); err != nil {
+				b.Fatal(err) // warm sessions and shared buffers
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := rt.InferBatch(ctx, iris.Test.X); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
 
 // BenchmarkStreamInfer measures the cycle-level streaming simulator
 // (32 Iris inferences pipelined through the layer FSMs).

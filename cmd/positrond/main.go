@@ -1,0 +1,102 @@
+// Command positrond serves a quantised Deep Positron artifact over HTTP:
+// load a versioned model file (uniform or mixed precision), start the
+// worker-pool inference runtime and expose the JSON API.
+//
+// Usage:
+//
+//	positrond -model iris.json [-addr :8080] [-workers N] [-queue N]
+//
+// Endpoints:
+//
+//	GET  /healthz   liveness probe
+//	GET  /v1/model  model metadata
+//	POST /v1/infer  {"input": [...]} or {"inputs": [[...], ...]}
+//
+// SIGINT/SIGTERM shut the daemon down gracefully: the listener stops
+// accepting, in-flight requests finish, then the worker pool drains.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/server"
+)
+
+func main() {
+	modelPath := flag.String("model", "", "path to a saved model artifact (required)")
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "inference worker count (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "job queue depth (0 = 2x workers)")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second,
+		"grace period for in-flight requests on shutdown")
+	flag.Parse()
+
+	if *modelPath == "" {
+		fmt.Fprintln(os.Stderr, "positrond: -model is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	model, err := core.LoadModel(*modelPath)
+	if err != nil {
+		fatal(err)
+	}
+	srv, err := server.New(model,
+		engine.WithWorkers(*workers),
+		engine.WithQueueDepth(*queue),
+		engine.WithWarmTables(),
+	)
+	if err != nil {
+		fatal(err)
+	}
+
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: srv,
+		// Slow-client hardening: a stalled peer must not pin a goroutine
+		// and descriptor forever. Bodies are small (server.MaxBodyBytes).
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	fmt.Printf("positrond: serving %s (%s, %d features -> %d classes) on %s with %d workers\n",
+		model, model.Kind(), model.InputDim(), model.OutputDim(), *addr, srv.Runtime().Workers())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		fmt.Println("positrond: shutting down...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "positrond: shutdown:", err)
+		}
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Println("positrond: bye")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "positrond:", err)
+	os.Exit(1)
+}

@@ -1,10 +1,15 @@
 // Command trainer trains the paper's three networks in float64, reports
-// the 32-bit baselines, and optionally saves the models as JSON for
-// later quantised evaluation.
+// the 32-bit baselines, and optionally saves the models as JSON: the
+// float64 weights for later quantised evaluation, and — with -quant —
+// ready-to-serve quantised deployment artifacts (with the dataset's
+// input standardizer folded in) that cmd/positrond loads directly.
 //
 // Usage:
 //
-//	trainer [-out DIR] [-verbose]
+//	trainer [-out DIR] [-quant SPEC]
+//
+// SPEC is an arithmetic such as posit(8,0), float(8,4), fixed(8,4) or
+// float32.
 package main
 
 import (
@@ -14,13 +19,28 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/core"
+	"repro/internal/emac"
 	"repro/internal/experiments"
 	"repro/internal/nn"
 )
 
 func main() {
 	out := flag.String("out", "", "directory to save trained models (JSON); empty = don't save")
+	quant := flag.String("quant", "", "also save a quantised serving artifact per dataset in this arithmetic (e.g. posit(8,0))")
 	flag.Parse()
+
+	if *quant != "" && *out == "" {
+		fmt.Fprintln(os.Stderr, "trainer: -quant requires -out")
+		os.Exit(2)
+	}
+	var arith emac.Arithmetic
+	if *quant != "" {
+		var err error
+		if arith, err = core.ParseArith(*quant); err != nil {
+			fatal(err)
+		}
+	}
 
 	fmt.Println("training the Deep Positron evaluation networks (float64, SGD+momentum)...")
 	for _, tr := range experiments.Datasets() {
@@ -43,6 +63,23 @@ func main() {
 				fatal(err)
 			}
 			fmt.Printf("  saved to %s\n", path)
+			if arith != nil {
+				// The serving artifact: quantised codes plus the input
+				// standardizer, so positrond consumes raw features.
+				// Evaluate before attaching the standardizer —
+				// Trained.Test already holds the features the network
+				// expects (standardized for Iris), so attaching first
+				// would standardize twice.
+				q := core.Quantize(tr.Net, arith)
+				acc := q.Accuracy(tr.Test)
+				q.Stand = tr.Std
+				qpath := filepath.Join(*out, tr.Name+".quant.json")
+				if err := q.Save(qpath); err != nil {
+					fatal(err)
+				}
+				fmt.Printf("  quantised (%s) accuracy: %6.2f%%  saved to %s\n",
+					arith.Name(), 100*acc, qpath)
+			}
 		}
 	}
 }

@@ -1,0 +1,92 @@
+// Serving: the deployment path end to end — train in float64, quantise
+// (here with a different posit per layer), save the versioned artifact,
+// reload it behind the Model interface and serve it with the
+// context-aware Runtime, exactly as cmd/positrond does over HTTP.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	positron "repro"
+)
+
+func main() {
+	// Train on standardized features; keep the standardizer so the
+	// deployed artifact can consume raw measurements.
+	train, test := positron.IrisSplit(0x1715)
+	std := positron.FitStandardizer(train)
+	net := positron.NewMLP([]int{4, 10, 6, 3}, 7)
+	cfg := positron.DefaultTrainConfig()
+	cfg.Epochs = 150
+	cfg.LR = 0.05
+	cfg.LRDecay = 0.99
+	positron.Train(net, std.Apply(train), cfg)
+
+	// Quantise with one arithmetic per layer (the paper's
+	// precision-adaptable EMACs) and fold the standardizer in.
+	mixed := positron.QuantizeMixed(net, []positron.Arithmetic{
+		positron.PositArith(8, 0), positron.PositArith(6, 0), positron.PositArith(8, 0),
+	})
+	mixed.Stand = std
+
+	dir, err := os.MkdirTemp("", "positron-serving")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "iris.json")
+	if err := mixed.Save(path); err != nil {
+		panic(err)
+	}
+
+	// Deployment side: the loader does not care which precision layout
+	// the artifact uses — everything behind one Model interface.
+	model, err := positron.LoadModel(path)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("loaded %s: kind=%s, %d features -> %d classes, %d bits of parameter memory\n",
+		model, model.Kind(), model.InputDim(), model.OutputDim(), model.MemoryBits())
+
+	rt, err := positron.NewRuntime(model,
+		positron.WithWorkers(4),
+		positron.WithWarmTables(),
+	)
+	if err != nil {
+		panic(err)
+	}
+	defer rt.Close()
+
+	// Batched serving with cancellation: raw features in, logits out.
+	ctx := context.Background()
+	logits, err := rt.InferBatch(ctx, test.X)
+	if err != nil {
+		panic(err)
+	}
+	acc, err := rt.Accuracy(ctx, test)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("served %d inferences, accuracy %.1f%%\n", len(logits), 100*acc)
+	fmt.Printf("sample 0: logits %.3v\n", logits[0])
+
+	// Streaming serving: Submit feeds the pool, Results delivers in
+	// completion order, Close drains without dropping anything.
+	go func() {
+		for i, x := range test.X[:10] {
+			if err := rt.Submit(ctx, i, x); err != nil {
+				panic(err)
+			}
+		}
+		rt.Close()
+	}()
+	served := 0
+	for res := range rt.Results() {
+		served++
+		_ = res.Class
+	}
+	fmt.Printf("streamed %d results, runtime closed cleanly\n", served)
+}

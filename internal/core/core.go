@@ -44,6 +44,10 @@ type Network struct {
 	// on hidden layers (extension; requires a posit arithmetic with
 	// es=0).
 	Sigmoid bool
+	// Stand, when non-nil, is a per-feature standardizer folded into the
+	// deployment artifact: sessions standardize raw inputs with it before
+	// quantising, so the served model consumes raw measurements.
+	Stand *datasets.Standardizer
 	// def is the lazily-built default session backing the Infer/Predict/
 	// Accuracy convenience wrappers. Those wrappers are not safe for
 	// concurrent use — concurrent callers build one Session each via
@@ -116,6 +120,42 @@ func (n *Network) activate(c emac.Code) emac.Code {
 	}
 	return n.Arith.ReLU(c)
 }
+
+// NewInferer builds an independent execution plane (Model interface).
+func (n *Network) NewInferer() Inferer { return n.NewSession() }
+
+// Kind identifies the artifact kind (Model interface).
+func (n *Network) Kind() string { return "uniform" }
+
+// InputDim is the feature width the network consumes.
+func (n *Network) InputDim() int { return n.Layers[0].In }
+
+// OutputDim is the number of output logits.
+func (n *Network) OutputDim() int { return n.Layers[len(n.Layers)-1].Out }
+
+// NumLayers is the layer count.
+func (n *Network) NumLayers() int { return len(n.Layers) }
+
+// Ariths returns the (single) arithmetic repeated for every layer.
+func (n *Network) Ariths() []emac.Arithmetic {
+	out := make([]emac.Arithmetic, len(n.Layers))
+	for i := range out {
+		out[i] = n.Arith
+	}
+	return out
+}
+
+// ArithNames returns the per-layer arithmetic descriptors.
+func (n *Network) ArithNames() []string {
+	out := make([]string, len(n.Layers))
+	for i := range out {
+		out[i] = n.Arith.Name()
+	}
+	return out
+}
+
+// Standardizer returns the folded input standardizer, or nil.
+func (n *Network) Standardizer() *datasets.Standardizer { return n.Stand }
 
 // Shape returns the per-layer fan-ins and widths (for the hardware cost
 // model).

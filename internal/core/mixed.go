@@ -17,8 +17,11 @@ import (
 // the EMAC output stage already performs. Like Network, a MixedNetwork is
 // the immutable model plane; execution state lives in MixedSession.
 type MixedNetwork struct {
-	Ariths []emac.Arithmetic // one per layer
-	Layers []*Layer
+	LayerAriths []emac.Arithmetic // one per layer
+	Layers      []*Layer
+	// Stand, when non-nil, is a per-feature standardizer folded into the
+	// deployment artifact (see Network.Stand).
+	Stand *datasets.Standardizer
 	// def is the lazily-built default session backing the convenience
 	// wrappers (not safe for concurrent use; see Network.def).
 	def *MixedSession
@@ -30,7 +33,7 @@ func QuantizeMixed(src *nn.Network, ariths []emac.Arithmetic) *MixedNetwork {
 	if len(ariths) != len(src.Layers) {
 		panic(fmt.Sprintf("core: %d arithmetics for %d layers", len(ariths), len(src.Layers)))
 	}
-	net := &MixedNetwork{Ariths: ariths}
+	net := &MixedNetwork{LayerAriths: ariths}
 	for li, l := range src.Layers {
 		a := ariths[li]
 		ql := &Layer{In: l.In, Out: l.Out}
@@ -72,11 +75,43 @@ func (n *MixedNetwork) Predict(x []float64) int { return n.session().Predict(x) 
 // for concurrent use).
 func (n *MixedNetwork) Accuracy(ds *datasets.Dataset) float64 { return n.session().Accuracy(ds) }
 
+// NewInferer builds an independent execution plane (Model interface).
+func (n *MixedNetwork) NewInferer() Inferer { return n.NewSession() }
+
+// Kind identifies the artifact kind (Model interface).
+func (n *MixedNetwork) Kind() string { return "mixed" }
+
+// InputDim is the feature width the network consumes.
+func (n *MixedNetwork) InputDim() int { return n.Layers[0].In }
+
+// OutputDim is the number of output logits.
+func (n *MixedNetwork) OutputDim() int { return n.Layers[len(n.Layers)-1].Out }
+
+// NumLayers is the layer count.
+func (n *MixedNetwork) NumLayers() int { return len(n.Layers) }
+
+// Ariths returns a copy of the per-layer arithmetics.
+func (n *MixedNetwork) Ariths() []emac.Arithmetic {
+	return append([]emac.Arithmetic(nil), n.LayerAriths...)
+}
+
+// ArithNames returns the per-layer arithmetic descriptors.
+func (n *MixedNetwork) ArithNames() []string {
+	out := make([]string, len(n.LayerAriths))
+	for i, a := range n.LayerAriths {
+		out[i] = a.Name()
+	}
+	return out
+}
+
+// Standardizer returns the folded input standardizer, or nil.
+func (n *MixedNetwork) Standardizer() *datasets.Standardizer { return n.Stand }
+
 // MemoryBits returns the per-layer-format parameter storage.
 func (n *MixedNetwork) MemoryBits() int {
 	total := 0
 	for li, l := range n.Layers {
-		total += (l.In*l.Out + l.Out) * int(n.Ariths[li].BitWidth())
+		total += (l.In*l.Out + l.Out) * int(n.LayerAriths[li].BitWidth())
 	}
 	return total
 }
@@ -84,7 +119,7 @@ func (n *MixedNetwork) MemoryBits() int {
 // String renders like "DeepPositron[posit(8,0)|posit(6,1)|posit(8,0)]".
 func (n *MixedNetwork) String() string {
 	s := "DeepPositron["
-	for i, a := range n.Ariths {
+	for i, a := range n.LayerAriths {
 		if i > 0 {
 			s += "|"
 		}

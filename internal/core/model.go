@@ -1,0 +1,70 @@
+package core
+
+// The model-plane abstraction. Network (uniform precision) and
+// MixedNetwork (per-layer precision) are two parameterisations of the
+// same accelerator architecture; Model is the surface the execution
+// plane, the serialiser and the serving stack program against, so a
+// batch engine or an HTTP daemon works identically over either. The
+// paper's precision-adaptable EMACs are exactly why this split exists:
+// which formats a deployment picked is a property of the artifact, not
+// of the serving code.
+
+import (
+	"repro/internal/datasets"
+	"repro/internal/emac"
+)
+
+// Inferer is one execution plane over an immutable model: the common
+// surface of Session and MixedSession. An Inferer serves one goroutine;
+// build one per goroutine via Model.NewInferer.
+type Inferer interface {
+	// Infer runs one input and returns freshly allocated decoded logits.
+	Infer(x []float64) []float64
+	// InferInto runs one input, decoding the logits into dst (which must
+	// have the model's output width), and returns dst. With the session's
+	// internal buffers warm this path allocates nothing.
+	InferInto(dst []float64, x []float64) []float64
+	// Predict returns the argmax class for one input.
+	Predict(x []float64) int
+	// Accuracy evaluates classification accuracy on a dataset.
+	Accuracy(ds *datasets.Dataset) float64
+}
+
+// Model is the immutable model plane shared by any number of Inferers:
+// topology, quantised parameters, the arithmetic of every layer and the
+// optional input standardizer. *Network and *MixedNetwork implement it.
+type Model interface {
+	// NewInferer builds an independent execution plane. Any number of
+	// Inferers may run concurrently over one Model.
+	NewInferer() Inferer
+	// Kind is the artifact kind: "uniform" or "mixed".
+	Kind() string
+	// InputDim is the feature width the model consumes.
+	InputDim() int
+	// OutputDim is the number of output logits.
+	OutputDim() int
+	// NumLayers is the layer count.
+	NumLayers() int
+	// Ariths returns the arithmetic of every layer (uniform models repeat
+	// their single arithmetic).
+	Ariths() []emac.Arithmetic
+	// ArithNames returns the per-layer arithmetic descriptors, e.g.
+	// "posit(8,0)".
+	ArithNames() []string
+	// Standardizer returns the folded input standardizer, or nil when the
+	// model consumes raw features directly.
+	Standardizer() *datasets.Standardizer
+	// MemoryBits is the on-chip parameter storage the model needs.
+	MemoryBits() int
+	// Save writes the versioned JSON deployment artifact.
+	Save(path string) error
+	String() string
+}
+
+// compile-time checks that both network kinds satisfy the interfaces.
+var (
+	_ Model   = (*Network)(nil)
+	_ Model   = (*MixedNetwork)(nil)
+	_ Inferer = (*Session)(nil)
+	_ Inferer = (*MixedSession)(nil)
+)

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"repro/internal/emac"
+	"repro/internal/fixedpoint"
+	"repro/internal/minifloat"
+	"repro/internal/posit"
+)
+
+// Validated arithmetic construction. The emac constructors panic on
+// invalid parameters (they are programmer-facing); artifacts and CLI
+// specs come from outside the program, so these helpers validate through
+// the error-returning format constructors first.
+
+func newPositArith(n, es, quireDrop uint) (emac.Arithmetic, error) {
+	if _, err := posit.NewFormat(n, es); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	a := emac.NewPosit(n, es)
+	a.QuireDrop = quireDrop
+	return a, nil
+}
+
+func newFloatArith(n, we uint) (emac.Arithmetic, error) {
+	if we+1 >= n {
+		return nil, fmt.Errorf("core: float width %d cannot fit we=%d", n, we)
+	}
+	if _, err := minifloat.NewFormat(we, n-1-we); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return emac.NewFloatN(n, we), nil
+}
+
+func newFixedArith(n, q uint) (emac.Arithmetic, error) {
+	if _, err := fixedpoint.NewFormat(n, q); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return emac.NewFixed(n, q), nil
+}
+
+// Spec grammar: each pattern must consume the whole spec, so trailing
+// garbage ("posit(8,0)x") is rejected rather than silently ignored.
+var (
+	positSpecRE = regexp.MustCompile(`^posit\((\d+),(\d+)\)$`)
+	floatSpecRE = regexp.MustCompile(`^float\((\d+),(\d+)\)$`)
+	fixedSpecRE = regexp.MustCompile(`^fixed\((\d+),(?:q=)?(\d+)\)$`)
+)
+
+// ParseArith parses a human-readable arithmetic spec into an EMAC arm.
+// Accepted forms (matching Arithmetic.Name for posit/fixed):
+//
+//	posit(n,es)   e.g. posit(8,0)
+//	float(n,we)   e.g. float(8,4) — an n-bit minifloat with we exponent bits
+//	fixed(n,q)    e.g. fixed(8,4) — Q-format with q fraction bits
+//	float32       the paper's 32-bit baseline arm
+func ParseArith(spec string) (emac.Arithmetic, error) {
+	s := strings.ReplaceAll(strings.TrimSpace(spec), " ", "")
+	if s == "float32" {
+		return emac.Float32Arith{}, nil
+	}
+	parse2 := func(m []string) (uint, uint, error) {
+		a, err := strconv.ParseUint(m[1], 10, 8)
+		if err != nil {
+			return 0, 0, fmt.Errorf("core: arithmetic %q: %w", spec, err)
+		}
+		b, err := strconv.ParseUint(m[2], 10, 8)
+		if err != nil {
+			return 0, 0, fmt.Errorf("core: arithmetic %q: %w", spec, err)
+		}
+		return uint(a), uint(b), nil
+	}
+	if m := positSpecRE.FindStringSubmatch(s); m != nil {
+		n, es, err := parse2(m)
+		if err != nil {
+			return nil, err
+		}
+		return newPositArith(n, es, 0)
+	}
+	if m := floatSpecRE.FindStringSubmatch(s); m != nil {
+		n, we, err := parse2(m)
+		if err != nil {
+			return nil, err
+		}
+		return newFloatArith(n, we)
+	}
+	if m := fixedSpecRE.FindStringSubmatch(s); m != nil {
+		n, q, err := parse2(m)
+		if err != nil {
+			return nil, err
+		}
+		return newFixedArith(n, q)
+	}
+	return nil, fmt.Errorf(
+		"core: cannot parse arithmetic %q (want posit(n,es), float(n,we), fixed(n,q) or float32)", spec)
+}

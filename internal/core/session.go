@@ -95,28 +95,33 @@ func (n *Network) NewSession() *Session {
 func (s *Session) Network() *Network { return s.net }
 
 // quantizeInput converts a raw feature vector into the session's reused
-// input-code buffer.
+// input-code buffer, applying the network's folded standardizer first
+// when one is present.
 func (s *Session) quantizeInput(x []float64) []emac.Code {
 	if cap(s.in) < len(x) {
 		s.in = make([]emac.Code, len(x))
 	}
 	codes := s.in[:len(x)]
-	for i, v := range x {
-		codes[i] = s.net.Arith.Quantize(v)
+	a := s.net.Arith
+	if st := s.net.Stand; st != nil {
+		for i, v := range x {
+			codes[i] = a.Quantize((v - st.Mean[i]) / st.Std[i])
+		}
+	} else {
+		for i, v := range x {
+			codes[i] = a.Quantize(v)
+		}
 	}
 	return codes
 }
 
-// Infer runs one input through the network and returns the decoded output
-// logits. The compute follows the paper's dataflow: each layer's EMACs
-// reset to their bias, consume one activation per cycle, and the layer
-// fires when its predecessor finishes. Layers whose arithmetic provides a
-// batched kernel run it instead of stepping per-neuron MACs (identical
-// results, one pre-decoded pass); activations flow through per-layer
-// reused buffers, so steady-state inference only allocates the returned
-// logits.
-func (s *Session) Infer(x []float64) []float64 {
+// run executes the full forward pass and returns the final activation
+// codes (living in the last layer's reused buffer).
+func (s *Session) run(x []float64) []emac.Code {
 	n := s.net
+	if len(x) != n.Layers[0].In {
+		panic(fmt.Sprintf("core: network expects %d inputs, got %d", n.Layers[0].In, len(x)))
+	}
 	act := s.quantizeInput(x)
 	for li := range s.layers {
 		e := &s.layers[li]
@@ -131,11 +136,38 @@ func (s *Session) Infer(x []float64) []float64 {
 		}
 		act = next
 	}
+	return act
+}
+
+// Infer runs one input through the network and returns the decoded output
+// logits. The compute follows the paper's dataflow: each layer's EMACs
+// reset to their bias, consume one activation per cycle, and the layer
+// fires when its predecessor finishes. Layers whose arithmetic provides a
+// batched kernel run it instead of stepping per-neuron MACs (identical
+// results, one pre-decoded pass); activations flow through per-layer
+// reused buffers, so steady-state inference only allocates the returned
+// logits.
+func (s *Session) Infer(x []float64) []float64 {
+	act := s.run(x)
 	logits := make([]float64, len(act))
 	for i, c := range act {
-		logits[i] = n.Arith.Decode(c)
+		logits[i] = s.net.Arith.Decode(c)
 	}
 	return logits
+}
+
+// InferInto is Infer with the logits decoded into a caller-provided
+// buffer (len must equal the network's output width): the allocation-free
+// inference path for dataset sweeps and shared-output batches.
+func (s *Session) InferInto(dst []float64, x []float64) []float64 {
+	act := s.run(x)
+	if len(dst) != len(act) {
+		panic(fmt.Sprintf("core: InferInto buffer has %d slots for %d logits", len(dst), len(act)))
+	}
+	for i, c := range act {
+		dst[i] = s.net.Arith.Decode(c)
+	}
+	return dst
 }
 
 // Predict returns the argmax class for one input.
@@ -163,7 +195,7 @@ type MixedSession struct {
 func (n *MixedNetwork) NewSession() *MixedSession {
 	s := &MixedSession{net: n, layers: make([]execLayer, len(n.Layers))}
 	for i, l := range n.Layers {
-		s.layers[i] = newExecLayer(l, n.Ariths[i])
+		s.layers[i] = newExecLayer(l, n.LayerAriths[i])
 	}
 	return s
 }
@@ -171,29 +203,38 @@ func (n *MixedNetwork) NewSession() *MixedSession {
 // Network returns the model plane this session executes.
 func (s *MixedSession) Network() *MixedNetwork { return s.net }
 
-// Infer runs one input through the mixed-precision pipeline.
-func (s *MixedSession) Infer(x []float64) []float64 {
+// run executes the full mixed-precision forward pass and returns the
+// final activation codes (living in the last layer's reused buffer).
+func (s *MixedSession) run(x []float64) []emac.Code {
 	n := s.net
 	if len(x) != n.Layers[0].In {
 		panic("core: mixed input size mismatch")
 	}
-	// quantise input in the first layer's format (reused buffer)
+	// quantise input in the first layer's format (reused buffer),
+	// standardizing first when the artifact folds a standardizer
 	if cap(s.in) < len(x) {
 		s.in = make([]emac.Code, len(x))
 	}
 	act := s.in[:len(x)]
-	for i, v := range x {
-		act[i] = n.Ariths[0].Quantize(v)
+	first := n.LayerAriths[0]
+	if st := n.Stand; st != nil {
+		for i, v := range x {
+			act[i] = first.Quantize((v - st.Mean[i]) / st.Std[i])
+		}
+	} else {
+		for i, v := range x {
+			act[i] = first.Quantize(v)
+		}
 	}
 	for li := range s.layers {
-		a := n.Ariths[li]
+		a := n.LayerAriths[li]
 		next := s.layers[li].forward(act)
 		if li < len(s.layers)-1 {
 			for j, c := range next {
 				next[j] = a.ReLU(c)
 			}
 			// format-conversion unit at the layer boundary
-			to := n.Ariths[li+1]
+			to := n.LayerAriths[li+1]
 			if to != a {
 				for j, c := range next {
 					next[j] = to.Quantize(a.Decode(c))
@@ -202,12 +243,32 @@ func (s *MixedSession) Infer(x []float64) []float64 {
 		}
 		act = next
 	}
-	last := n.Ariths[len(n.Ariths)-1]
+	return act
+}
+
+// Infer runs one input through the mixed-precision pipeline.
+func (s *MixedSession) Infer(x []float64) []float64 {
+	act := s.run(x)
+	last := s.net.LayerAriths[len(s.net.LayerAriths)-1]
 	logits := make([]float64, len(act))
 	for i, c := range act {
 		logits[i] = last.Decode(c)
 	}
 	return logits
+}
+
+// InferInto is Infer with the logits decoded into a caller-provided
+// buffer (len must equal the network's output width).
+func (s *MixedSession) InferInto(dst []float64, x []float64) []float64 {
+	act := s.run(x)
+	if len(dst) != len(act) {
+		panic(fmt.Sprintf("core: InferInto buffer has %d slots for %d logits", len(dst), len(act)))
+	}
+	last := s.net.LayerAriths[len(s.net.LayerAriths)-1]
+	for i, c := range act {
+		dst[i] = last.Decode(c)
+	}
+	return dst
 }
 
 // Predict returns the argmax class.

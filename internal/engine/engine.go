@@ -1,20 +1,32 @@
-// Package engine is the concurrent batch-inference plane on top of the
-// core model/session split: a worker pool in which every worker owns one
-// shared-nothing core.Session over one immutable core.Network. The paper
-// describes Deep Positron as a streaming accelerator serving a stream of
-// inputs; this package is the software analogue for dataset-scale
-// evaluation and serving — a batched API (InferBatch) for offline sweeps
-// and a streaming Submit/Results API for request/response traffic.
+// Package engine is the concurrent inference plane on top of the core
+// model/session split. The paper describes Deep Positron as a streaming
+// accelerator serving a stream of inputs; this package is the software
+// analogue for dataset-scale evaluation and serving.
+//
+// Runtime is the serving-grade execution plane: a worker pool in which
+// every worker owns one shared-nothing core.Inferer over one immutable
+// core.Model (uniform or mixed precision alike). It is configured with
+// functional options, observes context cancellation, and fails with
+// errors rather than panics on misuse. Engine is the original
+// batch-engine API, kept as a thin deprecated wrapper.
 package engine
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 
 	"repro/internal/core"
 	"repro/internal/datasets"
+	"repro/internal/emac"
 	"repro/internal/nn"
+	"repro/internal/posit"
 )
+
+// ErrClosed is returned by Runtime methods called after Close.
+var ErrClosed = errors.New("engine: runtime closed")
 
 // Result is one completed streaming inference.
 type Result struct {
@@ -26,86 +38,263 @@ type Result struct {
 	Class int
 }
 
-// task is one unit of work: an input plus where its logits go.
+// task is one unit of work: an input plus where its logits go. When dst
+// is non-nil the worker decodes into it (the allocation-free shared-
+// output path); otherwise the worker allocates the logits.
 type task struct {
 	id      int
 	x       []float64
+	dst     []float64
 	deliver func(id int, logits []float64)
 }
 
-// Engine is a worker-pool inference engine. All methods except Close may
-// be called from any number of goroutines concurrently; inputs are
-// handed to workers as-is (callers must not mutate a submitted slice
-// until its result arrives).
-type Engine struct {
-	net     *core.Network
+// config collects the functional options.
+type config struct {
+	workers    int
+	queueDepth int
+	warmTables bool
+	sharedOut  bool
+}
+
+// Option configures a Runtime at construction.
+type Option func(*config)
+
+// WithWorkers sets the worker-pool size; n <= 0 selects GOMAXPROCS (the
+// default).
+func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
+
+// WithQueueDepth sets the job-queue capacity; n <= 0 selects twice the
+// worker count (the default). Deeper queues let bursty Submit traffic
+// ride ahead of the pool at the cost of buffered latency.
+func WithQueueDepth(n int) Option { return func(c *config) { c.queueDepth = n } }
+
+// WithWarmTables eagerly builds the posit decode and Mul/Add fast-path
+// tables for every posit layer format before the first inference, so no
+// request pays the lazy table-construction latency.
+func WithWarmTables() Option { return func(c *config) { c.warmTables = true } }
+
+// WithSharedOutputs makes InferBatch decode logits into one runtime-owned
+// buffer that is reused across calls, making steady-state dataset sweeps
+// allocation-free end to end. The returned slices are valid only until
+// the next InferBatch call; shared-output batches are serialised
+// internally. Streaming Submit results are unaffected (every Result owns
+// its logits).
+func WithSharedOutputs() Option { return func(c *config) { c.sharedOut = true } }
+
+// Runtime is a context-aware worker-pool inference runtime over one
+// immutable Model. All methods are safe for concurrent use, including
+// Close: closing drains in-flight work, and submissions after Close
+// return ErrClosed.
+type Runtime struct {
+	model   core.Model
 	workers int
 	jobs    chan task
 	results chan Result
-	wg      sync.WaitGroup
-	close   sync.Once
+
+	wg sync.WaitGroup // workers
+
+	// mu guards closed. Producers hold it for reading while enqueueing, so
+	// jobs is never closed mid-send.
+	mu     sync.RWMutex
+	closed bool
+
+	// shared-output batch state (sharedBatch serialises those batches).
+	sharedOut     bool
+	sharedMu      sync.Mutex
+	sharedBuf     []float64
+	sharedHdrs    [][]float64
+	sharedWG      sync.WaitGroup
+	sharedDeliver func(id int, logits []float64)
 }
 
-// New starts an engine with the given number of workers over one
-// immutable network; workers <= 0 selects GOMAXPROCS. Each worker builds
-// its own core.Session (pre-decoded kernels included), so workers share
-// nothing but the read-only model. Call Close to release the pool.
-func New(net *core.Network, workers int) *Engine {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+// NewRuntime starts a runtime over the model. Each worker builds its own
+// core.Inferer (pre-decoded kernels included), so workers share nothing
+// but the read-only model plane. Call Close to release the pool.
+func NewRuntime(model core.Model, opts ...Option) (*Runtime, error) {
+	if model == nil {
+		return nil, errors.New("engine: nil model")
 	}
-	e := &Engine{
-		net:     net,
-		workers: workers,
-		jobs:    make(chan task, 2*workers),
-		results: make(chan Result, 2*workers),
+	if model.NumLayers() == 0 {
+		return nil, errors.New("engine: model has no layers")
 	}
-	e.wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go e.worker()
+	cfg := config{}
+	for _, opt := range opts {
+		opt(&cfg)
 	}
-	return e
+	if cfg.workers <= 0 {
+		cfg.workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.queueDepth <= 0 {
+		cfg.queueDepth = 2 * cfg.workers
+	}
+	if cfg.warmTables {
+		for _, a := range model.Ariths() {
+			if pa, ok := a.(emac.PositArith); ok {
+				posit.WarmTables(pa.F)
+			}
+		}
+	}
+	r := &Runtime{
+		model:     model,
+		workers:   cfg.workers,
+		jobs:      make(chan task, cfg.queueDepth),
+		results:   make(chan Result, cfg.queueDepth),
+		sharedOut: cfg.sharedOut,
+	}
+	r.sharedDeliver = func(int, []float64) { r.sharedWG.Done() }
+	r.wg.Add(cfg.workers)
+	for w := 0; w < cfg.workers; w++ {
+		go r.worker()
+	}
+	return r, nil
 }
 
-// worker drains the job queue through one private session.
-func (e *Engine) worker() {
-	defer e.wg.Done()
-	s := e.net.NewSession()
-	for t := range e.jobs {
-		t.deliver(t.id, s.Infer(t.x))
+// worker drains the job queue through one private execution plane.
+func (r *Runtime) worker() {
+	defer r.wg.Done()
+	s := r.model.NewInferer()
+	for t := range r.jobs {
+		if t.dst != nil {
+			t.deliver(t.id, s.InferInto(t.dst, t.x))
+		} else {
+			t.deliver(t.id, s.Infer(t.x))
+		}
 	}
 }
 
-// Network returns the model plane the engine serves.
-func (e *Engine) Network() *core.Network { return e.net }
+// Model returns the model plane the runtime serves.
+func (r *Runtime) Model() core.Model { return r.model }
 
 // Workers returns the pool size.
-func (e *Engine) Workers() int { return e.workers }
+func (r *Runtime) Workers() int { return r.workers }
+
+// checkInput validates one input vector against the model shape.
+func (r *Runtime) checkInput(x []float64) error {
+	if want := r.model.InputDim(); len(x) != want {
+		return fmt.Errorf("engine: input has %d features, model expects %d", len(x), want)
+	}
+	return nil
+}
+
+// enqueue submits one task, respecting cancellation (an already-
+// cancelled context never enqueues). The caller must hold r.mu for
+// reading with r.closed == false.
+func (r *Runtime) enqueue(ctx context.Context, t task) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+	}
+	select {
+	case r.jobs <- t:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
 
 // InferBatch runs every input through the pool and returns the logits in
-// input order. Results are bit-identical to calling Infer serially (each
-// inference is independent; only scheduling differs). Safe to call from
-// multiple goroutines; a batch does not consume from or feed the
-// streaming Results channel.
-func (e *Engine) InferBatch(xs [][]float64) [][]float64 {
+// input order. Results are bit-identical to running one core session
+// serially (each inference is independent; only scheduling differs).
+// Cancelling ctx stops submission and returns ctx.Err after every
+// already-submitted inference has drained — no worker is left writing
+// into the batch. Under WithSharedOutputs the returned slices are valid
+// only until the next InferBatch call.
+func (r *Runtime) InferBatch(ctx context.Context, xs [][]float64) ([][]float64, error) {
+	for i, x := range xs {
+		if err := r.checkInput(x); err != nil {
+			return nil, fmt.Errorf("engine: batch input %d: %w", i, err)
+		}
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.closed {
+		return nil, ErrClosed
+	}
+	if r.sharedOut {
+		r.sharedMu.Lock()
+		defer r.sharedMu.Unlock()
+		return r.inferBatchShared(ctx, xs)
+	}
 	out := make([][]float64, len(xs))
 	var wg sync.WaitGroup
-	wg.Add(len(xs))
 	deliver := func(id int, logits []float64) {
 		out[id] = logits
 		wg.Done()
 	}
 	for i, x := range xs {
-		e.jobs <- task{id: i, x: x, deliver: deliver}
+		wg.Add(1)
+		if err := r.enqueue(ctx, task{id: i, x: x, deliver: deliver}); err != nil {
+			wg.Done()
+			wg.Wait() // drain already-submitted work before returning
+			return nil, err
+		}
 	}
 	wg.Wait()
-	return out
+	return out, nil
+}
+
+// inferBatchShared is the allocation-free InferBatch arm: logits land in
+// a runtime-owned flat buffer reused across calls. Caller holds r.mu for
+// reading and r.sharedMu (the latter until it has finished consuming the
+// returned slices).
+func (r *Runtime) inferBatchShared(ctx context.Context, xs [][]float64) ([][]float64, error) {
+	od := r.model.OutputDim()
+	if need := len(xs) * od; cap(r.sharedBuf) < need {
+		r.sharedBuf = make([]float64, need)
+	}
+	if cap(r.sharedHdrs) < len(xs) {
+		r.sharedHdrs = make([][]float64, len(xs))
+	}
+	hdrs := r.sharedHdrs[:len(xs)]
+	buf := r.sharedBuf[:len(xs)*od]
+	for i := range hdrs {
+		hdrs[i] = buf[i*od : (i+1)*od : (i+1)*od]
+	}
+	for i, x := range xs {
+		r.sharedWG.Add(1)
+		if err := r.enqueue(ctx, task{id: i, x: x, dst: hdrs[i], deliver: r.sharedDeliver}); err != nil {
+			r.sharedWG.Done()
+			r.sharedWG.Wait()
+			return nil, err
+		}
+	}
+	r.sharedWG.Wait()
+	return hdrs, nil
 }
 
 // PredictBatch runs every input through the pool and returns the argmax
-// classes in input order.
-func (e *Engine) PredictBatch(xs [][]float64) []int {
-	logits := e.InferBatch(xs)
+// classes in input order. Under WithSharedOutputs it consumes the shared
+// logits buffer while still holding its lock, so concurrent PredictBatch
+// and Accuracy calls never read another batch's logits.
+func (r *Runtime) PredictBatch(ctx context.Context, xs [][]float64) ([]int, error) {
+	if !r.sharedOut {
+		logits, err := r.InferBatch(ctx, xs)
+		if err != nil {
+			return nil, err
+		}
+		return argmaxAll(logits), nil
+	}
+	for i, x := range xs {
+		if err := r.checkInput(x); err != nil {
+			return nil, fmt.Errorf("engine: batch input %d: %w", i, err)
+		}
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.closed {
+		return nil, ErrClosed
+	}
+	r.sharedMu.Lock()
+	defer r.sharedMu.Unlock()
+	logits, err := r.inferBatchShared(ctx, xs)
+	if err != nil {
+		return nil, err
+	}
+	return argmaxAll(logits), nil
+}
+
+func argmaxAll(logits [][]float64) []int {
 	classes := make([]int, len(logits))
 	for i, l := range logits {
 		classes[i] = nn.Argmax(l)
@@ -114,44 +303,147 @@ func (e *Engine) PredictBatch(xs [][]float64) []int {
 }
 
 // Accuracy evaluates classification accuracy over a dataset with the
-// whole pool (the parallel counterpart of core.Network.Accuracy; the
-// count is exact, so the value is identical).
-func (e *Engine) Accuracy(ds *datasets.Dataset) float64 {
-	classes := e.PredictBatch(ds.X)
+// whole pool (the parallel counterpart of core's Accuracy; the count is
+// exact, so the value is identical).
+func (r *Runtime) Accuracy(ctx context.Context, ds *datasets.Dataset) (float64, error) {
+	classes, err := r.PredictBatch(ctx, ds.X)
+	if err != nil {
+		return 0, err
+	}
 	correct := 0
 	for i, c := range classes {
 		if c == ds.Y[i] {
 			correct++
 		}
 	}
-	return float64(correct) / float64(ds.Len())
+	return float64(correct) / float64(ds.Len()), nil
 }
 
 // Submit enqueues one streaming inference; its Result (tagged with id)
-// arrives on the Results channel in completion order. Submit blocks when
-// the pool is saturated and the Results channel is full — callers must
-// drain Results concurrently. Submitting after Close panics.
-func (e *Engine) Submit(id int, x []float64) {
-	e.jobs <- task{id: id, x: x, deliver: e.deliverResult}
+// arrives on the Results channel in completion order. Submit blocks while
+// the queue is saturated — callers must drain Results concurrently — and
+// unblocks with ctx.Err when the context is cancelled first. After Close
+// it returns ErrClosed.
+func (r *Runtime) Submit(ctx context.Context, id int, x []float64) error {
+	if err := r.checkInput(x); err != nil {
+		return err
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.closed {
+		return ErrClosed
+	}
+	return r.enqueue(ctx, task{id: id, x: x, deliver: r.deliverResult})
 }
 
 // deliverResult is the streaming delivery path (one shared func value so
 // Submit allocates no closure per call).
-func (e *Engine) deliverResult(id int, logits []float64) {
-	e.results <- Result{ID: id, Logits: logits, Class: nn.Argmax(logits)}
+func (r *Runtime) deliverResult(id int, logits []float64) {
+	r.results <- Result{ID: id, Logits: logits, Class: nn.Argmax(logits)}
+}
+
+// Close stops accepting work, waits for every in-flight inference and
+// closes the Results channel — results submitted before Close are never
+// dropped. Close is idempotent and safe to call concurrently with
+// Submit/InferBatch: late producers observe ErrClosed. Callers streaming
+// with Submit must keep draining Results until it closes.
+func (r *Runtime) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	r.mu.Unlock()
+	// No producer can be mid-send here: sends happen under the read lock
+	// with closed == false, and the write lock above waited them out.
+	close(r.jobs)
+	r.wg.Wait()
+	close(r.results)
+	return nil
 }
 
 // Results returns the streaming output channel. It is closed by Close
 // after every in-flight inference has delivered.
-func (e *Engine) Results() <-chan Result { return e.results }
+func (r *Runtime) Results() <-chan Result { return r.results }
+
+// --- deprecated batch-engine wrapper ---
+
+// Engine is the original worker-pool batch-inference API over a uniform
+// network.
+//
+// Deprecated: use Runtime via NewRuntime — it serves mixed-precision
+// models too, observes context cancellation and returns errors instead
+// of panicking. Engine remains as a source-compatible shim.
+type Engine struct {
+	rt  *Runtime
+	net *core.Network
+}
+
+// New starts an engine with the given number of workers over one
+// immutable network; workers <= 0 selects GOMAXPROCS.
+//
+// Deprecated: use NewRuntime.
+func New(net *core.Network, workers int) *Engine {
+	rt, err := NewRuntime(net, WithWorkers(workers))
+	if err != nil {
+		panic(err)
+	}
+	return &Engine{rt: rt, net: net}
+}
+
+// Runtime returns the runtime backing this engine.
+func (e *Engine) Runtime() *Runtime { return e.rt }
+
+// Network returns the model plane the engine serves.
+func (e *Engine) Network() *core.Network { return e.net }
+
+// Workers returns the pool size.
+func (e *Engine) Workers() int { return e.rt.Workers() }
+
+// InferBatch runs every input through the pool and returns the logits in
+// input order. It panics when the batch is rejected (closed engine or
+// misshapen inputs) — use Runtime.InferBatch for the error-returning,
+// cancellable form.
+func (e *Engine) InferBatch(xs [][]float64) [][]float64 {
+	out, err := e.rt.InferBatch(context.Background(), xs)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// PredictBatch runs every input through the pool and returns the argmax
+// classes in input order.
+func (e *Engine) PredictBatch(xs [][]float64) []int {
+	classes, err := e.rt.PredictBatch(context.Background(), xs)
+	if err != nil {
+		panic(err)
+	}
+	return classes
+}
+
+// Accuracy evaluates classification accuracy over a dataset with the
+// whole pool.
+func (e *Engine) Accuracy(ds *datasets.Dataset) float64 {
+	acc, err := e.rt.Accuracy(context.Background(), ds)
+	if err != nil {
+		panic(err)
+	}
+	return acc
+}
+
+// Submit enqueues one streaming inference. Unlike the original Engine,
+// submitting after Close returns ErrClosed instead of panicking.
+func (e *Engine) Submit(id int, x []float64) error {
+	return e.rt.Submit(context.Background(), id, x)
+}
+
+// Results returns the streaming output channel (closed by Close after
+// in-flight work drains).
+func (e *Engine) Results() <-chan Result { return e.rt.Results() }
 
 // Close stops accepting work, waits for in-flight inferences and closes
-// the Results channel. Idempotent; do not call concurrently with Submit
-// or InferBatch.
-func (e *Engine) Close() {
-	e.close.Do(func() {
-		close(e.jobs)
-		e.wg.Wait()
-		close(e.results)
-	})
-}
+// the Results channel. Idempotent and safe to call concurrently with
+// Submit (late submissions observe ErrClosed).
+func (e *Engine) Close() { _ = e.rt.Close() }

@@ -31,6 +31,11 @@ type Trained struct {
 	Test  *datasets.Dataset
 	Acc64 float64
 	Acc32 float64
+	// Std is the input standardizer the network expects applied to raw
+	// features (nil when the network consumes raw features directly —
+	// WBC folds it into the first layer, Mushroom never standardizes).
+	// Deployment artifacts carry it so served models take raw inputs.
+	Std *datasets.Standardizer
 }
 
 var (
@@ -71,14 +76,17 @@ func trainWBC() *Trained {
 // setup for this dataset).
 func trainIris() *Trained {
 	train, test := datasets.IrisSplit(datasets.IrisSeed)
-	strain, stest := datasets.Standardize(train, test)
+	std := datasets.FitStandardizer(train)
+	strain, stest := std.Apply(train), std.Apply(test)
 	net := nn.NewMLP([]int{4, 10, 6, 3}, rng.New(7))
 	cfg := nn.DefaultTrainConfig()
 	cfg.Epochs = 150
 	cfg.LR = 0.05
 	cfg.LRDecay = 0.99
 	nn.Train(net, strain, cfg)
-	return finishTrained("Iris", net, strain, stest)
+	tr := finishTrained("Iris", net, strain, stest)
+	tr.Std = std
+	return tr
 }
 
 func trainMushroom() *Trained {

@@ -1,0 +1,190 @@
+// Package server implements the positrond HTTP inference API: a JSON
+// front-end over the engine Runtime, serving any versioned Deep Positron
+// artifact — uniform or mixed precision — behind one core.Model.
+//
+//	GET  /healthz   liveness probe
+//	GET  /v1/model  model metadata (shape, per-layer arithmetics, memory)
+//	POST /v1/infer  single ({"input": [...]}) or batch
+//	                ({"inputs": [[...], ...]}) inference
+//
+// Errors are JSON ({"error": "..."}): 400 for malformed bodies or inputs
+// of the wrong feature width, 405 for wrong methods. Inference observes
+// request-context cancellation, so a disconnected client stops occupying
+// the pool.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/nn"
+)
+
+// MaxBodyBytes bounds an /v1/infer request body (1 MiB is thousands of
+// samples at the paper's feature widths).
+const MaxBodyBytes = 1 << 20
+
+// Server is the HTTP handler set over one loaded model. Create with New,
+// release the worker pool with Close.
+type Server struct {
+	model core.Model
+	rt    *engine.Runtime
+	mux   *http.ServeMux
+}
+
+// New builds a server over the model with the given runtime options
+// (worker count, queue depth, warm tables — see package engine). Do not
+// pass engine.WithSharedOutputs: responses are encoded after InferBatch
+// returns, so concurrent requests must not share an output buffer.
+func New(model core.Model, opts ...engine.Option) (*Server, error) {
+	rt, err := engine.NewRuntime(model, opts...)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{model: model, rt: rt, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/model", s.handleModel)
+	s.mux.HandleFunc("POST /v1/infer", s.handleInfer)
+	s.mux.HandleFunc("/healthz", methodNotAllowed)
+	s.mux.HandleFunc("/v1/model", methodNotAllowed)
+	s.mux.HandleFunc("/v1/infer", methodNotAllowed)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Runtime returns the inference runtime backing the server.
+func (s *Server) Runtime() *engine.Runtime { return s.rt }
+
+// Close releases the worker pool. Call after the HTTP listener has shut
+// down; in-flight inferences drain first.
+func (s *Server) Close() error { return s.rt.Close() }
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// errorJSON is the error envelope for every non-2xx response.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+func methodNotAllowed(w http.ResponseWriter, r *http.Request) {
+	writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// modelInfo is the /v1/model response.
+type modelInfo struct {
+	Model        string   `json:"model"`
+	Kind         string   `json:"kind"`
+	InputDim     int      `json:"input_dim"`
+	OutputDim    int      `json:"output_dim"`
+	Layers       int      `json:"layers"`
+	Arithmetics  []string `json:"arithmetics"`
+	MemoryBits   int      `json:"memory_bits"`
+	Standardized bool     `json:"standardized"`
+	Workers      int      `json:"workers"`
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
+	m := s.model
+	writeJSON(w, http.StatusOK, modelInfo{
+		Model:        m.String(),
+		Kind:         m.Kind(),
+		InputDim:     m.InputDim(),
+		OutputDim:    m.OutputDim(),
+		Layers:       m.NumLayers(),
+		Arithmetics:  m.ArithNames(),
+		MemoryBits:   m.MemoryBits(),
+		Standardized: m.Standardizer() != nil,
+		Workers:      s.rt.Workers(),
+	})
+}
+
+// inferRequest is the /v1/infer body: exactly one of Input (single) or
+// Inputs (batch).
+type inferRequest struct {
+	Input  []float64   `json:"input"`
+	Inputs [][]float64 `json:"inputs"`
+}
+
+// prediction is one inference result.
+type prediction struct {
+	Logits []float64 `json:"logits"`
+	Class  int       `json:"class"`
+}
+
+// inferResponse mirrors the request shape: Result for single, Results
+// for batch.
+type inferResponse struct {
+	Result  *prediction  `json:"result,omitempty"`
+	Results []prediction `json:"results,omitempty"`
+}
+
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	var req inferRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed body: %v", err)
+		return
+	}
+	single := req.Input != nil
+	batch := req.Inputs != nil
+	if single == batch {
+		writeError(w, http.StatusBadRequest, `body must set exactly one of "input" or "inputs"`)
+		return
+	}
+	xs := req.Inputs
+	if single {
+		xs = [][]float64{req.Input}
+	}
+	if len(xs) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	want := s.model.InputDim()
+	for i, x := range xs {
+		if len(x) != want {
+			writeError(w, http.StatusBadRequest,
+				"input %d has %d features, model expects %d", i, len(x), want)
+			return
+		}
+	}
+	logits, err := s.rt.InferBatch(r.Context(), xs)
+	switch {
+	case err == nil:
+	case errors.Is(err, engine.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	default:
+		// Context cancellation: the client is gone; any status works.
+		writeError(w, http.StatusInternalServerError, "inference aborted: %v", err)
+		return
+	}
+	preds := make([]prediction, len(logits))
+	for i, l := range logits {
+		preds[i] = prediction{Logits: l, Class: nn.Argmax(l)}
+	}
+	if single {
+		writeJSON(w, http.StatusOK, inferResponse{Result: &preds[0]})
+		return
+	}
+	writeJSON(w, http.StatusOK, inferResponse{Results: preds})
+}

@@ -1,0 +1,325 @@
+package server
+
+// End-to-end handler coverage over a saved Iris artifact: the HTTP plane
+// must return exactly what a core session computes, and reject bad
+// requests with JSON 400s.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/emac"
+	"repro/internal/engine"
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+// irisModel trains a small Iris MLP, quantises it to posit(8,0) with the
+// training standardizer folded into the artifact, saves and reloads it —
+// the exact deployment path a daemon operator follows.
+func irisModel(t *testing.T) (core.Model, *datasets.Dataset) {
+	t.Helper()
+	train, test := datasets.IrisSplit(0x1715)
+	std := datasets.FitStandardizer(train)
+	net := nn.NewMLP([]int{4, 10, 6, 3}, rng.New(7))
+	cfg := nn.DefaultTrainConfig()
+	cfg.Epochs = 40
+	nn.Train(net, std.Apply(train), cfg)
+	q := core.Quantize(net, emac.NewPosit(8, 0))
+	q.Stand = std
+
+	path := filepath.Join(t.TempDir(), "iris.json")
+	if err := q.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, test
+}
+
+func newTestServer(t *testing.T, m core.Model) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(m, engine.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func postInfer(t *testing.T, ts *httptest.Server, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/infer", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestHealthz(t *testing.T) {
+	m, _ := irisModel(t)
+	_, ts := newTestServer(t, m)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	var body struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body.Status != "ok" {
+		t.Fatalf("healthz body: %v %v", body, err)
+	}
+}
+
+func TestModelMetadata(t *testing.T) {
+	m, _ := irisModel(t)
+	_, ts := newTestServer(t, m)
+	resp, err := http.Get(ts.URL + "/v1/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info struct {
+		Kind         string   `json:"kind"`
+		InputDim     int      `json:"input_dim"`
+		OutputDim    int      `json:"output_dim"`
+		Layers       int      `json:"layers"`
+		Arithmetics  []string `json:"arithmetics"`
+		Standardized bool     `json:"standardized"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Kind != "uniform" || info.InputDim != 4 || info.OutputDim != 3 ||
+		info.Layers != 3 || !info.Standardized {
+		t.Fatalf("metadata: %+v", info)
+	}
+	for _, a := range info.Arithmetics {
+		if a != "posit(8,0)" {
+			t.Fatalf("arithmetics: %v", info.Arithmetics)
+		}
+	}
+}
+
+// TestBatchInferMatchesSession is the core exactness contract: logits
+// served over HTTP are bit-identical to core.Session.Infer on the same
+// loaded model.
+func TestBatchInferMatchesSession(t *testing.T) {
+	m, test := irisModel(t)
+	_, ts := newTestServer(t, m)
+
+	body, err := json.Marshal(map[string]any{"inputs": test.X})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, raw := postInfer(t, ts, string(body))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch infer = %d: %s", resp.StatusCode, raw)
+	}
+	var out struct {
+		Results []struct {
+			Logits []float64 `json:"logits"`
+			Class  int       `json:"class"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != len(test.X) {
+		t.Fatalf("%d results for %d inputs", len(out.Results), len(test.X))
+	}
+	s := m.NewInferer()
+	for i, x := range test.X {
+		want := s.Infer(x)
+		got := out.Results[i].Logits
+		if len(got) != len(want) {
+			t.Fatalf("sample %d: %d logits", i, len(got))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("sample %d logit %d: HTTP %v != session %v", i, j, got[j], want[j])
+			}
+		}
+		if out.Results[i].Class != nn.Argmax(want) {
+			t.Fatalf("sample %d class %d", i, out.Results[i].Class)
+		}
+	}
+}
+
+func TestSingleInfer(t *testing.T) {
+	m, test := irisModel(t)
+	_, ts := newTestServer(t, m)
+	body, _ := json.Marshal(map[string]any{"input": test.X[0]})
+	resp, raw := postInfer(t, ts, string(body))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("single infer = %d: %s", resp.StatusCode, raw)
+	}
+	var out struct {
+		Result *struct {
+			Logits []float64 `json:"logits"`
+			Class  int       `json:"class"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil || out.Result == nil {
+		t.Fatalf("single response: %s (%v)", raw, err)
+	}
+	want := m.NewInferer().Infer(test.X[0])
+	for j := range want {
+		if out.Result.Logits[j] != want[j] {
+			t.Fatalf("logit %d: %v != %v", j, out.Result.Logits[j], want[j])
+		}
+	}
+}
+
+// TestMixedModelServed proves the daemon is precision-agnostic: a mixed
+// artifact (three different arms) serves through the same handlers.
+func TestMixedModelServed(t *testing.T) {
+	src := nn.NewMLP([]int{4, 8, 6, 3}, rng.New(9))
+	mixed := core.QuantizeMixed(src, []emac.Arithmetic{
+		emac.NewPosit(8, 0), emac.NewFloatN(8, 4), emac.NewFixed(8, 4),
+	})
+	path := filepath.Join(t.TempDir(), "mixed.json")
+	if err := mixed.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, m)
+	x := []float64{0.5, -1, 2, 0.25}
+	body, _ := json.Marshal(map[string]any{"input": x})
+	resp, raw := postInfer(t, ts, string(body))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mixed infer = %d: %s", resp.StatusCode, raw)
+	}
+	var out struct {
+		Result struct {
+			Logits []float64 `json:"logits"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	want := m.NewInferer().Infer(x)
+	for j := range want {
+		if out.Result.Logits[j] != want[j] {
+			t.Fatalf("mixed logit %d: %v != %v", j, out.Result.Logits[j], want[j])
+		}
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	m, test := irisModel(t)
+	_, ts := newTestServer(t, m)
+	check := func(name, body string) {
+		t.Helper()
+		resp, raw := postInfer(t, ts, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400 (%s)", name, resp.StatusCode, raw)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("%s: content type %q", name, ct)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(raw, &e); err != nil || e.Error == "" {
+			t.Fatalf("%s: error body %s (%v)", name, raw, err)
+		}
+	}
+	check("malformed", "{not json")
+	check("neither", `{}`)
+	wrongDim, _ := json.Marshal(map[string]any{"input": []float64{1, 2}})
+	check("wrong feature count", string(wrongDim))
+	both, _ := json.Marshal(map[string]any{"input": test.X[0], "inputs": test.X[:2]})
+	check("both input and inputs", string(both))
+	check("empty batch", `{"inputs":[]}`)
+	check("unknown field", `{"data":[1,2,3,4]}`)
+	batchWrong, _ := json.Marshal(map[string]any{"inputs": [][]float64{test.X[0], {1}}})
+	check("bad batch element", string(batchWrong))
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	m, _ := irisModel(t)
+	_, ts := newTestServer(t, m)
+	resp, err := http.Get(ts.URL + "/v1/infer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/infer = %d, want 405", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/healthz", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /healthz = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestConcurrentRequests(t *testing.T) {
+	m, test := irisModel(t)
+	_, ts := newTestServer(t, m)
+	s := m.NewInferer()
+	want := s.Infer(test.X[1])
+	errs := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		go func() {
+			body, _ := json.Marshal(map[string]any{"input": test.X[1]})
+			resp, err := http.Post(ts.URL+"/v1/infer", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			var out struct {
+				Result struct {
+					Logits []float64 `json:"logits"`
+				} `json:"result"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				errs <- err
+				return
+			}
+			for j := range want {
+				if out.Result.Logits[j] != want[j] {
+					errs <- fmt.Errorf("logit %d: %v != %v", j, out.Result.Logits[j], want[j])
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for g := 0; g < 16; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -2,7 +2,7 @@
 // a Go implementation of "Deep Positron: A Deep Neural Network Using the
 // Posit Number System" (Carmichael et al., DATE 2019).
 //
-// It exposes four layers of the system:
+// It exposes five layers of the system:
 //
 //   - Number formats: arbitrary posit(n,es) arithmetic (with the quire),
 //     parameterised minifloats, and Q-format fixed point — all bit-exact.
@@ -10,6 +10,9 @@
 //     three formats behind one Arithmetic interface.
 //   - Deep Positron: quantised feed-forward inference built from EMACs,
 //     plus float64 training to produce the networks.
+//   - Serving: the Model interface (uniform and mixed-precision networks
+//     behind one versioned Save/Load artifact) and the context-aware
+//     worker-pool Runtime; cmd/positrond serves any artifact over HTTP.
 //   - Evaluation: the analytic Virtex-7 hardware model and harnesses
 //     regenerating every table and figure of the paper.
 //
@@ -178,9 +181,34 @@ func QuantizeMixed(net *MLP, ariths []Arithmetic) *MixedPrecision {
 	return core.QuantizeMixed(net, ariths)
 }
 
-// LoadDeepPositron reads a quantised model saved with
+// Model is the unified model plane implemented by both *DeepPositron
+// (uniform precision) and *MixedPrecision (per-layer precision):
+// topology, per-layer arithmetic descriptors, the optional folded input
+// standardizer, session construction (NewInferer) and versioned
+// Save/Load. Everything downstream — the Runtime, the positrond HTTP
+// daemon — programs against Model, so which precision layout a
+// deployment picked is a property of the artifact, not of the serving
+// code.
+type Model = core.Model
+
+// Inferer is one per-goroutine execution plane over a Model: the common
+// surface of Session and MixedSession (Infer, allocation-free InferInto,
+// Predict, Accuracy).
+type Inferer = core.Inferer
+
+// LoadModel reads any versioned model artifact — uniform or mixed — and
+// returns it behind the Model interface. The artifact records its
+// version; files from newer format revisions are rejected with an error.
+func LoadModel(path string) (Model, error) { return core.LoadModel(path) }
+
+// ParseArithmetic parses a human-readable arithmetic spec: "posit(n,es)",
+// "float(n,we)", "fixed(n,q)" or "float32".
+func ParseArithmetic(spec string) (Arithmetic, error) { return core.ParseArith(spec) }
+
+// LoadDeepPositron reads a uniform-precision quantised model saved with
 // DeepPositron.Save — the deployment artifact (format descriptor plus raw
-// weight/bias codes).
+// weight/bias codes). Use LoadModel when the artifact may be mixed
+// precision.
 func LoadDeepPositron(path string) (*DeepPositron, error) { return core.Load(path) }
 
 // SearchPerLayerFixed optimises per-layer fixed-point fraction widths by
@@ -201,10 +229,52 @@ type Session = core.Session
 // MixedSession is the execution plane for a MixedPrecision network.
 type MixedSession = core.MixedSession
 
-// Engine is a worker-pool batch-inference engine: each worker owns one
-// shared-nothing Session over one immutable DeepPositron. It offers a
-// batched API (InferBatch/PredictBatch/Accuracy) and a streaming
-// Submit/Results API.
+// Runtime is the serving-grade inference plane: a worker pool in which
+// every worker owns one shared-nothing Inferer over one immutable Model
+// (uniform or mixed precision alike). Its methods observe context
+// cancellation and return errors instead of panicking: InferBatch(ctx),
+// PredictBatch(ctx), Accuracy(ctx), Submit(ctx, id, x) and Close — after
+// which late submissions get ErrRuntimeClosed, and in-flight results are
+// never dropped.
+type Runtime = engine.Runtime
+
+// RuntimeOption configures a Runtime at construction (functional
+// options).
+type RuntimeOption = engine.Option
+
+// ErrRuntimeClosed is returned by Runtime methods called after Close.
+var ErrRuntimeClosed = engine.ErrClosed
+
+// NewRuntime starts an inference runtime over any Model. Options:
+// WithWorkers, WithQueueDepth, WithWarmTables, WithSharedOutputs. Call
+// Close to release the pool.
+func NewRuntime(m Model, opts ...RuntimeOption) (*Runtime, error) {
+	return engine.NewRuntime(m, opts...)
+}
+
+// WithWorkers sets the worker-pool size (n <= 0 selects GOMAXPROCS, the
+// default).
+func WithWorkers(n int) RuntimeOption { return engine.WithWorkers(n) }
+
+// WithQueueDepth sets the job-queue capacity (n <= 0 selects twice the
+// worker count, the default).
+func WithQueueDepth(n int) RuntimeOption { return engine.WithQueueDepth(n) }
+
+// WithWarmTables eagerly builds the posit fast-path tables for every
+// posit layer format before the first inference.
+func WithWarmTables() RuntimeOption { return engine.WithWarmTables() }
+
+// WithSharedOutputs makes InferBatch decode logits into a runtime-owned
+// buffer reused across calls — allocation-free dataset sweeps; the
+// returned slices are valid only until the next InferBatch call.
+func WithSharedOutputs() RuntimeOption { return engine.WithSharedOutputs() }
+
+// Engine is the original worker-pool batch-inference engine over a
+// uniform-precision network.
+//
+// Deprecated: use Runtime via NewRuntime — it serves mixed-precision
+// models too, observes context cancellation and returns errors instead
+// of panicking. Engine remains as a source-compatible shim over Runtime.
 type Engine = engine.Engine
 
 // EngineResult is one completed streaming inference (ID, logits, class).
@@ -213,6 +283,8 @@ type EngineResult = engine.Result
 // NewEngine starts an inference engine with the given worker count over
 // the network (workers <= 0 selects GOMAXPROCS). Call Close to release
 // the pool.
+//
+// Deprecated: use NewRuntime.
 func NewEngine(net *DeepPositron, workers int) *Engine { return engine.New(net, workers) }
 
 // SweepResult is one evaluated low-precision configuration.

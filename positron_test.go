@@ -1,6 +1,9 @@
 package positron
 
 import (
+	"context"
+	"errors"
+	"path/filepath"
 	"testing"
 )
 
@@ -86,5 +89,91 @@ func TestFacadeBestConfig(t *testing.T) {
 	best := BestConfig(net, stest, posits)
 	if best.Accuracy < 0.5 {
 		t.Errorf("best posit accuracy %.3f", best.Accuracy)
+	}
+}
+
+// TestFacadeServingPath walks the deployment story end to end through
+// the public API: train, quantise (mixed precision), save the versioned
+// artifact, reload it behind Model, and serve it with a context-aware
+// Runtime — bit-identical to a serial Inferer.
+func TestFacadeServingPath(t *testing.T) {
+	train, test := IrisSplit(42)
+	std := FitStandardizer(train)
+	net := NewMLP([]int{4, 8, 3}, 1)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 30
+	Train(net, std.Apply(train), cfg)
+
+	mixed := QuantizeMixed(net, []Arithmetic{PositArith(8, 0), FixedArith(8, 4)})
+	mixed.Stand = std // serve raw features
+	path := filepath.Join(t.TempDir(), "iris-mixed.json")
+	if err := mixed.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	model, err := LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Kind() != "mixed" || model.InputDim() != 4 || model.OutputDim() != 3 {
+		t.Fatalf("model metadata: %s %s", model.Kind(), model)
+	}
+
+	rt, err := NewRuntime(model, WithWorkers(4), WithWarmTables(), WithQueueDepth(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rt.InferBatch(context.Background(), test.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := model.NewInferer()
+	for i, x := range test.X {
+		want := serial.Infer(x)
+		for j := range want {
+			if got[i][j] != want[j] {
+				t.Fatalf("sample %d logit %d: runtime %v != inferer %v", i, j, got[i][j], want[j])
+			}
+		}
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Submit(context.Background(), 0, test.X[0]); !errors.Is(err, ErrRuntimeClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrRuntimeClosed", err)
+	}
+
+	// The deprecated engine shim still compiles and serves.
+	uni := QuantizeNetwork(net, PositArith(8, 0))
+	e := NewEngine(uni, 2)
+	defer e.Close()
+	if out := e.InferBatch(test.X[:5]); len(out) != 5 {
+		t.Fatalf("engine shim returned %d results", len(out))
+	}
+}
+
+// TestFacadeParseArithmetic pins the CLI-facing spec grammar.
+func TestFacadeParseArithmetic(t *testing.T) {
+	for spec, want := range map[string]string{
+		"posit(8,0)":   "posit(8,0)",
+		"float(8,4)":   "float(8: we=4,wf=3)",
+		"fixed(8,4)":   "fixed(8,q=4)",
+		"fixed(8,q=4)": "fixed(8,q=4)",
+		"float32":      "float32",
+	} {
+		a, err := ParseArithmetic(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if a.Name() != want {
+			t.Fatalf("%s -> %s, want %s", spec, a.Name(), want)
+		}
+	}
+	for _, bad := range []string{
+		"posit(2,0)", "float(8,9)", "quaternion(8)", "",
+		"posit(8,0)x", "fixed(8,4)garbage", "float32x",
+	} {
+		if _, err := ParseArithmetic(bad); err == nil {
+			t.Fatalf("%q accepted", bad)
+		}
 	}
 }
