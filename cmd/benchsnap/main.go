@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -192,6 +193,35 @@ func main() {
 				}
 			}))
 		e.Close()
+	}
+	// Runtime worker-scaling bench, gated on a multicore host: the 1-CPU
+	// dev container measures ≈1.0× for any pool size, so emitting rows
+	// there would only record noise. On a host with GOMAXPROCS > 1 this
+	// produces the ROADMAP scaling record: shared-output batches (the 0
+	// allocs/op serving path) at 1, 2, 4, ... workers up to the CPU count.
+	if procs := runtime.GOMAXPROCS(0); procs > 1 {
+		for workers := 1; workers <= procs; workers *= 2 {
+			rt, err := engine.NewRuntime(dp,
+				engine.WithWorkers(workers), engine.WithSharedOutputs())
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchsnap:", err)
+				os.Exit(1)
+			}
+			ctx := context.Background()
+			snap.Results = append(snap.Results, measure(
+				fmt.Sprintf("RuntimeBatch256/posit(8,0)/workers%d", workers),
+				func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if _, err := rt.InferBatch(ctx, batch); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}))
+			_ = rt.Close()
+		}
+	} else {
+		fmt.Fprintln(os.Stderr, "benchsnap: single-CPU host; skipping RuntimeBatch256 worker-scaling rows")
 	}
 
 	data, err := json.MarshalIndent(snap, "", "  ")

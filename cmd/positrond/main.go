@@ -1,19 +1,34 @@
-// Command positrond serves a quantised Deep Positron artifact over HTTP:
-// load a versioned model file (uniform or mixed precision), start the
-// worker-pool inference runtime and expose the JSON API.
+// Command positrond serves quantised Deep Positron artifacts over HTTP:
+// load one or more versioned model files (uniform or mixed precision)
+// into the serving registry, start a worker-pool inference runtime and a
+// dynamic micro-batcher per model, and expose the JSON API.
 //
 // Usage:
 //
-//	positrond -model iris.json [-addr :8080] [-workers N] [-queue N]
+//	positrond -model iris.json                         # one model
+//	positrond -model iris=iris.json -model wbc=wbc.json \
+//	          -default iris -batch-window 2ms -max-batch 64
+//
+// Each -model flag is either name=path or a bare path (the name is then
+// derived from the file name: models/Iris.quant.json -> "Iris"). The
+// first -model is the default served by the /v1/infer and /v1/model
+// aliases unless -default names another.
 //
 // Endpoints:
 //
-//	GET  /healthz   liveness probe
-//	GET  /v1/model  model metadata
-//	POST /v1/infer  {"input": [...]} or {"inputs": [[...], ...]}
+//	GET    /healthz                  liveness probe
+//	GET    /v1/models                list loaded models
+//	POST   /v1/models                load {"name":..., "path":...} or
+//	                                 {"name":..., "artifact":{...}}
+//	GET    /v1/models/{name}         model metadata and stats
+//	DELETE /v1/models/{name}         graceful unload
+//	POST   /v1/models/{name}/infer   {"input": [...]} or {"inputs": [[...], ...]}
+//	GET    /v1/metrics               per-model batching and latency metrics
+//	GET    /v1/model, POST /v1/infer default-model aliases
 //
 // SIGINT/SIGTERM shut the daemon down gracefully: the listener stops
-// accepting, in-flight requests finish, then the worker pool drains.
+// accepting, in-flight requests finish, then every model's worker pool
+// drains.
 package main
 
 import (
@@ -24,47 +39,110 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/registry"
 	"repro/internal/server"
 )
 
+// modelFlag is one -model value: an optional name and an artifact path.
+type modelFlag struct {
+	name, path string
+}
+
+// modelFlags collects repeated -model values.
+type modelFlags []modelFlag
+
+func (m *modelFlags) String() string {
+	parts := make([]string, len(*m))
+	for i, f := range *m {
+		parts[i] = f.name + "=" + f.path
+	}
+	return strings.Join(parts, ",")
+}
+
+func (m *modelFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok {
+		path = v
+		name = deriveName(v)
+	}
+	if name == "" || path == "" {
+		return fmt.Errorf("want name=path or path, got %q", v)
+	}
+	*m = append(*m, modelFlag{name: name, path: path})
+	return nil
+}
+
+// deriveName turns an artifact path into a model name:
+// models/Iris.quant.json -> "Iris".
+func deriveName(path string) string {
+	name := filepath.Base(path)
+	name = strings.TrimSuffix(name, filepath.Ext(name))
+	name = strings.TrimSuffix(name, ".quant")
+	return name
+}
+
 func main() {
-	modelPath := flag.String("model", "", "path to a saved model artifact (required)")
+	var models modelFlags
+	flag.Var(&models, "model", "name=path (or path) of a saved model artifact; repeatable (at least one required)")
+	defaultModel := flag.String("default", "", "model served by the /v1/infer and /v1/model aliases (default: the first -model)")
+	modelDir := flag.String("model-dir", "",
+		"directory POST /v1/models path loads may read artifacts from (default: the first -model's directory; uploads are always allowed)")
 	addr := flag.String("addr", ":8080", "listen address")
-	workers := flag.Int("workers", 0, "inference worker count (0 = GOMAXPROCS)")
-	queue := flag.Int("queue", 0, "job queue depth (0 = 2x workers)")
+	workers := flag.Int("workers", 0, "per-model inference worker count (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "per-model job queue depth (0 = 2x workers)")
+	batchWindow := flag.Duration("batch-window", registry.DefaultBatchWindow,
+		"micro-batching window: concurrent single inferences arriving within it share one batch (0 disables)")
+	maxBatch := flag.Int("max-batch", registry.DefaultMaxBatch,
+		"flush a coalesced batch at this size instead of waiting out the window")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second,
 		"grace period for in-flight requests on shutdown")
 	flag.Parse()
 
-	if *modelPath == "" {
-		fmt.Fprintln(os.Stderr, "positrond: -model is required")
+	if len(models) == 0 {
+		fmt.Fprintln(os.Stderr, "positrond: at least one -model is required")
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	model, err := core.LoadModel(*modelPath)
-	if err != nil {
-		fatal(err)
-	}
-	srv, err := server.New(model,
-		engine.WithWorkers(*workers),
-		engine.WithQueueDepth(*queue),
-		engine.WithWarmTables(),
+	reg := registry.New(
+		registry.WithRuntimeOptions(
+			engine.WithWorkers(*workers),
+			engine.WithQueueDepth(*queue),
+			engine.WithWarmTables(),
+		),
+		registry.WithBatchWindow(*batchWindow),
+		registry.WithMaxBatch(*maxBatch),
 	)
-	if err != nil {
-		fatal(err)
+	for _, mf := range models {
+		if err := reg.LoadPath(mf.name, mf.path); err != nil {
+			fatal(err)
+		}
 	}
+	def := *defaultModel
+	if def == "" {
+		def = models[0].name
+	}
+	if _, err := reg.Stat(def); err != nil {
+		fatal(fmt.Errorf("default model %q is not among the loaded models", def))
+	}
+	dir := *modelDir
+	if dir == "" {
+		dir = filepath.Dir(models[0].path)
+	}
+	srv := server.New(reg, def, server.WithModelDir(dir))
 
 	httpSrv := &http.Server{
 		Addr:    *addr,
 		Handler: srv,
 		// Slow-client hardening: a stalled peer must not pin a goroutine
-		// and descriptor forever. Bodies are small (server.MaxBodyBytes).
+		// and descriptor forever. Bodies are bounded (server.MaxBodyBytes /
+		// server.MaxArtifactBytes).
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		IdleTimeout:       2 * time.Minute,
@@ -72,8 +150,16 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 
-	fmt.Printf("positrond: serving %s (%s, %d features -> %d classes) on %s with %d workers\n",
-		model, model.Kind(), model.InputDim(), model.OutputDim(), *addr, srv.Runtime().Workers())
+	for _, stat := range reg.Stats() {
+		marker := " "
+		if stat.Name == def {
+			marker = "*"
+		}
+		fmt.Printf("positrond: %s %-20s %s (%s, %d features -> %d classes, %d workers, window %s, max batch %d)\n",
+			marker, stat.Name, stat.Model, stat.Kind, stat.InputDim, stat.OutputDim,
+			stat.Workers, stat.BatchWindow, stat.MaxBatch)
+	}
+	fmt.Printf("positrond: serving %d model(s) on %s\n", reg.Len(), *addr)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -1,33 +1,43 @@
 // Serving: the deployment path end to end — train in float64, quantise
-// (here with a different posit per layer), save the versioned artifact,
-// reload it behind the Model interface and serve it with the
-// context-aware Runtime, exactly as cmd/positrond does over HTTP.
+// twice (a uniform posit(8,0) network and a mixed-precision one), load
+// both into the multi-model registry, serve them side by side over HTTP
+// with dynamic micro-batching, and query load/infer/metrics/unload —
+// exactly what cmd/positrond does as a standalone daemon.
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
+	"sync"
+	"time"
 
 	positron "repro"
 )
 
 func main() {
 	// Train on standardized features; keep the standardizer so the
-	// deployed artifact can consume raw measurements.
+	// deployed artifacts can consume raw measurements.
 	train, test := positron.IrisSplit(0x1715)
 	std := positron.FitStandardizer(train)
-	net := positron.NewMLP([]int{4, 10, 6, 3}, 7)
+	net64 := positron.NewMLP([]int{4, 10, 6, 3}, 7)
 	cfg := positron.DefaultTrainConfig()
 	cfg.Epochs = 150
 	cfg.LR = 0.05
 	cfg.LRDecay = 0.99
-	positron.Train(net, std.Apply(train), cfg)
+	positron.Train(net64, std.Apply(train), cfg)
 
-	// Quantise with one arithmetic per layer (the paper's
-	// precision-adaptable EMACs) and fold the standardizer in.
-	mixed := positron.QuantizeMixed(net, []positron.Arithmetic{
+	// Two deployments of the same network: uniform posit(8,0), and one
+	// posit per layer (the paper's precision-adaptable EMACs).
+	uni := positron.QuantizeNetwork(net64, positron.PositArith(8, 0))
+	uni.Stand = std
+	mixed := positron.QuantizeMixed(net64, []positron.Arithmetic{
 		positron.PositArith(8, 0), positron.PositArith(6, 0), positron.PositArith(8, 0),
 	})
 	mixed.Stand = std
@@ -37,56 +47,147 @@ func main() {
 		panic(err)
 	}
 	defer os.RemoveAll(dir)
-	path := filepath.Join(dir, "iris.json")
-	if err := mixed.Save(path); err != nil {
+	uniPath := filepath.Join(dir, "posit8.json")
+	mixedPath := filepath.Join(dir, "mixed.json")
+	if err := uni.Save(uniPath); err != nil {
+		panic(err)
+	}
+	if err := mixed.Save(mixedPath); err != nil {
 		panic(err)
 	}
 
-	// Deployment side: the loader does not care which precision layout
-	// the artifact uses — everything behind one Model interface.
-	model, err := positron.LoadModel(path)
-	if err != nil {
-		panic(err)
-	}
-	fmt.Printf("loaded %s: kind=%s, %d features -> %d classes, %d bits of parameter memory\n",
-		model, model.Kind(), model.InputDim(), model.OutputDim(), model.MemoryBits())
-
-	rt, err := positron.NewRuntime(model,
-		positron.WithWorkers(4),
-		positron.WithWarmTables(),
+	// The serving side: a registry with micro-batching, two models, one
+	// HTTP handler — positrond in a few lines.
+	reg := positron.NewRegistry(
+		positron.WithRuntimeOptions(positron.WithWorkers(4), positron.WithWarmTables()),
+		positron.WithBatchWindow(2*time.Millisecond),
+		positron.WithMaxBatch(32),
 	)
+	if err := reg.LoadPath("posit8", uniPath); err != nil {
+		panic(err)
+	}
+	// WithModelDir scopes HTTP path loads to our artifact directory
+	// (uploads are always allowed; arbitrary paths never are).
+	srv := positron.NewServer(reg, "posit8", positron.WithModelDir(dir))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		panic(err)
 	}
-	defer rt.Close()
+	httpSrv := &http.Server{Handler: srv}
+	go func() { _ = httpSrv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Println("daemon listening on", base)
 
-	// Batched serving with cancellation: raw features in, logits out.
-	ctx := context.Background()
-	logits, err := rt.InferBatch(ctx, test.X)
-	if err != nil {
-		panic(err)
-	}
-	acc, err := rt.Accuracy(ctx, test)
-	if err != nil {
-		panic(err)
-	}
-	fmt.Printf("served %d inferences, accuracy %.1f%%\n", len(logits), 100*acc)
-	fmt.Printf("sample 0: logits %.3v\n", logits[0])
+	// Load the second model over HTTP, as an operator would.
+	loadBody, _ := json.Marshal(map[string]string{"name": "mixed", "path": mixedPath})
+	resp := post(base+"/v1/models", loadBody)
+	fmt.Printf("loaded second model over HTTP: %d\n", resp.StatusCode)
+	resp.Body.Close()
 
-	// Streaming serving: Submit feeds the pool, Results delivers in
-	// completion order, Close drains without dropping anything.
-	go func() {
-		for i, x := range test.X[:10] {
-			if err := rt.Submit(ctx, i, x); err != nil {
-				panic(err)
-			}
+	var list struct {
+		Models []struct {
+			Name        string   `json:"name"`
+			Kind        string   `json:"kind"`
+			Arithmetics []string `json:"arithmetics"`
+		} `json:"models"`
+	}
+	getInto(base+"/v1/models", &list)
+	for _, m := range list.Models {
+		fmt.Printf("  serving %-8s kind=%-7s arithmetics=%v\n", m.Name, m.Kind, m.Arithmetics)
+	}
+
+	// Query both models with the same raw sample; different precision
+	// layouts, one API.
+	sample, _ := json.Marshal(map[string]any{"input": test.X[0]})
+	for _, name := range []string{"posit8", "mixed"} {
+		var out struct {
+			Result struct {
+				Logits []float64 `json:"logits"`
+				Class  int       `json:"class"`
+			} `json:"result"`
 		}
-		rt.Close()
-	}()
-	served := 0
-	for res := range rt.Results() {
-		served++
-		_ = res.Class
+		r := post(base+"/v1/models/"+name+"/infer", sample)
+		decode(r, &out)
+		fmt.Printf("  %-8s -> class %d, logits %.3v\n", name, out.Result.Class, out.Result.Logits)
 	}
-	fmt.Printf("streamed %d results, runtime closed cleanly\n", served)
+
+	// A concurrent burst of single-sample requests: the daemon coalesces
+	// them into shared runtime batches.
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, _ := json.Marshal(map[string]any{"input": test.X[i%len(test.X)]})
+			r := post(base+"/v1/infer", body) // default-model alias
+			io.Copy(io.Discard, r.Body)
+			r.Body.Close()
+		}(i)
+	}
+	wg.Wait()
+
+	var metrics struct {
+		Models []struct {
+			Name    string `json:"name"`
+			Metrics struct {
+				Requests      int64            `json:"requests"`
+				Batches       int64            `json:"batches"`
+				MaxCoalesced  int              `json:"max_coalesced"`
+				BatchSizeHist map[string]int64 `json:"batch_size_hist"`
+				P50Ms         float64          `json:"p50_ms"`
+				P99Ms         float64          `json:"p99_ms"`
+			} `json:"metrics"`
+		} `json:"models"`
+	}
+	getInto(base+"/v1/metrics", &metrics)
+	for _, m := range metrics.Models {
+		fmt.Printf("  metrics %-8s requests=%d batches=%d max_coalesced=%d hist=%v p50=%.2fms p99=%.2fms\n",
+			m.Name, m.Metrics.Requests, m.Metrics.Batches, m.Metrics.MaxCoalesced,
+			m.Metrics.BatchSizeHist, m.Metrics.P50Ms, m.Metrics.P99Ms)
+	}
+
+	// Graceful unload over HTTP: the name disappears immediately,
+	// in-flight work drains, the worker pool closes.
+	req, _ := http.NewRequest(http.MethodDelete, base+"/v1/models/mixed", nil)
+	r, err := http.DefaultClient.Do(req)
+	if err != nil {
+		panic(err)
+	}
+	io.Copy(io.Discard, r.Body)
+	r.Body.Close()
+	getInto(base+"/v1/models", &list)
+	fmt.Printf("after unload: %d model(s) still serving\n", len(list.Models))
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		panic(err)
+	}
+	if err := srv.Close(); err != nil {
+		panic(err)
+	}
+	fmt.Println("daemon closed cleanly")
+}
+
+func post(url string, body []byte) *http.Response {
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		panic(err)
+	}
+	return resp
+}
+
+func decode(resp *http.Response, out any) {
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		panic(err)
+	}
+}
+
+func getInto(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		panic(err)
+	}
+	decode(resp, out)
 }

@@ -354,23 +354,35 @@ func LoadModel(path string) (Model, error) {
 	if err != nil {
 		return nil, err
 	}
+	m, err := ParseModel(data)
+	if err != nil {
+		return nil, fmt.Errorf("core: loading %s: %w", path, err)
+	}
+	return m, nil
+}
+
+// ParseModel decodes a versioned artifact from raw JSON bytes — the
+// in-memory counterpart of LoadModel, used when an artifact arrives over
+// the wire (e.g. a model uploaded to a serving registry) rather than
+// from disk.
+func ParseModel(data []byte) (Model, error) {
 	var envelope struct {
 		Version int    `json:"version"`
 		Kind    string `json:"kind"`
 	}
 	if err := json.Unmarshal(data, &envelope); err != nil {
-		return nil, fmt.Errorf("core: loading %s: %w", path, err)
+		return nil, err
 	}
 	if envelope.Kind == kindMixed {
 		net := new(MixedNetwork)
 		if err := json.Unmarshal(data, net); err != nil {
-			return nil, fmt.Errorf("core: loading %s: %w", path, err)
+			return nil, err
 		}
 		return net, nil
 	}
 	net := new(Network)
 	if err := json.Unmarshal(data, net); err != nil {
-		return nil, fmt.Errorf("core: loading %s: %w", path, err)
+		return nil, err
 	}
 	return net, nil
 }

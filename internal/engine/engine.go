@@ -7,8 +7,9 @@
 // every worker owns one shared-nothing core.Inferer over one immutable
 // core.Model (uniform or mixed precision alike). It is configured with
 // functional options, observes context cancellation, and fails with
-// errors rather than panics on misuse. Engine is the original
-// batch-engine API, kept as a thin deprecated wrapper.
+// errors rather than panics on misuse. One layer up, internal/registry
+// serves many named Runtimes side by side with micro-batching; Engine is
+// the original batch-engine API, kept as a thin deprecated wrapper.
 package engine
 
 import (
@@ -168,6 +169,11 @@ func (r *Runtime) Model() core.Model { return r.model }
 // Workers returns the pool size.
 func (r *Runtime) Workers() int { return r.workers }
 
+// SharedOutputs reports whether the runtime was built with
+// WithSharedOutputs — callers then own the serialisation and copy-out of
+// InferBatch results.
+func (r *Runtime) SharedOutputs() bool { return r.sharedOut }
+
 // checkInput validates one input vector against the model shape.
 func (r *Runtime) checkInput(x []float64) error {
 	if want := r.model.InputDim(); len(x) != want {
@@ -264,9 +270,11 @@ func (r *Runtime) inferBatchShared(ctx context.Context, xs [][]float64) ([][]flo
 }
 
 // PredictBatch runs every input through the pool and returns the argmax
-// classes in input order. Under WithSharedOutputs it consumes the shared
-// logits buffer while still holding its lock, so concurrent PredictBatch
-// and Accuracy calls never read another batch's logits.
+// classes in input order. It shares InferBatch's contract: context
+// cancellation drains already-submitted work before returning, and after
+// Close it fails with ErrClosed. Under WithSharedOutputs it consumes the
+// shared logits buffer while still holding its lock, so concurrent
+// PredictBatch and Accuracy calls never read another batch's logits.
 func (r *Runtime) PredictBatch(ctx context.Context, xs [][]float64) ([]int, error) {
 	if !r.sharedOut {
 		logits, err := r.InferBatch(ctx, xs)
@@ -303,8 +311,9 @@ func argmaxAll(logits [][]float64) []int {
 }
 
 // Accuracy evaluates classification accuracy over a dataset with the
-// whole pool (the parallel counterpart of core's Accuracy; the count is
-// exact, so the value is identical).
+// whole pool — the Runtime counterpart of Inferer.Accuracy. The count is
+// exact, so the value is identical to a serial sweep; cancellation and
+// Close behave as in PredictBatch.
 func (r *Runtime) Accuracy(ctx context.Context, ds *datasets.Dataset) (float64, error) {
 	classes, err := r.PredictBatch(ctx, ds.X)
 	if err != nil {
@@ -372,9 +381,10 @@ func (r *Runtime) Results() <-chan Result { return r.results }
 // Engine is the original worker-pool batch-inference API over a uniform
 // network.
 //
-// Deprecated: use Runtime via NewRuntime — it serves mixed-precision
-// models too, observes context cancellation and returns errors instead
-// of panicking. Engine remains as a source-compatible shim.
+// Deprecated: use Runtime via NewRuntime for direct batch inference, or
+// a registry.Registry when serving models behind names — both serve
+// mixed-precision models, observe context cancellation and return errors
+// instead of panicking. Engine remains as a source-compatible shim.
 type Engine struct {
 	rt  *Runtime
 	net *core.Network

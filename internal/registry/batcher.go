@@ -1,0 +1,276 @@
+package registry
+
+// The dynamic micro-batcher. positrond's HTTP clients mostly send one
+// sample per request, but the runtime's shared-output batch path (0
+// allocs/op steady state) amortises scheduling and decode costs across a
+// whole batch. The batcher bridges the two: single-sample requests that
+// arrive within a configurable window are coalesced into one InferBatch
+// call, with per-request result demux — the serving analogue of the
+// paper's streaming accelerator keeping its EMAC pipeline full.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// ErrBatcherClosed is returned by Batcher calls after Close.
+var ErrBatcherClosed = errors.New("registry: batcher closed")
+
+// DefaultBatchWindow is the coalescing window used when none is
+// configured: long enough to catch concurrent bursts, short enough to be
+// invisible next to network latency.
+const DefaultBatchWindow = 2 * time.Millisecond
+
+// DefaultMaxBatch bounds a coalesced flush when no limit is configured.
+const DefaultMaxBatch = 64
+
+// call is one in-flight single-sample request waiting for its flush.
+type call struct {
+	x      []float64
+	logits []float64
+	err    error
+	done   chan struct{}
+}
+
+// Batcher coalesces single-sample Infer calls in front of one Runtime.
+// All methods are safe for concurrent use. When the runtime was built
+// with engine.WithSharedOutputs, the batcher serialises every inference
+// on it — coalesced flushes and explicit InferBatch calls alike — and
+// copies results out of the shared buffer before the next batch can
+// start; over an ordinary runtime, batches run concurrently and the
+// allocating InferBatch results are returned as-is.
+type Batcher struct {
+	rt       *engine.Runtime
+	window   time.Duration
+	maxBatch int
+	metrics  *Metrics
+	inDim    int
+	outDim   int
+	shared   bool
+
+	// flushMu serialises runtime access when shared (shared-output
+	// safety); unused otherwise.
+	flushMu sync.Mutex
+
+	// mu guards the pending queue, the window timer and closed.
+	mu      sync.Mutex
+	pending []*call
+	timer   *time.Timer
+	closed  bool
+}
+
+// NewBatcher wraps a runtime with a micro-batcher. window <= 0 or
+// maxBatch <= 1 disables coalescing: Infer degenerates to a serialised
+// single-sample InferBatch. metrics may be nil.
+func NewBatcher(rt *engine.Runtime, window time.Duration, maxBatch int, metrics *Metrics) *Batcher {
+	m := rt.Model()
+	return &Batcher{
+		rt:       rt,
+		window:   window,
+		maxBatch: maxBatch,
+		metrics:  metrics,
+		inDim:    m.InputDim(),
+		outDim:   m.OutputDim(),
+		shared:   rt.SharedOutputs(),
+	}
+}
+
+// Runtime returns the wrapped runtime.
+func (b *Batcher) Runtime() *engine.Runtime { return b.rt }
+
+// Window returns the coalescing window (0 when batching is disabled).
+func (b *Batcher) Window() time.Duration {
+	if b.window <= 0 || b.maxBatch <= 1 {
+		return 0
+	}
+	return b.window
+}
+
+// MaxBatch returns the coalesced-flush size bound.
+func (b *Batcher) MaxBatch() int { return b.maxBatch }
+
+func (b *Batcher) checkInput(x []float64) error {
+	if len(x) != b.inDim {
+		return fmt.Errorf("registry: input has %d features, model expects %d", len(x), b.inDim)
+	}
+	return nil
+}
+
+// Infer runs one sample. If other Infer calls arrive within the window
+// (or until maxBatch is reached), they share one runtime batch; results
+// are demultiplexed per caller and are bit-identical to an unbatched
+// call, because each inference in a batch is independent. Cancelling ctx
+// abandons the wait (the flush may still compute the result; it is
+// discarded). The returned slice is caller-owned.
+func (b *Batcher) Infer(ctx context.Context, x []float64) ([]float64, error) {
+	if err := b.checkInput(x); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if b.Window() == 0 {
+		b.mu.Lock()
+		closed := b.closed
+		b.mu.Unlock()
+		if closed {
+			return nil, ErrBatcherClosed
+		}
+		out, err := b.inferDirect(ctx, [][]float64{x}, false)
+		if err != nil {
+			return nil, err
+		}
+		b.metrics.ObserveLatency(time.Since(start))
+		return out[0], nil
+	}
+
+	c := &call{x: x, done: make(chan struct{})}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, ErrBatcherClosed
+	}
+	b.pending = append(b.pending, c)
+	if len(b.pending) >= b.maxBatch {
+		batch := b.takeLocked()
+		b.mu.Unlock()
+		b.run(batch) // flush rides this caller's goroutine
+	} else {
+		if len(b.pending) == 1 {
+			b.timer = time.AfterFunc(b.window, b.flush)
+		}
+		b.mu.Unlock()
+	}
+
+	select {
+	case <-c.done:
+		if c.err != nil {
+			return nil, c.err
+		}
+		b.metrics.ObserveLatency(time.Since(start))
+		return c.logits, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// InferBatch runs an explicit client batch directly (no coalescing —
+// the client already amortised the call), serialised with the flushes so
+// the shared-output runtime buffer is never overwritten mid-read. The
+// returned slices are caller-owned.
+func (b *Batcher) InferBatch(ctx context.Context, xs [][]float64) ([][]float64, error) {
+	for i, x := range xs {
+		if err := b.checkInput(x); err != nil {
+			return nil, fmt.Errorf("registry: batch input %d: %w", i, err)
+		}
+	}
+	b.mu.Lock()
+	closed := b.closed
+	b.mu.Unlock()
+	if closed {
+		return nil, ErrBatcherClosed
+	}
+	start := time.Now()
+	out, err := b.inferDirect(ctx, xs, false)
+	if err != nil {
+		return nil, err
+	}
+	b.metrics.ObserveLatency(time.Since(start))
+	return out, nil
+}
+
+// inferDirect runs one runtime batch. Over a shared-output runtime it
+// holds flushMu for the call and copies the results out of the shared
+// buffer into one fresh flat allocation (no other batch can start until
+// the copy is done); over an ordinary runtime, batches run concurrently
+// on the whole pool and the freshly allocated logits are caller-owned
+// already.
+func (b *Batcher) inferDirect(ctx context.Context, xs [][]float64, coalesced bool) ([][]float64, error) {
+	if !b.shared {
+		out, err := b.rt.InferBatch(ctx, xs)
+		if err != nil {
+			return nil, err
+		}
+		b.metrics.ObserveFlush(len(xs), coalesced)
+		return out, nil
+	}
+	b.flushMu.Lock()
+	defer b.flushMu.Unlock()
+	out, err := b.rt.InferBatch(ctx, xs)
+	if err != nil {
+		return nil, err
+	}
+	od := b.outDim
+	flat := make([]float64, len(out)*od)
+	hdrs := make([][]float64, len(out))
+	for i, logits := range out {
+		dst := flat[i*od : (i+1)*od : (i+1)*od]
+		copy(dst, logits)
+		hdrs[i] = dst
+	}
+	b.metrics.ObserveFlush(len(xs), coalesced)
+	return hdrs, nil
+}
+
+// takeLocked detaches the pending queue and disarms the window timer.
+// Caller holds b.mu.
+func (b *Batcher) takeLocked() []*call {
+	batch := b.pending
+	b.pending = nil
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	return batch
+}
+
+// flush is the window-timer callback.
+func (b *Batcher) flush() {
+	b.mu.Lock()
+	batch := b.takeLocked()
+	b.mu.Unlock()
+	b.run(batch)
+}
+
+// run executes one coalesced batch and demultiplexes results to the
+// waiting callers. The flush context is Background: one caller's
+// cancellation must not abort its batch-mates' inferences.
+func (b *Batcher) run(batch []*call) {
+	if len(batch) == 0 {
+		return
+	}
+	xs := make([][]float64, len(batch))
+	for i, c := range batch {
+		xs[i] = c.x
+	}
+	out, err := b.inferDirect(context.Background(), xs, true)
+	if err != nil {
+		for _, c := range batch {
+			c.err = err
+			close(c.done)
+		}
+		return
+	}
+	for i, c := range batch {
+		c.logits = out[i]
+		close(c.done)
+	}
+}
+
+// Close stops accepting new work and synchronously flushes any pending
+// coalesced calls, so no caller is left waiting. It does not close the
+// underlying runtime (the registry owns that ordering). Idempotent.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	batch := b.takeLocked()
+	b.mu.Unlock()
+	b.run(batch)
+}

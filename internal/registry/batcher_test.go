@@ -1,0 +1,284 @@
+package registry
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// newTestBatcher builds a shared-output runtime (as the registry does)
+// plus a reference runtime-free inferer for ground truth.
+func newTestBatcher(t *testing.T, window time.Duration, maxBatch int) (*Batcher, *Metrics) {
+	t.Helper()
+	model := posit8Model(11)
+	rt, err := engine.NewRuntime(model, engine.WithWorkers(2), engine.WithSharedOutputs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rt.Close() })
+	m := &Metrics{}
+	return NewBatcher(rt, window, maxBatch, m), m
+}
+
+// TestBatcherBitIdentity is the tentpole exactness contract: results
+// demultiplexed from coalesced micro-batches are bit-identical to
+// per-request InferBatch calls on a fresh runtime.
+func TestBatcherBitIdentity(t *testing.T) {
+	b, m := newTestBatcher(t, 200*time.Millisecond, 8)
+
+	// Ground truth: the same model through unbatched single-sample calls.
+	ref := b.Runtime().Model().NewInferer()
+	const n = 32
+	want := make([][]float64, n)
+	for i := range want {
+		want[i] = ref.Infer(testInput(i))
+	}
+
+	got := make([][]float64, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = b.Infer(context.Background(), testInput(i))
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("request %d: %d logits, want %d", i, len(got[i]), len(want[i]))
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("request %d logit %d: batched %v != unbatched %v",
+					i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+
+	// 32 concurrent requests with maxBatch 8 and a 200ms window must
+	// coalesce: at least one flush carried more than one sample.
+	snap := m.Snapshot()
+	if snap.Requests != n {
+		t.Fatalf("requests = %d, want %d", snap.Requests, n)
+	}
+	if snap.MaxCoalesced <= 1 {
+		t.Fatalf("no coalescing happened: %+v", snap)
+	}
+	if snap.MaxCoalesced > 8 {
+		t.Fatalf("coalesced flush of %d exceeds maxBatch 8", snap.MaxCoalesced)
+	}
+}
+
+// TestBatcherExplicitBatchMatches: the direct batch path through the
+// batcher (serialised + copied out of the shared runtime buffer) is also
+// bit-identical, and two interleaved batches never corrupt each other.
+func TestBatcherExplicitBatchMatches(t *testing.T) {
+	b, _ := newTestBatcher(t, time.Millisecond, 8)
+	ref := b.Runtime().Model().NewInferer()
+
+	const n = 16
+	xs := make([][]float64, n)
+	for i := range xs {
+		xs[i] = testInput(i + 100)
+	}
+	var wg sync.WaitGroup
+	results := make([][][]float64, 4)
+	wg.Add(len(results))
+	for g := range results {
+		go func(g int) {
+			defer wg.Done()
+			out, err := b.InferBatch(context.Background(), xs)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[g] = out
+		}(g)
+	}
+	wg.Wait()
+	for i, x := range xs {
+		want := ref.Infer(x)
+		for g, out := range results {
+			for j := range want {
+				if out[i][j] != want[j] {
+					t.Fatalf("goroutine %d sample %d logit %d: %v != %v",
+						g, i, j, out[i][j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestBatcherUnsharedRuntime: over an ordinary (allocating) runtime the
+// batcher skips the flush serialisation and copy, and results are still
+// bit-identical.
+func TestBatcherUnsharedRuntime(t *testing.T) {
+	model := posit8Model(12)
+	rt, err := engine.NewRuntime(model, engine.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rt.Close() })
+	b := NewBatcher(rt, 50*time.Millisecond, 8, &Metrics{})
+	ref := model.NewInferer()
+
+	const n = 16
+	got := make([][]float64, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			out, err := b.Infer(context.Background(), testInput(i))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[i] = out
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		want := ref.Infer(testInput(i))
+		for j := range want {
+			if got[i][j] != want[j] {
+				t.Fatalf("request %d logit %d: %v != %v", i, j, got[i][j], want[j])
+			}
+		}
+	}
+}
+
+func TestBatcherPassthrough(t *testing.T) {
+	b, m := newTestBatcher(t, 0, 8) // window 0: no coalescing
+	if b.Window() != 0 {
+		t.Fatalf("Window = %v, want 0", b.Window())
+	}
+	out, err := b.Infer(context.Background(), testInput(1))
+	if err != nil || len(out) != 3 {
+		t.Fatalf("passthrough: %v, %v", out, err)
+	}
+	if snap := m.Snapshot(); snap.CoalescedBatches != 0 || snap.Batches != 1 {
+		t.Fatalf("passthrough metrics: %+v", snap)
+	}
+}
+
+func TestBatcherBadInput(t *testing.T) {
+	b, _ := newTestBatcher(t, time.Millisecond, 8)
+	if _, err := b.Infer(context.Background(), []float64{1, 2}); err == nil {
+		t.Fatal("wrong-width input accepted")
+	}
+	if _, err := b.InferBatch(context.Background(), [][]float64{testInput(0), {1}}); err == nil {
+		t.Fatal("wrong-width batch element accepted")
+	}
+}
+
+// TestBatcherCallerCancellation: a caller whose context dies while its
+// request waits in the pending queue returns promptly; batch-mates are
+// unaffected.
+func TestBatcherCallerCancellation(t *testing.T) {
+	b, _ := newTestBatcher(t, time.Hour, 1000) // flush effectively never fires on its own
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Infer(ctx, testInput(0))
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled caller got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled caller stuck")
+	}
+	b.Close() // flushes the abandoned call; must not hang or panic
+}
+
+// TestBatcherClose: pending calls are flushed (not dropped) on Close,
+// and new work is rejected afterwards.
+func TestBatcherClose(t *testing.T) {
+	b, _ := newTestBatcher(t, time.Hour, 1000)
+	ref := b.Runtime().Model().NewInferer()
+	want := ref.Infer(testInput(3))
+
+	done := make(chan []float64, 1)
+	go func() {
+		out, err := b.Infer(context.Background(), testInput(3))
+		if err != nil {
+			t.Error(err)
+		}
+		done <- out
+	}()
+	// Wait for the call to join the pending queue before closing.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		b.mu.Lock()
+		n := len(b.pending)
+		b.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("call never joined the pending queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.Close()
+	select {
+	case out := <-done:
+		for j := range want {
+			if out[j] != want[j] {
+				t.Fatalf("flushed-on-close logit %d: %v != %v", j, out[j], want[j])
+			}
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pending call not flushed by Close")
+	}
+	if _, err := b.Infer(context.Background(), testInput(4)); !errors.Is(err, ErrBatcherClosed) {
+		t.Fatalf("infer after close: %v", err)
+	}
+	if _, err := b.InferBatch(context.Background(), [][]float64{testInput(5)}); !errors.Is(err, ErrBatcherClosed) {
+		t.Fatalf("batch after close: %v", err)
+	}
+}
+
+func TestMetricsHistogramAndPercentiles(t *testing.T) {
+	m := &Metrics{}
+	for _, size := range []int{1, 1, 2, 4, 7, 64, 200} {
+		m.ObserveFlush(size, true)
+	}
+	for i := 1; i <= 100; i++ {
+		m.ObserveLatency(time.Duration(i) * time.Millisecond)
+	}
+	s := m.Snapshot()
+	if s.Requests != 1+1+2+4+7+64+200 || s.Batches != 7 || s.CoalescedBatches != 7 {
+		t.Fatalf("counters: %+v", s)
+	}
+	wantHist := map[string]int64{"1": 2, "2": 1, "3-4": 1, "5-8": 1, "33-64": 1, "65+": 1}
+	for k, v := range wantHist {
+		if s.BatchSizeHist[k] != v {
+			t.Fatalf("hist[%s] = %d, want %d (%v)", k, s.BatchSizeHist[k], v, s.BatchSizeHist)
+		}
+	}
+	if s.MaxCoalesced != 200 {
+		t.Fatalf("max coalesced = %d", s.MaxCoalesced)
+	}
+	if s.P50Ms != 50 || s.P99Ms != 99 {
+		t.Fatalf("percentiles: p50=%v p99=%v", s.P50Ms, s.P99Ms)
+	}
+	var nilM *Metrics
+	nilM.ObserveFlush(1, false) // nil metrics must be a no-op
+	nilM.ObserveLatency(time.Second)
+	_ = nilM.Snapshot()
+}

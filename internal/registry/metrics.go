@@ -1,0 +1,153 @@
+package registry
+
+// Per-model serving metrics: enough to see whether micro-batching is
+// working (request count, batch-size histogram, tail latency) without
+// any external tooling — /v1/metrics serialises a Snapshot per model.
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyRing is the capacity of the per-model latency ring buffer. 512
+// samples is enough for a stable p99 while keeping the snapshot sort
+// cheap.
+const latencyRing = 512
+
+// histBuckets are the power-of-two batch-size buckets: 1, 2, 3-4, 5-8,
+// 9-16, 17-32, 33-64, 65+.
+const histBuckets = 8
+
+// bucketLabels name the histogram buckets in snapshots.
+var bucketLabels = [histBuckets]string{"1", "2", "3-4", "5-8", "9-16", "17-32", "33-64", "65+"}
+
+// bucketFor maps a batch size to its histogram bucket.
+func bucketFor(size int) int {
+	if size < 1 {
+		size = 1
+	}
+	b := bits.Len(uint(size - 1)) // 1→0, 2→1, 3-4→2, 5-8→3, ...
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// Metrics accumulates serving statistics for one model. All methods are
+// safe for concurrent use; a nil *Metrics discards every observation.
+type Metrics struct {
+	mu        sync.Mutex
+	requests  int64 // samples served (1 per single infer, n per batch)
+	batches   int64 // runtime InferBatch invocations
+	coalesced int64 // of those, micro-batcher flushes
+	maxCoal   int   // largest coalesced flush
+	hist      [histBuckets]int64
+	ring      [latencyRing]time.Duration
+	ringN     int // samples written (may exceed latencyRing)
+}
+
+// ObserveFlush records one runtime batch of the given size; coalesced
+// marks flushes formed by the micro-batcher (as opposed to explicit
+// client batches).
+func (m *Metrics) ObserveFlush(size int, coalesced bool) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests += int64(size)
+	m.batches++
+	m.hist[bucketFor(size)]++
+	if coalesced {
+		m.coalesced++
+		if size > m.maxCoal {
+			m.maxCoal = size
+		}
+	}
+}
+
+// ObserveLatency records one caller-visible request latency.
+func (m *Metrics) ObserveLatency(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ring[m.ringN%latencyRing] = d
+	m.ringN++
+}
+
+// Snapshot is a point-in-time copy of one model's metrics, shaped for
+// JSON serialisation.
+type Snapshot struct {
+	// Requests is the number of samples served.
+	Requests int64 `json:"requests"`
+	// Batches is the number of runtime batch invocations (coalesced
+	// flushes and explicit client batches alike).
+	Batches int64 `json:"batches"`
+	// CoalescedBatches counts flushes formed by the micro-batcher.
+	CoalescedBatches int64 `json:"coalesced_batches"`
+	// MaxCoalesced is the largest micro-batch flushed so far — > 1 means
+	// batching is actually coalescing traffic.
+	MaxCoalesced int `json:"max_coalesced"`
+	// BatchSizeHist buckets runtime batch sizes (keys "1", "2", "3-4",
+	// ... "65+"); zero buckets are omitted.
+	BatchSizeHist map[string]int64 `json:"batch_size_hist"`
+	// LatencySamples is how many latencies the ring currently holds.
+	LatencySamples int `json:"latency_samples"`
+	// P50Ms and P99Ms are latency percentiles over the ring, in
+	// milliseconds.
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
+
+// Snapshot returns a consistent copy of the counters and the latency
+// percentiles over the ring buffer.
+func (m *Metrics) Snapshot() Snapshot {
+	if m == nil {
+		return Snapshot{BatchSizeHist: map[string]int64{}}
+	}
+	m.mu.Lock()
+	s := Snapshot{
+		Requests:         m.requests,
+		Batches:          m.batches,
+		CoalescedBatches: m.coalesced,
+		MaxCoalesced:     m.maxCoal,
+		BatchSizeHist:    make(map[string]int64, histBuckets),
+	}
+	for i, n := range m.hist {
+		if n > 0 {
+			s.BatchSizeHist[bucketLabels[i]] = n
+		}
+	}
+	n := m.ringN
+	if n > latencyRing {
+		n = latencyRing
+	}
+	lats := make([]time.Duration, n)
+	copy(lats, m.ring[:n])
+	m.mu.Unlock()
+
+	s.LatencySamples = n
+	if n > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		s.P50Ms = float64(lats[percentileIndex(n, 50)]) / float64(time.Millisecond)
+		s.P99Ms = float64(lats[percentileIndex(n, 99)]) / float64(time.Millisecond)
+	}
+	return s
+}
+
+// percentileIndex returns the nearest-rank index for percentile p over n
+// sorted samples.
+func percentileIndex(n, p int) int {
+	i := (n*p + 99) / 100 // ceil(n*p/100)
+	if i < 1 {
+		i = 1
+	}
+	if i > n {
+		i = n
+	}
+	return i - 1
+}

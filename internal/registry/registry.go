@@ -1,0 +1,420 @@
+// Package registry is the multi-model serving layer between the engine
+// Runtime and the positrond HTTP front-end. A Registry owns named
+// (Model, Runtime, Batcher, Metrics) entries with reference-counted
+// lifecycle: models load from an artifact path or raw uploaded JSON,
+// requests acquire a handle for the duration of one inference, and
+// unload is graceful — the entry leaves the name table immediately (new
+// acquires fail), then the runtime closes via the existing Runtime.Close
+// drain semantics once the last in-flight handle releases.
+//
+// The paper's premise — precision-adaptable EMACs make low-precision
+// inference cheap enough to deploy widely — lands here as many small
+// quantised models (different formats, different datasets) served side
+// by side from one process, each behind its own worker pool and
+// micro-batcher.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// ErrNotFound is returned when a model name is not in the registry.
+var ErrNotFound = errors.New("registry: model not found")
+
+// ErrExists is returned by Load when the name is already taken.
+var ErrExists = errors.New("registry: model already loaded")
+
+// ErrRegistryClosed is returned after Close.
+var ErrRegistryClosed = errors.New("registry: closed")
+
+// config collects the functional options applied to every model loaded
+// into a Registry.
+type config struct {
+	rtOpts   []engine.Option
+	window   time.Duration
+	maxBatch int
+}
+
+// Option configures a Registry at construction.
+type Option func(*config)
+
+// WithRuntimeOptions sets the engine options (worker count, queue depth,
+// warm tables) applied to every per-model runtime the registry builds.
+// When micro-batching is enabled, engine.WithSharedOutputs is implied:
+// the batcher serialises runtime access and copies results out, so
+// coalesced flushes ride the allocation-free batch path. With batching
+// disabled (WithBatchWindow(0) or WithMaxBatch(1)) runtimes stay on the
+// allocating path so concurrent requests use the whole pool unserialised.
+func WithRuntimeOptions(opts ...engine.Option) Option {
+	return func(c *config) { c.rtOpts = append(c.rtOpts, opts...) }
+}
+
+// WithBatchWindow sets the micro-batching coalescing window for every
+// model: single-sample inferences arriving within the window share one
+// runtime batch. d <= 0 disables coalescing. The default is
+// DefaultBatchWindow.
+func WithBatchWindow(d time.Duration) Option {
+	return func(c *config) { c.window = d }
+}
+
+// WithMaxBatch bounds a coalesced flush: when the pending queue reaches
+// n the batch flushes immediately instead of waiting out the window.
+// n <= 1 disables coalescing. The default is DefaultMaxBatch.
+func WithMaxBatch(n int) Option {
+	return func(c *config) { c.maxBatch = n }
+}
+
+// entry is one loaded model and its serving machinery.
+type entry struct {
+	name    string
+	model   core.Model
+	rt      *engine.Runtime
+	batcher *Batcher
+	metrics *Metrics
+	loaded  time.Time
+
+	refs     int  // in-flight handles
+	unloaded bool // out of the name table; close when refs hit 0
+
+	closeOnce sync.Once
+	done      chan struct{} // closed once the runtime has drained and closed
+}
+
+// close tears down one entry: the batcher first (flushes stragglers,
+// rejects new work), then the runtime (drains in-flight inferences).
+// Called at most once, with refs == 0.
+func (e *entry) close() {
+	e.batcher.Close()
+	_ = e.rt.Close()
+	close(e.done)
+}
+
+// Registry is a concurrency-safe named-model table. All methods are safe
+// for concurrent use.
+type Registry struct {
+	cfg config
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	closed  bool
+}
+
+// New returns an empty registry. Options set the runtime and batching
+// configuration applied to every model loaded afterwards.
+func New(opts ...Option) *Registry {
+	cfg := config{window: DefaultBatchWindow, maxBatch: DefaultMaxBatch}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return &Registry{cfg: cfg, entries: make(map[string]*entry)}
+}
+
+// validName rejects names that would not round-trip through a URL path
+// segment.
+func validName(name string) error {
+	if name == "" {
+		return errors.New("registry: empty model name")
+	}
+	if name == "." || name == ".." {
+		return fmt.Errorf("registry: invalid model name %q", name)
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+		default:
+			return fmt.Errorf("registry: invalid model name %q (use letters, digits, '-', '_', '.')", name)
+		}
+	}
+	return nil
+}
+
+// Load registers a model under name, building its runtime (one
+// shared-nothing worker pool) and micro-batcher. It fails with ErrExists
+// when the name is taken and ErrRegistryClosed after Close.
+func (r *Registry) Load(name string, model core.Model) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	if model == nil {
+		return errors.New("registry: nil model")
+	}
+	// Cheap pre-check before paying for the runtime build: a duplicate
+	// or post-Close load should not spin up (and tear down) a worker
+	// pool with warm tables. The authoritative check repeats under the
+	// lock after the build, since the table can change in between.
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrRegistryClosed
+	}
+	if _, ok := r.entries[name]; ok {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	r.mu.Unlock()
+
+	// Build the runtime outside the lock: warm tables can take a while
+	// and must not stall unrelated lookups. Shared outputs only when the
+	// micro-batcher will serialise access and copy results out; on the
+	// passthrough path concurrent requests keep the pool unserialised.
+	opts := append([]engine.Option{}, r.cfg.rtOpts...)
+	if r.cfg.window > 0 && r.cfg.maxBatch > 1 {
+		opts = append(opts, engine.WithSharedOutputs())
+	}
+	rt, err := engine.NewRuntime(model, opts...)
+	if err != nil {
+		return err
+	}
+	metrics := &Metrics{}
+	e := &entry{
+		name:    name,
+		model:   model,
+		rt:      rt,
+		batcher: NewBatcher(rt, r.cfg.window, r.cfg.maxBatch, metrics),
+		metrics: metrics,
+		loaded:  time.Now(),
+		done:    make(chan struct{}),
+	}
+
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		_ = rt.Close()
+		return ErrRegistryClosed
+	}
+	if _, ok := r.entries[name]; ok {
+		r.mu.Unlock()
+		_ = rt.Close()
+		return fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	r.entries[name] = e
+	r.mu.Unlock()
+	return nil
+}
+
+// LoadPath loads an artifact file (uniform or mixed) under name.
+func (r *Registry) LoadPath(name, path string) error {
+	model, err := core.LoadModel(path)
+	if err != nil {
+		return err
+	}
+	return r.Load(name, model)
+}
+
+// LoadBytes loads an artifact from raw JSON — the upload path: clients
+// POST the artifact body to the daemon instead of referencing a file on
+// the server's disk.
+func (r *Registry) LoadBytes(name string, data []byte) error {
+	model, err := core.ParseModel(data)
+	if err != nil {
+		return err
+	}
+	return r.Load(name, model)
+}
+
+// Handle pins one model for the duration of a request: the entry cannot
+// finish unloading while handles are outstanding. Release exactly once
+// (idempotent) when done.
+type Handle struct {
+	r *Registry
+	e *entry
+
+	once sync.Once
+}
+
+// Name returns the model's registry name.
+func (h *Handle) Name() string { return h.e.name }
+
+// Model returns the pinned model plane.
+func (h *Handle) Model() core.Model { return h.e.model }
+
+// Runtime returns the model's worker-pool runtime. When micro-batching
+// is enabled it is built with shared outputs: call it through Batcher
+// (which serialises access and copies results) rather than invoking
+// InferBatch directly.
+func (h *Handle) Runtime() *engine.Runtime { return h.e.rt }
+
+// Batcher returns the model's micro-batcher — the inference entry point.
+func (h *Handle) Batcher() *Batcher { return h.e.batcher }
+
+// Metrics returns the model's serving metrics.
+func (h *Handle) Metrics() *Metrics { return h.e.metrics }
+
+// Release un-pins the model. If the model was unloaded while this handle
+// was live and this is the last handle, the entry's runtime drains and
+// closes now.
+func (h *Handle) Release() {
+	h.once.Do(func() {
+		h.r.mu.Lock()
+		h.e.refs--
+		last := h.e.refs == 0 && h.e.unloaded
+		h.r.mu.Unlock()
+		if last {
+			h.e.closeOnce.Do(h.e.close)
+		}
+	})
+}
+
+// Acquire pins the named model and returns its handle. Fails with
+// ErrNotFound for unknown (or already-unloaded) names and
+// ErrRegistryClosed after Close.
+func (r *Registry) Acquire(name string) (*Handle, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, ErrRegistryClosed
+	}
+	e, ok := r.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	e.refs++
+	return &Handle{r: r, e: e}, nil
+}
+
+// Unload removes the named model and blocks until its runtime has
+// drained and closed: the name disappears immediately (new Acquires
+// fail), in-flight requests finish on their handles, then the batcher
+// flushes and Runtime.Close drains the pool.
+func (r *Registry) Unload(name string) error {
+	r.mu.Lock()
+	e, ok := r.entries[name]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	delete(r.entries, name)
+	e.unloaded = true
+	idle := e.refs == 0
+	r.mu.Unlock()
+
+	if idle {
+		e.closeOnce.Do(e.close)
+	}
+	<-e.done
+	return nil
+}
+
+// Names returns the loaded model names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.entries))
+	for name := range r.entries {
+		names = append(names, name)
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of loaded models.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}
+
+// ModelStat is one registry entry's introspection record.
+type ModelStat struct {
+	Name         string   `json:"name"`
+	Model        string   `json:"model"`
+	Kind         string   `json:"kind"`
+	InputDim     int      `json:"input_dim"`
+	OutputDim    int      `json:"output_dim"`
+	Layers       int      `json:"layers"`
+	Arithmetics  []string `json:"arithmetics"`
+	MemoryBits   int      `json:"memory_bits"`
+	Standardized bool     `json:"standardized"`
+	Workers      int      `json:"workers"`
+	BatchWindow  string   `json:"batch_window"`
+	MaxBatch     int      `json:"max_batch"`
+	LoadedAt     string   `json:"loaded_at"`
+	Metrics      Snapshot `json:"metrics"`
+}
+
+// statFor builds one entry's record; it reads only immutable entry
+// fields plus the metrics' own lock, so callers need not hold r.mu.
+func statFor(e *entry) ModelStat {
+	m := e.model
+	return ModelStat{
+		Name:         e.name,
+		Model:        m.String(),
+		Kind:         m.Kind(),
+		InputDim:     m.InputDim(),
+		OutputDim:    m.OutputDim(),
+		Layers:       m.NumLayers(),
+		Arithmetics:  m.ArithNames(),
+		MemoryBits:   m.MemoryBits(),
+		Standardized: m.Standardizer() != nil,
+		Workers:      e.rt.Workers(),
+		BatchWindow:  e.batcher.Window().String(),
+		MaxBatch:     e.batcher.MaxBatch(),
+		LoadedAt:     e.loaded.UTC().Format(time.RFC3339),
+		Metrics:      e.metrics.Snapshot(),
+	}
+}
+
+// Stat returns one model's introspection record.
+func (r *Registry) Stat(name string) (ModelStat, error) {
+	r.mu.Lock()
+	e, ok := r.entries[name]
+	r.mu.Unlock()
+	if !ok {
+		return ModelStat{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return statFor(e), nil
+}
+
+// Stats returns every loaded model's record, sorted by name.
+func (r *Registry) Stats() []ModelStat {
+	r.mu.Lock()
+	entries := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	r.mu.Unlock()
+	stats := make([]ModelStat, len(entries))
+	for i, e := range entries {
+		stats[i] = statFor(e)
+	}
+	sort.Slice(stats, func(i, j int) bool { return stats[i].Name < stats[j].Name })
+	return stats
+}
+
+// Close unloads every model (draining each runtime) and marks the
+// registry closed: subsequent Load/Acquire fail with ErrRegistryClosed.
+// Idempotent.
+func (r *Registry) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	entries := make([]*entry, 0, len(r.entries))
+	for name, e := range r.entries {
+		delete(r.entries, name)
+		e.unloaded = true
+		entries = append(entries, e)
+	}
+	r.mu.Unlock()
+
+	for _, e := range entries {
+		r.mu.Lock()
+		idle := e.refs == 0
+		r.mu.Unlock()
+		if idle {
+			e.closeOnce.Do(e.close)
+		}
+		<-e.done
+	}
+	return nil
+}

@@ -1,16 +1,27 @@
 // Package server implements the positrond HTTP inference API: a JSON
-// front-end over the engine Runtime, serving any versioned Deep Positron
-// artifact — uniform or mixed precision — behind one core.Model.
+// front-end over a multi-model registry. Each loaded model owns a
+// worker-pool Runtime and a dynamic micro-batcher; single-sample
+// requests arriving within the batching window share one runtime batch.
 //
-//	GET  /healthz   liveness probe
-//	GET  /v1/model  model metadata (shape, per-layer arithmetics, memory)
-//	POST /v1/infer  single ({"input": [...]}) or batch
-//	                ({"inputs": [[...], ...]}) inference
+//	GET    /healthz                 liveness probe
+//	GET    /v1/models               list loaded models (with stats)
+//	POST   /v1/models               load a model: {"name": "...", "path": "..."}
+//	                                or {"name": "...", "artifact": {...}}
+//	GET    /v1/models/{name}        one model's metadata and stats
+//	DELETE /v1/models/{name}        graceful unload (drains in-flight work)
+//	POST   /v1/models/{name}/infer  single ({"input": [...]}) or batch
+//	                                ({"inputs": [[...], ...]}) inference
+//	GET    /v1/metrics              per-model request counts, batch-size
+//	                                histogram, p50/p99 latency
+//	GET    /v1/model                default-model metadata  (PR 3 alias)
+//	POST   /v1/infer                default-model inference (PR 3 alias)
 //
 // Errors are JSON ({"error": "..."}): 400 for malformed bodies or inputs
-// of the wrong feature width, 405 for wrong methods. Inference observes
-// request-context cancellation, so a disconnected client stops occupying
-// the pool.
+// of the wrong feature width, 403 for path loads outside the configured
+// model directory (see WithModelDir; without one only inline artifact
+// uploads are accepted), 404 for unknown models, 409 for duplicate
+// loads, 405 for wrong methods. Inference observes request-context
+// cancellation, so a disconnected client stops occupying the pool.
 package server
 
 import (
@@ -18,52 +29,79 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"path/filepath"
+	"strings"
 
-	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/nn"
+	"repro/internal/registry"
 )
 
-// MaxBodyBytes bounds an /v1/infer request body (1 MiB is thousands of
+// MaxBodyBytes bounds an inference request body (1 MiB is thousands of
 // samples at the paper's feature widths).
 const MaxBodyBytes = 1 << 20
 
-// Server is the HTTP handler set over one loaded model. Create with New,
-// release the worker pool with Close.
+// MaxArtifactBytes bounds an uploaded model artifact (the paper's
+// largest network is a few hundred KiB of JSON codes).
+const MaxArtifactBytes = 16 << 20
+
+// Server is the HTTP handler set over one model registry. Create with
+// New; Close unloads every model and drains the worker pools.
 type Server struct {
-	model core.Model
-	rt    *engine.Runtime
-	mux   *http.ServeMux
+	reg         *registry.Registry
+	defaultName string
+	modelDir    string
+	mux         *http.ServeMux
 }
 
-// New builds a server over the model with the given runtime options
-// (worker count, queue depth, warm tables — see package engine). Do not
-// pass engine.WithSharedOutputs: responses are encoded after InferBatch
-// returns, so concurrent requests must not share an output buffer.
-func New(model core.Model, opts ...engine.Option) (*Server, error) {
-	rt, err := engine.NewRuntime(model, opts...)
-	if err != nil {
-		return nil, err
+// Option configures a Server at construction.
+type Option func(*Server)
+
+// WithModelDir allows POST /v1/models path loads from artifacts under
+// dir (resolved and prefix-checked, so "path" cannot probe the rest of
+// the filesystem of an unauthenticated daemon). Without it, only inline
+// artifact uploads are accepted over HTTP.
+func WithModelDir(dir string) Option {
+	return func(s *Server) { s.modelDir = dir }
+}
+
+// New builds a server over the registry. defaultName is the model served
+// by the single-model /v1/infer and /v1/model aliases; it may be empty
+// when no default is wanted (the aliases then 404 unless exactly one
+// model is loaded, in which case that model is the default).
+func New(reg *registry.Registry, defaultName string, opts ...Option) *Server {
+	s := &Server{reg: reg, defaultName: defaultName, mux: http.NewServeMux()}
+	for _, opt := range opts {
+		opt(s)
 	}
-	s := &Server{model: model, rt: rt, mux: http.NewServeMux()}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /v1/model", s.handleModel)
-	s.mux.HandleFunc("POST /v1/infer", s.handleInfer)
+	s.mux.HandleFunc("GET /v1/models", s.handleListModels)
+	s.mux.HandleFunc("POST /v1/models", s.handleLoadModel)
+	s.mux.HandleFunc("GET /v1/models/{name}", s.handleModelStat)
+	s.mux.HandleFunc("DELETE /v1/models/{name}", s.handleUnloadModel)
+	s.mux.HandleFunc("POST /v1/models/{name}/infer", s.handleModelInfer)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/model", s.handleDefaultModelStat)
+	s.mux.HandleFunc("POST /v1/infer", s.handleDefaultInfer)
 	s.mux.HandleFunc("/healthz", methodNotAllowed)
+	s.mux.HandleFunc("/v1/models", methodNotAllowed)
+	s.mux.HandleFunc("/v1/models/{name}", methodNotAllowed)
+	s.mux.HandleFunc("/v1/models/{name}/infer", methodNotAllowed)
+	s.mux.HandleFunc("/v1/metrics", methodNotAllowed)
 	s.mux.HandleFunc("/v1/model", methodNotAllowed)
 	s.mux.HandleFunc("/v1/infer", methodNotAllowed)
-	return s, nil
+	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Runtime returns the inference runtime backing the server.
-func (s *Server) Runtime() *engine.Runtime { return s.rt }
+// Registry returns the model registry backing the server.
+func (s *Server) Registry() *registry.Registry { return s.reg }
 
-// Close releases the worker pool. Call after the HTTP listener has shut
-// down; in-flight inferences drain first.
-func (s *Server) Close() error { return s.rt.Close() }
+// Close unloads every model, draining each runtime. Call after the HTTP
+// listener has shut down.
+func (s *Server) Close() error { return s.reg.Close() }
 
 // writeJSON writes v with the given status.
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -89,35 +127,166 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// modelInfo is the /v1/model response.
-type modelInfo struct {
-	Model        string   `json:"model"`
-	Kind         string   `json:"kind"`
-	InputDim     int      `json:"input_dim"`
-	OutputDim    int      `json:"output_dim"`
-	Layers       int      `json:"layers"`
-	Arithmetics  []string `json:"arithmetics"`
-	MemoryBits   int      `json:"memory_bits"`
-	Standardized bool     `json:"standardized"`
-	Workers      int      `json:"workers"`
+// defaultModel resolves the name behind the /v1/infer and /v1/model
+// aliases: the configured default, or the sole loaded model.
+func (s *Server) defaultModel() (string, bool) {
+	if s.defaultName != "" {
+		return s.defaultName, true
+	}
+	if names := s.reg.Names(); len(names) == 1 {
+		return names[0], true
+	}
+	return "", false
 }
 
-func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
-	m := s.model
-	writeJSON(w, http.StatusOK, modelInfo{
-		Model:        m.String(),
-		Kind:         m.Kind(),
-		InputDim:     m.InputDim(),
-		OutputDim:    m.OutputDim(),
-		Layers:       m.NumLayers(),
-		Arithmetics:  m.ArithNames(),
-		MemoryBits:   m.MemoryBits(),
-		Standardized: m.Standardizer() != nil,
-		Workers:      s.rt.Workers(),
-	})
+// acquire pins a model by name, translating registry errors to HTTP.
+func (s *Server) acquire(w http.ResponseWriter, name string) (*registry.Handle, bool) {
+	h, err := s.reg.Acquire(name)
+	switch {
+	case err == nil:
+		return h, true
+	case errors.Is(err, registry.ErrNotFound):
+		writeError(w, http.StatusNotFound, "model %q not loaded", name)
+	case errors.Is(err, registry.ErrRegistryClosed):
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+	return nil, false
 }
 
-// inferRequest is the /v1/infer body: exactly one of Input (single) or
+// --- model management ---
+
+type modelList struct {
+	Models []registry.ModelStat `json:"models"`
+}
+
+func (s *Server) handleListModels(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, modelList{Models: s.reg.Stats()})
+}
+
+// loadRequest is the POST /v1/models body: Name plus exactly one of Path
+// (an artifact on the server's filesystem) or Artifact (the raw artifact
+// JSON, uploaded inline).
+type loadRequest struct {
+	Name     string          `json:"name"`
+	Path     string          `json:"path,omitempty"`
+	Artifact json.RawMessage `json:"artifact,omitempty"`
+}
+
+func (s *Server) handleLoadModel(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxArtifactBytes))
+	dec.DisallowUnknownFields()
+	var req loadRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed body: %v", err)
+		return
+	}
+	if (req.Path == "") == (len(req.Artifact) == 0) {
+		writeError(w, http.StatusBadRequest, `body must set exactly one of "path" or "artifact"`)
+		return
+	}
+	var err error
+	if req.Path != "" {
+		path, ok := s.allowedPath(req.Path)
+		if !ok {
+			writeError(w, http.StatusForbidden,
+				"path loads are restricted to the configured model directory; upload the artifact inline instead")
+			return
+		}
+		err = s.reg.LoadPath(req.Name, path)
+	} else {
+		err = s.reg.LoadBytes(req.Name, req.Artifact)
+	}
+	switch {
+	case err == nil:
+	case errors.Is(err, registry.ErrExists):
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	case errors.Is(err, registry.ErrRegistryClosed):
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	default:
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	stat, err := s.reg.Stat(req.Name)
+	if err != nil {
+		// Unloaded again between Load and Stat; report the load anyway.
+		stat = registry.ModelStat{Name: req.Name}
+	}
+	writeJSON(w, http.StatusCreated, stat)
+}
+
+// allowedPath resolves a client-supplied artifact path against the
+// configured model directory; clients must not be able to use the load
+// endpoint as a filesystem probe.
+func (s *Server) allowedPath(p string) (string, bool) {
+	if s.modelDir == "" {
+		return "", false
+	}
+	dir, err := filepath.Abs(s.modelDir)
+	if err != nil {
+		return "", false
+	}
+	if !filepath.IsAbs(p) {
+		p = filepath.Join(dir, p)
+	}
+	p = filepath.Clean(p)
+	if p != dir && !strings.HasPrefix(p, dir+string(filepath.Separator)) {
+		return "", false
+	}
+	return p, true
+}
+
+func (s *Server) handleUnloadModel(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.reg.Unload(name); err != nil {
+		if errors.Is(err, registry.ErrNotFound) {
+			writeError(w, http.StatusNotFound, "model %q not loaded", name)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "unloaded", "model": name})
+}
+
+func (s *Server) handleModelStat(w http.ResponseWriter, r *http.Request) {
+	s.writeModelStat(w, r.PathValue("name"))
+}
+
+func (s *Server) handleDefaultModelStat(w http.ResponseWriter, _ *http.Request) {
+	name, ok := s.defaultModel()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no default model (load one, or address /v1/models/{name})")
+		return
+	}
+	s.writeModelStat(w, name)
+}
+
+func (s *Server) writeModelStat(w http.ResponseWriter, name string) {
+	stat, err := s.reg.Stat(name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "model %q not loaded", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, stat)
+}
+
+// --- metrics ---
+
+type metricsResponse struct {
+	Models []registry.ModelStat `json:"models"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, metricsResponse{Models: s.reg.Stats()})
+}
+
+// --- inference ---
+
+// inferRequest is the inference body: exactly one of Input (single) or
 // Inputs (batch).
 type inferRequest struct {
 	Input  []float64   `json:"input"`
@@ -137,7 +306,23 @@ type inferResponse struct {
 	Results []prediction `json:"results,omitempty"`
 }
 
-func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleModelInfer(w http.ResponseWriter, r *http.Request) {
+	s.infer(w, r, r.PathValue("name"))
+}
+
+func (s *Server) handleDefaultInfer(w http.ResponseWriter, r *http.Request) {
+	name, ok := s.defaultModel()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no default model (load one, or address /v1/models/{name}/infer)")
+		return
+	}
+	s.infer(w, r, name)
+}
+
+// infer serves one inference request against the named model. Single
+// inputs ride the micro-batcher (coalescing with concurrent requests);
+// explicit batches go straight to the runtime batch path.
+func (s *Server) infer(w http.ResponseWriter, r *http.Request, name string) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
 	dec.DisallowUnknownFields()
 	var req inferRequest
@@ -151,15 +336,22 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, `body must set exactly one of "input" or "inputs"`)
 		return
 	}
+	if batch && len(req.Inputs) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+
+	h, ok := s.acquire(w, name)
+	if !ok {
+		return
+	}
+	defer h.Release()
+
+	want := h.Model().InputDim()
 	xs := req.Inputs
 	if single {
 		xs = [][]float64{req.Input}
 	}
-	if len(xs) == 0 {
-		writeError(w, http.StatusBadRequest, "empty batch")
-		return
-	}
-	want := s.model.InputDim()
 	for i, x := range xs {
 		if len(x) != want {
 			writeError(w, http.StatusBadRequest,
@@ -167,11 +359,22 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	logits, err := s.rt.InferBatch(r.Context(), xs)
+
+	var (
+		logits [][]float64
+		err    error
+	)
+	if single {
+		var one []float64
+		one, err = h.Batcher().Infer(r.Context(), req.Input)
+		logits = [][]float64{one}
+	} else {
+		logits, err = h.Batcher().InferBatch(r.Context(), req.Inputs)
+	}
 	switch {
 	case err == nil:
-	case errors.Is(err, engine.ErrClosed):
-		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+	case errors.Is(err, engine.ErrClosed), errors.Is(err, registry.ErrBatcherClosed):
+		writeError(w, http.StatusServiceUnavailable, "model %q unloading", name)
 		return
 	default:
 		// Context cancellation: the client is gone; any status works.

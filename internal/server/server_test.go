@@ -1,7 +1,8 @@
 package server
 
-// End-to-end handler coverage over a saved Iris artifact: the HTTP plane
-// must return exactly what a core session computes, and reject bad
+// End-to-end handler coverage over saved artifacts: the HTTP plane must
+// return exactly what a core session computes — including through the
+// micro-batcher — manage model lifecycle over HTTP, and reject bad
 // requests with JSON 400s.
 
 import (
@@ -12,13 +13,16 @@ import (
 	"net/http/httptest"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/datasets"
 	"repro/internal/emac"
 	"repro/internal/engine"
 	"repro/internal/nn"
+	"repro/internal/registry"
 	"repro/internal/rng"
 )
 
@@ -47,23 +51,55 @@ func irisModel(t *testing.T) (core.Model, *datasets.Dataset) {
 	return m, test
 }
 
-func newTestServer(t *testing.T, m core.Model) (*Server, *httptest.Server) {
+// mixedModel quantises a three-arm mixed-precision network.
+func mixedModel(t *testing.T) core.Model {
 	t.Helper()
-	s, err := New(m, engine.WithWorkers(4))
+	src := nn.NewMLP([]int{4, 8, 6, 3}, rng.New(9))
+	mixed := core.QuantizeMixed(src, []emac.Arithmetic{
+		emac.NewPosit(8, 0), emac.NewFloatN(8, 4), emac.NewFixed(8, 4),
+	})
+	path := filepath.Join(t.TempDir(), "mixed.json")
+	if err := mixed.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.LoadModel(path)
 	if err != nil {
 		t.Fatal(err)
 	}
+	return m
+}
+
+// newTestServer starts a registry-backed server with the Iris model
+// loaded as "iris" (the default model, so the PR 3 alias routes work).
+// Path loads are scoped to modelDir (t.TempDir() when the test does not
+// need them).
+func newTestServerDir(t *testing.T, modelDir string, opts ...registry.Option) (*Server, *httptest.Server, core.Model, *datasets.Dataset) {
+	t.Helper()
+	m, test := irisModel(t)
+	opts = append([]registry.Option{
+		registry.WithRuntimeOptions(engine.WithWorkers(4)),
+	}, opts...)
+	reg := registry.New(opts...)
+	if err := reg.Load("iris", m); err != nil {
+		t.Fatal(err)
+	}
+	s := New(reg, "iris", WithModelDir(modelDir))
 	ts := httptest.NewServer(s)
 	t.Cleanup(func() {
 		ts.Close()
 		s.Close()
 	})
-	return s, ts
+	return s, ts, m, test
 }
 
-func postInfer(t *testing.T, ts *httptest.Server, body string) (*http.Response, []byte) {
+func newTestServer(t *testing.T, opts ...registry.Option) (*Server, *httptest.Server, core.Model, *datasets.Dataset) {
 	t.Helper()
-	resp, err := http.Post(ts.URL+"/v1/infer", "application/json", strings.NewReader(body))
+	return newTestServerDir(t, t.TempDir(), opts...)
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,34 +111,36 @@ func postInfer(t *testing.T, ts *httptest.Server, body string) (*http.Response, 
 	return resp, buf.Bytes()
 }
 
-func TestHealthz(t *testing.T) {
-	m, _ := irisModel(t)
-	_, ts := newTestServer(t, m)
-	resp, err := http.Get(ts.URL + "/healthz")
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("healthz = %d", resp.StatusCode)
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
 	}
+	return resp
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts, _, _ := newTestServer(t)
 	var body struct {
 		Status string `json:"status"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body.Status != "ok" {
-		t.Fatalf("healthz body: %v %v", body, err)
+	resp := getJSON(t, ts.URL+"/healthz", &body)
+	if resp.StatusCode != http.StatusOK || body.Status != "ok" {
+		t.Fatalf("healthz = %d %+v", resp.StatusCode, body)
 	}
 }
 
-func TestModelMetadata(t *testing.T) {
-	m, _ := irisModel(t)
-	_, ts := newTestServer(t, m)
-	resp, err := http.Get(ts.URL + "/v1/model")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
+func TestModelMetadataAlias(t *testing.T) {
+	_, ts, _, _ := newTestServer(t)
 	var info struct {
+		Name         string   `json:"name"`
 		Kind         string   `json:"kind"`
 		InputDim     int      `json:"input_dim"`
 		OutputDim    int      `json:"output_dim"`
@@ -110,11 +148,12 @@ func TestModelMetadata(t *testing.T) {
 		Arithmetics  []string `json:"arithmetics"`
 		Standardized bool     `json:"standardized"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
-		t.Fatal(err)
+	resp := getJSON(t, ts.URL+"/v1/model", &info)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/model = %d", resp.StatusCode)
 	}
-	if info.Kind != "uniform" || info.InputDim != 4 || info.OutputDim != 3 ||
-		info.Layers != 3 || !info.Standardized {
+	if info.Name != "iris" || info.Kind != "uniform" || info.InputDim != 4 ||
+		info.OutputDim != 3 || info.Layers != 3 || !info.Standardized {
 		t.Fatalf("metadata: %+v", info)
 	}
 	for _, a := range info.Arithmetics {
@@ -126,16 +165,15 @@ func TestModelMetadata(t *testing.T) {
 
 // TestBatchInferMatchesSession is the core exactness contract: logits
 // served over HTTP are bit-identical to core.Session.Infer on the same
-// loaded model.
+// loaded model — through the PR 3 alias route.
 func TestBatchInferMatchesSession(t *testing.T) {
-	m, test := irisModel(t)
-	_, ts := newTestServer(t, m)
+	_, ts, m, test := newTestServer(t)
 
 	body, err := json.Marshal(map[string]any{"inputs": test.X})
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, raw := postInfer(t, ts, string(body))
+	resp, raw := postJSON(t, ts.URL+"/v1/infer", string(body))
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("batch infer = %d: %s", resp.StatusCode, raw)
 	}
@@ -169,52 +207,108 @@ func TestBatchInferMatchesSession(t *testing.T) {
 	}
 }
 
-func TestSingleInfer(t *testing.T) {
-	m, test := irisModel(t)
-	_, ts := newTestServer(t, m)
-	body, _ := json.Marshal(map[string]any{"input": test.X[0]})
-	resp, raw := postInfer(t, ts, string(body))
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("single infer = %d: %s", resp.StatusCode, raw)
+// TestCoalescedInferBitIdentity is the micro-batching exactness
+// contract: concurrent single-sample HTTP requests — which the daemon
+// coalesces into shared runtime batches — return logits bit-identical to
+// unbatched session inference.
+func TestCoalescedInferBitIdentity(t *testing.T) {
+	_, ts, m, test := newTestServer(t,
+		registry.WithBatchWindow(50*time.Millisecond),
+		registry.WithMaxBatch(8),
+	)
+	const n = 24
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	got := make([][]float64, n)
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			body, _ := json.Marshal(map[string]any{"input": test.X[i%len(test.X)]})
+			resp, err := http.Post(ts.URL+"/v1/models/iris/infer", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			var out struct {
+				Result struct {
+					Logits []float64 `json:"logits"`
+				} `json:"result"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				errs[i] = err
+				return
+			}
+			got[i] = out.Result.Logits
+		}(i)
 	}
-	var out struct {
-		Result *struct {
-			Logits []float64 `json:"logits"`
-			Class  int       `json:"class"`
-		} `json:"result"`
-	}
-	if err := json.Unmarshal(raw, &out); err != nil || out.Result == nil {
-		t.Fatalf("single response: %s (%v)", raw, err)
-	}
-	want := m.NewInferer().Infer(test.X[0])
-	for j := range want {
-		if out.Result.Logits[j] != want[j] {
-			t.Fatalf("logit %d: %v != %v", j, out.Result.Logits[j], want[j])
+	wg.Wait()
+	// Verify serially with one session (an Inferer serves one goroutine).
+	s := m.NewInferer()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		want := s.Infer(test.X[i%len(test.X)])
+		if err := compareLogits(got[i], want); err != nil {
+			t.Fatalf("request %d: %v", i, err)
 		}
 	}
-}
-
-// TestMixedModelServed proves the daemon is precision-agnostic: a mixed
-// artifact (three different arms) serves through the same handlers.
-func TestMixedModelServed(t *testing.T) {
-	src := nn.NewMLP([]int{4, 8, 6, 3}, rng.New(9))
-	mixed := core.QuantizeMixed(src, []emac.Arithmetic{
-		emac.NewPosit(8, 0), emac.NewFloatN(8, 4), emac.NewFixed(8, 4),
-	})
-	path := filepath.Join(t.TempDir(), "mixed.json")
-	if err := mixed.Save(path); err != nil {
-		t.Fatal(err)
-	}
-	m, err := core.LoadModel(path)
+	// The burst must actually have been coalesced, or this test proved
+	// nothing: check the per-model metrics.
+	stat, err := getServer(t, ts).Registry().Stat("iris")
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, ts := newTestServer(t, m)
+	if stat.Metrics.MaxCoalesced <= 1 {
+		t.Fatalf("burst was not coalesced: %+v", stat.Metrics)
+	}
+}
+
+func compareLogits(got, want []float64) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%d logits, want %d", len(got), len(want))
+	}
+	for j := range want {
+		if got[j] != want[j] {
+			return fmt.Errorf("logit %d: batched %v != unbatched %v", j, got[j], want[j])
+		}
+	}
+	return nil
+}
+
+// TestMultiModelServing: two models (posit8 uniform + mixed) served side
+// by side, each through its named route, then one unloaded while the
+// other keeps serving.
+func TestMultiModelServing(t *testing.T) {
+	_, ts, _, test := newTestServer(t)
+	mixed := mixedModel(t)
+	if err := getServer(t, ts).Registry().Load("mixed", mixed); err != nil {
+		t.Fatal(err)
+	}
+
+	var list struct {
+		Models []struct {
+			Name string `json:"name"`
+			Kind string `json:"kind"`
+		} `json:"models"`
+	}
+	resp := getJSON(t, ts.URL+"/v1/models", &list)
+	if resp.StatusCode != http.StatusOK || len(list.Models) != 2 {
+		t.Fatalf("/v1/models = %d %+v", resp.StatusCode, list)
+	}
+	if list.Models[0].Name != "iris" || list.Models[1].Name != "mixed" ||
+		list.Models[1].Kind != "mixed" {
+		t.Fatalf("model list: %+v", list.Models)
+	}
+
+	// Infer against the named mixed model; must match its own session.
 	x := []float64{0.5, -1, 2, 0.25}
 	body, _ := json.Marshal(map[string]any{"input": x})
-	resp, raw := postInfer(t, ts, string(body))
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("mixed infer = %d: %s", resp.StatusCode, raw)
+	resp2, raw := postJSON(t, ts.URL+"/v1/models/mixed/infer", string(body))
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("mixed infer = %d: %s", resp2.StatusCode, raw)
 	}
 	var out struct {
 		Result struct {
@@ -224,20 +318,200 @@ func TestMixedModelServed(t *testing.T) {
 	if err := json.Unmarshal(raw, &out); err != nil {
 		t.Fatal(err)
 	}
-	want := m.NewInferer().Infer(x)
-	for j := range want {
-		if out.Result.Logits[j] != want[j] {
-			t.Fatalf("mixed logit %d: %v != %v", j, out.Result.Logits[j], want[j])
+	if err := compareLogits(out.Result.Logits, mixed.NewInferer().Infer(x)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unload the mixed model over HTTP; iris keeps serving.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/models/mixed", nil)
+	resp3, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE mixed = %d", resp3.StatusCode)
+	}
+	resp4, raw := postJSON(t, ts.URL+"/v1/models/mixed/infer", string(body))
+	if resp4.StatusCode != http.StatusNotFound {
+		t.Fatalf("infer on unloaded model = %d: %s", resp4.StatusCode, raw)
+	}
+	irisBody, _ := json.Marshal(map[string]any{"input": test.X[0]})
+	resp5, raw := postJSON(t, ts.URL+"/v1/infer", string(irisBody))
+	if resp5.StatusCode != http.StatusOK {
+		t.Fatalf("iris after mixed unload = %d: %s", resp5.StatusCode, raw)
+	}
+}
+
+// getServer digs the *Server out of the test fixture (the handler behind
+// the httptest server).
+func getServer(t *testing.T, ts *httptest.Server) *Server {
+	t.Helper()
+	s, ok := ts.Config.Handler.(*Server)
+	if !ok {
+		t.Fatal("handler is not a *Server")
+	}
+	return s
+}
+
+// TestLoadModelOverHTTP exercises both load arms: a filesystem path
+// (scoped to the model directory) and an inline uploaded artifact.
+func TestLoadModelOverHTTP(t *testing.T) {
+	modelDir := t.TempDir()
+	_, ts, _, test := newTestServerDir(t, modelDir)
+
+	// Path arm: save a second artifact into the model dir and load it.
+	mixed := mixedModel(t)
+	path := filepath.Join(modelDir, "second.json")
+	if err := mixed.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(map[string]string{"name": "bypath", "path": path})
+	resp, raw := postJSON(t, ts.URL+"/v1/models", string(body))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("load by path = %d: %s", resp.StatusCode, raw)
+	}
+	var stat struct {
+		Name string `json:"name"`
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal(raw, &stat); err != nil || stat.Name != "bypath" || stat.Kind != "mixed" {
+		t.Fatalf("load response: %s (%v)", raw, err)
+	}
+
+	// Artifact arm: upload the raw JSON inline.
+	artifact, err := json.Marshal(mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upBody, _ := json.Marshal(map[string]json.RawMessage{
+		"name":     json.RawMessage(`"uploaded"`),
+		"artifact": artifact,
+	})
+	resp2, raw2 := postJSON(t, ts.URL+"/v1/models", string(upBody))
+	if resp2.StatusCode != http.StatusCreated {
+		t.Fatalf("upload = %d: %s", resp2.StatusCode, raw2)
+	}
+
+	// Both serve, and identically (same underlying parameters).
+	x := test.X[0]
+	inferBody, _ := json.Marshal(map[string]any{"input": x})
+	_, rawA := postJSON(t, ts.URL+"/v1/models/bypath/infer", string(inferBody))
+	_, rawB := postJSON(t, ts.URL+"/v1/models/uploaded/infer", string(inferBody))
+	if !bytes.Equal(rawA, rawB) {
+		t.Fatalf("path-loaded and uploaded models disagree: %s vs %s", rawA, rawB)
+	}
+
+	// Duplicate name -> 409; bad bodies -> 400.
+	resp3, _ := postJSON(t, ts.URL+"/v1/models", string(body))
+	if resp3.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate load = %d, want 409", resp3.StatusCode)
+	}
+	resp4, _ := postJSON(t, ts.URL+"/v1/models", `{"name":"x"}`)
+	if resp4.StatusCode != http.StatusBadRequest {
+		t.Fatalf("load with neither path nor artifact = %d, want 400", resp4.StatusCode)
+	}
+	missing, _ := json.Marshal(map[string]string{
+		"name": "x", "path": filepath.Join(modelDir, "nonexistent.json")})
+	resp5, _ := postJSON(t, ts.URL+"/v1/models", string(missing))
+	if resp5.StatusCode != http.StatusBadRequest {
+		t.Fatalf("load of missing file = %d, want 400", resp5.StatusCode)
+	}
+	// Paths outside the model directory are rejected, not probed: the
+	// load endpoint must not be a filesystem oracle.
+	for _, p := range []string{"/etc/passwd", "../../etc/passwd",
+		filepath.Join(modelDir, "..", "escape.json")} {
+		outside, _ := json.Marshal(map[string]string{"name": "evil", "path": p})
+		resp6, raw6 := postJSON(t, ts.URL+"/v1/models", string(outside))
+		if resp6.StatusCode != http.StatusForbidden {
+			t.Fatalf("load of %q = %d, want 403 (%s)", p, resp6.StatusCode, raw6)
 		}
 	}
 }
 
+// TestPathLoadsDisabledWithoutModelDir: a server built without a model
+// directory only accepts inline uploads.
+func TestPathLoadsDisabledWithoutModelDir(t *testing.T) {
+	m, _ := irisModel(t)
+	reg := registry.New(registry.WithRuntimeOptions(engine.WithWorkers(1)))
+	if err := reg.Load("iris", m); err != nil {
+		t.Fatal(err)
+	}
+	s := New(reg, "iris")
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() { ts.Close(); s.Close() })
+
+	body, _ := json.Marshal(map[string]string{"name": "x", "path": "/tmp/whatever.json"})
+	resp, _ := postJSON(t, ts.URL+"/v1/models", string(body))
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("path load without model dir = %d, want 403", resp.StatusCode)
+	}
+	artifact, _ := json.Marshal(m)
+	upload, _ := json.Marshal(map[string]json.RawMessage{
+		"name": json.RawMessage(`"up"`), "artifact": artifact})
+	resp2, raw := postJSON(t, ts.URL+"/v1/models", string(upload))
+	if resp2.StatusCode != http.StatusCreated {
+		t.Fatalf("upload without model dir = %d: %s", resp2.StatusCode, raw)
+	}
+}
+
+// TestMetricsEndpoint: after a burst of concurrent single inferences the
+// per-model metrics report the traffic, and under a generous window at
+// least one coalesced batch formed.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts, _, test := newTestServer(t,
+		registry.WithBatchWindow(50*time.Millisecond),
+		registry.WithMaxBatch(8),
+	)
+	const n = 16
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			body, _ := json.Marshal(map[string]any{"input": test.X[i%len(test.X)]})
+			resp, err := http.Post(ts.URL+"/v1/infer", "application/json", bytes.NewReader(body))
+			if err == nil {
+				resp.Body.Close()
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	var metrics struct {
+		Models []struct {
+			Name    string `json:"name"`
+			Metrics struct {
+				Requests      int64            `json:"requests"`
+				Batches       int64            `json:"batches"`
+				MaxCoalesced  int              `json:"max_coalesced"`
+				BatchSizeHist map[string]int64 `json:"batch_size_hist"`
+				P99Ms         float64          `json:"p99_ms"`
+			} `json:"metrics"`
+		} `json:"models"`
+	}
+	resp := getJSON(t, ts.URL+"/v1/metrics", &metrics)
+	if resp.StatusCode != http.StatusOK || len(metrics.Models) != 1 {
+		t.Fatalf("/v1/metrics = %d %+v", resp.StatusCode, metrics)
+	}
+	got := metrics.Models[0]
+	if got.Name != "iris" || got.Metrics.Requests != n {
+		t.Fatalf("metrics: %+v", got)
+	}
+	if got.Metrics.MaxCoalesced <= 1 {
+		t.Fatalf("no coalesced batch formed under a 50ms window with %d concurrent requests: %+v",
+			n, got.Metrics)
+	}
+	if got.Metrics.Batches < 1 || len(got.Metrics.BatchSizeHist) == 0 || got.Metrics.P99Ms <= 0 {
+		t.Fatalf("metrics shape: %+v", got.Metrics)
+	}
+}
+
 func TestBadRequests(t *testing.T) {
-	m, test := irisModel(t)
-	_, ts := newTestServer(t, m)
+	_, ts, _, test := newTestServer(t)
 	check := func(name, body string) {
 		t.Helper()
-		resp, raw := postInfer(t, ts, body)
+		resp, raw := postJSON(t, ts.URL+"/v1/infer", body)
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Fatalf("%s: status %d, want 400 (%s)", name, resp.StatusCode, raw)
 		}
@@ -263,9 +537,30 @@ func TestBadRequests(t *testing.T) {
 	check("bad batch element", string(batchWrong))
 }
 
+func TestUnknownModelRoutes(t *testing.T) {
+	_, ts, _, test := newTestServer(t)
+	body, _ := json.Marshal(map[string]any{"input": test.X[0]})
+	resp, _ := postJSON(t, ts.URL+"/v1/models/ghost/infer", string(body))
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("infer on unknown model = %d, want 404", resp.StatusCode)
+	}
+	resp2 := getJSON(t, ts.URL+"/v1/models/ghost", nil)
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("stat of unknown model = %d, want 404", resp2.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/models/ghost", nil)
+	resp3, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNotFound {
+		t.Fatalf("DELETE unknown model = %d, want 404", resp3.StatusCode)
+	}
+}
+
 func TestMethodNotAllowed(t *testing.T) {
-	m, _ := irisModel(t)
-	_, ts := newTestServer(t, m)
+	_, ts, _, _ := newTestServer(t)
 	resp, err := http.Get(ts.URL + "/v1/infer")
 	if err != nil {
 		t.Fatal(err)
@@ -282,11 +577,18 @@ func TestMethodNotAllowed(t *testing.T) {
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("POST /healthz = %d, want 405", resp.StatusCode)
 	}
+	resp, err = http.Post(ts.URL+"/v1/models/iris", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/models/iris = %d, want 405", resp.StatusCode)
+	}
 }
 
 func TestConcurrentRequests(t *testing.T) {
-	m, test := irisModel(t)
-	_, ts := newTestServer(t, m)
+	_, ts, m, test := newTestServer(t)
 	s := m.NewInferer()
 	want := s.Infer(test.X[1])
 	errs := make(chan error, 16)

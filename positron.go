@@ -20,6 +20,8 @@
 package positron
 
 import (
+	"time"
+
 	"repro/internal/core"
 	"repro/internal/datasets"
 	"repro/internal/emac"
@@ -29,7 +31,9 @@ import (
 	"repro/internal/minifloat"
 	"repro/internal/nn"
 	"repro/internal/posit"
+	"repro/internal/registry"
 	"repro/internal/rng"
+	"repro/internal/server"
 )
 
 // --- posit numbers ---
@@ -269,12 +273,91 @@ func WithWarmTables() RuntimeOption { return engine.WithWarmTables() }
 // returned slices are valid only until the next InferBatch call.
 func WithSharedOutputs() RuntimeOption { return engine.WithSharedOutputs() }
 
+// --- the multi-model serving registry ---
+
+// Registry is the multi-model serving layer: a concurrency-safe table of
+// named models, each behind its own Runtime and micro-batcher, with
+// reference-counted lifecycle. Load/LoadPath/LoadBytes register models,
+// Acquire pins one for the duration of a request, Unload drains and
+// closes gracefully. cmd/positrond serves a Registry over HTTP.
+type Registry = registry.Registry
+
+// RegistryOption configures a Registry at construction.
+type RegistryOption = registry.Option
+
+// ModelHandle pins one registered model (and its Runtime, Batcher and
+// Metrics) for the duration of a request; Release when done.
+type ModelHandle = registry.Handle
+
+// Batcher coalesces concurrent single-sample inferences into shared
+// runtime batches (dynamic micro-batching): requests arriving within the
+// batch window ride one InferBatch call, with per-caller result demux
+// and cancellation. Results are bit-identical to unbatched inference.
+type Batcher = registry.Batcher
+
+// ModelStat is one registry entry's introspection record (shape,
+// arithmetics, batching config, serving metrics).
+type ModelStat = registry.ModelStat
+
+// ModelMetrics is one model's serving-metrics snapshot (request count,
+// batch-size histogram, p50/p99 latency).
+type ModelMetrics = registry.Snapshot
+
+// ErrModelNotFound is returned by Registry lookups for unknown names.
+var ErrModelNotFound = registry.ErrNotFound
+
+// ErrModelExists is returned by Registry loads of an already-taken name.
+var ErrModelExists = registry.ErrExists
+
+// NewRegistry returns an empty serving registry. Options configure every
+// model loaded afterwards: WithBatchWindow, WithMaxBatch,
+// WithRuntimeOptions.
+func NewRegistry(opts ...RegistryOption) *Registry { return registry.New(opts...) }
+
+// WithBatchWindow sets the micro-batching coalescing window applied to
+// every model in a Registry (d <= 0 disables coalescing).
+func WithBatchWindow(d time.Duration) RegistryOption { return registry.WithBatchWindow(d) }
+
+// WithMaxBatch flushes a coalesced batch at size n instead of waiting
+// out the window (n <= 1 disables coalescing).
+func WithMaxBatch(n int) RegistryOption { return registry.WithMaxBatch(n) }
+
+// WithRuntimeOptions sets the Runtime options (WithWorkers,
+// WithQueueDepth, WithWarmTables) applied to every per-model runtime a
+// Registry builds.
+func WithRuntimeOptions(opts ...RuntimeOption) RegistryOption {
+	return registry.WithRuntimeOptions(opts...)
+}
+
+// InferenceServer is the positrond HTTP handler set over a Registry:
+// model load/unload/list, per-model and default-model inference,
+// /v1/metrics. Mount it on any http.Server.
+type InferenceServer = server.Server
+
+// ServerOption configures an InferenceServer at construction.
+type ServerOption = server.Option
+
+// WithModelDir allows POST /v1/models path loads from artifacts under
+// dir. Without it, HTTP clients can only upload artifacts inline — a
+// path in a load request must not double as a filesystem probe.
+func WithModelDir(dir string) ServerOption { return server.WithModelDir(dir) }
+
+// NewServer builds the HTTP inference API over a registry. defaultModel
+// names the model behind the single-model /v1/infer and /v1/model
+// aliases (empty selects the sole loaded model, when there is exactly
+// one).
+func NewServer(reg *Registry, defaultModel string, opts ...ServerOption) *InferenceServer {
+	return server.New(reg, defaultModel, opts...)
+}
+
 // Engine is the original worker-pool batch-inference engine over a
 // uniform-precision network.
 //
-// Deprecated: use Runtime via NewRuntime — it serves mixed-precision
-// models too, observes context cancellation and returns errors instead
-// of panicking. Engine remains as a source-compatible shim over Runtime.
+// Deprecated: use Runtime via NewRuntime for direct batch inference, or
+// a Registry (NewRegistry) when serving models behind names — both serve
+// mixed-precision models, observe context cancellation and return errors
+// instead of panicking. Engine remains as a source-compatible shim over
+// Runtime.
 type Engine = engine.Engine
 
 // EngineResult is one completed streaming inference (ID, logits, class).

@@ -3,8 +3,11 @@ package positron
 import (
 	"context"
 	"errors"
+	"net/http/httptest"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 )
 
 // The facade tests exercise the public API exactly as the examples do.
@@ -148,6 +151,81 @@ func TestFacadeServingPath(t *testing.T) {
 	defer e.Close()
 	if out := e.InferBatch(test.X[:5]); len(out) != 5 {
 		t.Fatalf("engine shim returned %d results", len(out))
+	}
+}
+
+// TestFacadeRegistryServing walks the multi-model serving story through
+// the public API: two models (posit8 uniform + mixed) in one registry,
+// micro-batched inference bit-identical to a serial Inferer, metrics,
+// and graceful unload.
+func TestFacadeRegistryServing(t *testing.T) {
+	train, test := IrisSplit(42)
+	std := FitStandardizer(train)
+	net := NewMLP([]int{4, 8, 3}, 1)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 30
+	Train(net, std.Apply(train), cfg)
+
+	uni := QuantizeNetwork(net, PositArith(8, 0))
+	uni.Stand = std
+	mixed := QuantizeMixed(net, []Arithmetic{PositArith(8, 0), FixedArith(8, 4)})
+	mixed.Stand = std
+
+	reg := NewRegistry(
+		WithRuntimeOptions(WithWorkers(2), WithWarmTables()),
+		WithBatchWindow(2*time.Millisecond),
+		WithMaxBatch(16),
+	)
+	defer reg.Close()
+	if err := reg.Load("posit8", uni); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Load("mixed", mixed); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Load("posit8", uni); !errors.Is(err, ErrModelExists) {
+		t.Fatalf("duplicate load: %v", err)
+	}
+
+	for _, name := range []string{"posit8", "mixed"} {
+		h, err := reg.Acquire(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := h.Batcher().Infer(context.Background(), test.X[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := h.Model().NewInferer().Infer(test.X[0])
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("%s logit %d: batched %v != serial %v", name, j, got[j], want[j])
+			}
+		}
+		h.Release()
+	}
+
+	stats := reg.Stats()
+	if len(stats) != 2 || stats[0].Name != "mixed" || stats[1].Name != "posit8" {
+		t.Fatalf("stats: %+v", stats)
+	}
+	if stats[0].Metrics.Requests != 1 {
+		t.Fatalf("mixed metrics: %+v", stats[0].Metrics)
+	}
+
+	if err := reg.Unload("mixed"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Acquire("mixed"); !errors.Is(err, ErrModelNotFound) {
+		t.Fatalf("acquire after unload: %v", err)
+	}
+
+	// The HTTP surface is public too.
+	srv := NewServer(reg, "posit8")
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/models", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), `"posit8"`) {
+		t.Fatalf("/v1/models = %d %s", rec.Code, rec.Body.String())
 	}
 }
 
