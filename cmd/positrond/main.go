@@ -7,7 +7,8 @@
 //
 //	positrond -model iris.json                         # one model
 //	positrond -model iris=iris.json -model wbc=wbc.json \
-//	          -default iris -batch-window 2ms -max-batch 64
+//	          -default iris -batch-window 2ms -max-batch 64 \
+//	          -max-inflight 256 -request-timeout 2s
 //
 // Each -model flag is either name=path or a bare path (the name is then
 // derived from the file name: models/Iris.quant.json -> "Iris"). The
@@ -100,6 +101,10 @@ func main() {
 		"micro-batching window: concurrent single inferences arriving within it share one batch (0 disables)")
 	maxBatch := flag.Int("max-batch", registry.DefaultMaxBatch,
 		"flush a coalesced batch at this size instead of waiting out the window")
+	maxInFlight := flag.Int("max-inflight", 0,
+		"per-model cap on concurrently admitted inference requests; beyond it requests are shed with HTTP 429 (0 = unlimited)")
+	requestTimeout := flag.Duration("request-timeout", 0,
+		"per-request deadline covering batching and queueing; exceeded requests get HTTP 503 instead of hanging (0 = none)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second,
 		"grace period for in-flight requests on shutdown")
 	flag.Parse()
@@ -118,6 +123,8 @@ func main() {
 		),
 		registry.WithBatchWindow(*batchWindow),
 		registry.WithMaxBatch(*maxBatch),
+		registry.WithMaxInFlight(*maxInFlight),
+		registry.WithRequestTimeout(*requestTimeout),
 	)
 	for _, mf := range models {
 		if err := reg.LoadPath(mf.name, mf.path); err != nil {
@@ -158,6 +165,10 @@ func main() {
 		fmt.Printf("positrond: %s %-20s %s (%s, %d features -> %d classes, %d workers, window %s, max batch %d)\n",
 			marker, stat.Name, stat.Model, stat.Kind, stat.InputDim, stat.OutputDim,
 			stat.Workers, stat.BatchWindow, stat.MaxBatch)
+	}
+	if *maxInFlight > 0 || *requestTimeout > 0 {
+		fmt.Printf("positrond: admission control: max in-flight %d (0 = unlimited), request timeout %s\n",
+			*maxInFlight, *requestTimeout)
 	}
 	fmt.Printf("positrond: serving %d model(s) on %s\n", reg.Len(), *addr)
 

@@ -56,12 +56,17 @@ func main() {
 		panic(err)
 	}
 
-	// The serving side: a registry with micro-batching, two models, one
-	// HTTP handler — positrond in a few lines.
+	// The serving side: a registry with micro-batching and admission
+	// control, two models, one HTTP handler — positrond in a few lines.
+	// Max in-flight 8 means a burst beyond 8 concurrent requests is shed
+	// with 429 instead of queueing without bound; the request timeout
+	// bounds how long an admitted request may sit in the queues.
 	reg := positron.NewRegistry(
 		positron.WithRuntimeOptions(positron.WithWorkers(4), positron.WithWarmTables()),
 		positron.WithBatchWindow(2*time.Millisecond),
 		positron.WithMaxBatch(32),
+		positron.WithMaxInFlight(8),
+		positron.WithRequestTimeout(2*time.Second),
 	)
 	if err := reg.LoadPath("posit8", uniPath); err != nil {
 		panic(err)
@@ -111,9 +116,16 @@ func main() {
 		fmt.Printf("  %-8s -> class %d, logits %.3v\n", name, out.Result.Class, out.Result.Logits)
 	}
 
-	// A concurrent burst of single-sample requests: the daemon coalesces
-	// them into shared runtime batches.
-	var wg sync.WaitGroup
+	// A concurrent burst of single-sample requests, well past the
+	// max-in-flight cap of 8: admitted requests coalesce into shared
+	// runtime batches, the overflow is shed immediately with 429 +
+	// Retry-After — bounded latency for the admitted, fast feedback for
+	// the shed.
+	var (
+		wg                  sync.WaitGroup
+		statusMu            sync.Mutex
+		served, shed, other int
+	)
 	for i := 0; i < 32; i++ {
 		wg.Add(1)
 		go func(i int) {
@@ -122,9 +134,21 @@ func main() {
 			r := post(base+"/v1/infer", body) // default-model alias
 			io.Copy(io.Discard, r.Body)
 			r.Body.Close()
+			statusMu.Lock()
+			defer statusMu.Unlock()
+			switch r.StatusCode {
+			case http.StatusOK:
+				served++
+			case http.StatusTooManyRequests:
+				shed++
+			default:
+				other++ // e.g. 503 when a slow host trips the request timeout
+			}
 		}(i)
 	}
 	wg.Wait()
+	fmt.Printf("burst of 32 vs max in-flight 8: %d served, %d shed with 429, %d other\n",
+		served, shed, other)
 
 	var metrics struct {
 		Models []struct {
@@ -133,6 +157,9 @@ func main() {
 				Requests      int64            `json:"requests"`
 				Batches       int64            `json:"batches"`
 				MaxCoalesced  int              `json:"max_coalesced"`
+				Rejected      int64            `json:"rejected"`
+				TimedOut      int64            `json:"timed_out"`
+				InFlight      int64            `json:"in_flight"`
 				BatchSizeHist map[string]int64 `json:"batch_size_hist"`
 				P50Ms         float64          `json:"p50_ms"`
 				P99Ms         float64          `json:"p99_ms"`
@@ -141,8 +168,9 @@ func main() {
 	}
 	getInto(base+"/v1/metrics", &metrics)
 	for _, m := range metrics.Models {
-		fmt.Printf("  metrics %-8s requests=%d batches=%d max_coalesced=%d hist=%v p50=%.2fms p99=%.2fms\n",
+		fmt.Printf("  metrics %-8s requests=%d batches=%d max_coalesced=%d rejected=%d timed_out=%d in_flight=%d hist=%v p50=%.2fms p99=%.2fms\n",
 			m.Name, m.Metrics.Requests, m.Metrics.Batches, m.Metrics.MaxCoalesced,
+			m.Metrics.Rejected, m.Metrics.TimedOut, m.Metrics.InFlight,
 			m.Metrics.BatchSizeHist, m.Metrics.P50Ms, m.Metrics.P99Ms)
 	}
 

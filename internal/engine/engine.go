@@ -169,6 +169,16 @@ func (r *Runtime) Model() core.Model { return r.model }
 // Workers returns the pool size.
 func (r *Runtime) Workers() int { return r.workers }
 
+// QueueCap returns the job-queue capacity configured at construction
+// (WithQueueDepth, default twice the worker count).
+func (r *Runtime) QueueCap() int { return cap(r.jobs) }
+
+// QueueLen returns the current job-queue occupancy: inferences submitted
+// but not yet picked up by a worker. Together with QueueCap it is the
+// backpressure signal an admission layer reads to shed load instead of
+// letting requests queue without bound.
+func (r *Runtime) QueueLen() int { return len(r.jobs) }
+
 // SharedOutputs reports whether the runtime was built with
 // WithSharedOutputs — callers then own the serialisation and copy-out of
 // InferBatch results.

@@ -46,6 +46,24 @@ func TestNewRuntimeRejectsNilModel(t *testing.T) {
 	}
 }
 
+// TestQueueOccupancy: the runtime reports its job-queue capacity and
+// occupancy — the backpressure signal the registry's admission gate
+// surfaces per model.
+func TestQueueOccupancy(t *testing.T) {
+	net, _ := fixture(emac.NewPosit(8, 0), 1)
+	rt, err := NewRuntime(net, WithWorkers(2), WithQueueDepth(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if rt.QueueCap() != 7 {
+		t.Fatalf("QueueCap = %d, want 7", rt.QueueCap())
+	}
+	if n := rt.QueueLen(); n < 0 || n > rt.QueueCap() {
+		t.Fatalf("QueueLen = %d out of [0, %d]", n, rt.QueueCap())
+	}
+}
+
 func TestSubmitAfterCloseErrorsNotPanics(t *testing.T) {
 	net, ds := fixture(emac.NewPosit(8, 0), 1)
 	rt, err := NewRuntime(net, WithWorkers(2))

@@ -30,7 +30,11 @@ const DefaultBatchWindow = 2 * time.Millisecond
 const DefaultMaxBatch = 64
 
 // call is one in-flight single-sample request waiting for its flush.
+// ctx is the caller's context: a call whose ctx is done by flush time is
+// dropped from the batch instead of burning an EMAC slot computing a
+// result nobody will read.
 type call struct {
+	ctx    context.Context
 	x      []float64
 	logits []float64
 	err    error
@@ -127,7 +131,7 @@ func (b *Batcher) Infer(ctx context.Context, x []float64) ([]float64, error) {
 		return out[0], nil
 	}
 
-	c := &call{x: x, done: make(chan struct{})}
+	c := &call{ctx: ctx, x: x, done: make(chan struct{})}
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
@@ -162,6 +166,11 @@ func (b *Batcher) Infer(ctx context.Context, x []float64) ([]float64, error) {
 // the shared-output runtime buffer is never overwritten mid-read. The
 // returned slices are caller-owned.
 func (b *Batcher) InferBatch(ctx context.Context, xs [][]float64) ([][]float64, error) {
+	if len(xs) == 0 {
+		// Reject before the runtime: a zero-sample batch has no result to
+		// return and would otherwise count a phantom flush in the metrics.
+		return nil, errors.New("registry: empty batch")
+	}
 	for i, x := range xs {
 		if err := b.checkInput(x); err != nil {
 			return nil, fmt.Errorf("registry: batch input %d: %w", i, err)
@@ -237,24 +246,38 @@ func (b *Batcher) flush() {
 
 // run executes one coalesced batch and demultiplexes results to the
 // waiting callers. The flush context is Background: one caller's
-// cancellation must not abort its batch-mates' inferences.
+// cancellation must not abort its batch-mates' inferences. Calls whose
+// own context is already done are dropped before the runtime sees the
+// batch — the caller returned at cancellation but its entry stayed in
+// the pending queue, and computing it would waste EMAC compute, occupy
+// a coalesced batch slot, and skew the batch-size histogram.
 func (b *Batcher) run(batch []*call) {
-	if len(batch) == 0 {
+	live := batch[:0]
+	for _, c := range batch {
+		select {
+		case <-c.ctx.Done():
+			c.err = c.ctx.Err()
+			close(c.done)
+		default:
+			live = append(live, c)
+		}
+	}
+	if len(live) == 0 {
 		return
 	}
-	xs := make([][]float64, len(batch))
-	for i, c := range batch {
+	xs := make([][]float64, len(live))
+	for i, c := range live {
 		xs[i] = c.x
 	}
 	out, err := b.inferDirect(context.Background(), xs, true)
 	if err != nil {
-		for _, c := range batch {
+		for _, c := range live {
 			c.err = err
 			close(c.done)
 		}
 		return
 	}
-	for i, c := range batch {
+	for i, c := range live {
 		c.logits = out[i]
 		close(c.done)
 	}

@@ -205,6 +205,118 @@ func TestBatcherCallerCancellation(t *testing.T) {
 	b.Close() // flushes the abandoned call; must not hang or panic
 }
 
+// TestBatcherCancelledExcludedFromFlush: a caller that cancels while
+// its call waits in the pending queue is dropped at flush time — the
+// runtime batch carries only live calls, so abandoned requests neither
+// consume EMAC compute nor skew the batch-size histogram.
+func TestBatcherCancelledExcludedFromFlush(t *testing.T) {
+	b, m := newTestBatcher(t, time.Hour, 3) // flush only when 3 calls pend
+
+	// Park a call, then cancel it. The caller returns; its entry stays
+	// in the pending queue until the next flush.
+	ctx, cancel := context.WithCancel(context.Background())
+	parked := make(chan error, 1)
+	go func() {
+		_, err := b.Infer(ctx, testInput(0))
+		parked <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		b.mu.Lock()
+		n := len(b.pending)
+		b.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("call never joined the pending queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-parked; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled caller: %v", err)
+	}
+
+	// Two live calls push pending to maxBatch 3 and trigger the flush.
+	var wg sync.WaitGroup
+	wg.Add(2)
+	for i := 1; i <= 2; i++ {
+		go func(i int) {
+			defer wg.Done()
+			if _, err := b.Infer(context.Background(), testInput(i)); err != nil {
+				t.Errorf("live call %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	snap := m.Snapshot()
+	if snap.Requests != 2 {
+		t.Fatalf("requests = %d, want 2 (cancelled call must not count)", snap.Requests)
+	}
+	if snap.Batches != 1 || snap.MaxCoalesced != 2 {
+		t.Fatalf("flush shape: %+v, want one coalesced batch of 2", snap)
+	}
+	if snap.BatchSizeHist["2"] != 1 || snap.BatchSizeHist["3-4"] != 0 {
+		t.Fatalf("histogram skewed by cancelled call: %v", snap.BatchSizeHist)
+	}
+}
+
+// TestBatcherAllCancelledFlushSkipsRuntime: when every pending call was
+// abandoned, the flush never reaches the runtime — no phantom batch is
+// recorded (the ObserveFlush(0) bug) and Close does not hang.
+func TestBatcherAllCancelledFlushSkipsRuntime(t *testing.T) {
+	b, m := newTestBatcher(t, time.Hour, 1000)
+	const n = 4
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			_, err := b.Infer(ctx, testInput(i))
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("call %d: %v", i, err)
+			}
+		}(i)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		b.mu.Lock()
+		pend := len(b.pending)
+		b.mu.Unlock()
+		if pend == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("calls never joined the pending queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	wg.Wait()
+	b.Close() // flushes the all-cancelled queue
+	snap := m.Snapshot()
+	if snap.Batches != 0 || snap.Requests != 0 || len(snap.BatchSizeHist) != 0 {
+		t.Fatalf("all-cancelled flush recorded a phantom batch: %+v", snap)
+	}
+}
+
+// TestBatcherEmptyBatchRejected: a zero-sample explicit batch errors
+// before it reaches the runtime.
+func TestBatcherEmptyBatchRejected(t *testing.T) {
+	b, m := newTestBatcher(t, time.Millisecond, 8)
+	for _, xs := range [][][]float64{nil, {}} {
+		if _, err := b.InferBatch(context.Background(), xs); err == nil {
+			t.Fatalf("empty batch %v accepted", xs)
+		}
+	}
+	if snap := m.Snapshot(); snap.Batches != 0 {
+		t.Fatalf("empty batch reached the metrics: %+v", snap)
+	}
+}
+
 // TestBatcherClose: pending calls are flushed (not dropped) on Close,
 // and new work is rejected afterwards.
 func TestBatcherClose(t *testing.T) {
@@ -277,8 +389,20 @@ func TestMetricsHistogramAndPercentiles(t *testing.T) {
 	if s.P50Ms != 50 || s.P99Ms != 99 {
 		t.Fatalf("percentiles: p50=%v p99=%v", s.P50Ms, s.P99Ms)
 	}
+	// Size-0 flushes (and negative sizes) must not count: bucketFor(0)
+	// would land in the "1" bucket and batches would over-count.
+	m.ObserveFlush(0, true)
+	m.ObserveFlush(-3, false)
+	if s2 := m.Snapshot(); s2.Batches != s.Batches || s2.BatchSizeHist["1"] != s.BatchSizeHist["1"] {
+		t.Fatalf("zero-size flush counted: %+v", s2)
+	}
+
 	var nilM *Metrics
 	nilM.ObserveFlush(1, false) // nil metrics must be a no-op
 	nilM.ObserveLatency(time.Second)
+	nilM.ObserveAdmit()
+	nilM.ObserveDone()
+	nilM.ObserveRejected()
+	nilM.ObserveTimeout()
 	_ = nilM.Snapshot()
 }

@@ -43,6 +43,9 @@ type Metrics struct {
 	batches   int64 // runtime InferBatch invocations
 	coalesced int64 // of those, micro-batcher flushes
 	maxCoal   int   // largest coalesced flush
+	rejected  int64 // requests shed at the admission gate (ErrOverloaded)
+	timedOut  int64 // admitted requests that hit the request deadline
+	inFlight  int64 // currently admitted requests (gauge)
 	hist      [histBuckets]int64
 	ring      [latencyRing]time.Duration
 	ringN     int // samples written (may exceed latencyRing)
@@ -50,9 +53,12 @@ type Metrics struct {
 
 // ObserveFlush records one runtime batch of the given size; coalesced
 // marks flushes formed by the micro-batcher (as opposed to explicit
-// client batches).
+// client batches). Size 0 — a flush whose every caller had already
+// cancelled — records nothing: no runtime batch ran, so counting it
+// (in batches and, via bucketFor(0)→"1", the histogram) would skew
+// both.
 func (m *Metrics) ObserveFlush(size int, coalesced bool) {
-	if m == nil {
+	if m == nil || size <= 0 {
 		return
 	}
 	m.mu.Lock()
@@ -66,6 +72,49 @@ func (m *Metrics) ObserveFlush(size int, coalesced bool) {
 			m.maxCoal = size
 		}
 	}
+}
+
+// ObserveAdmit records one request passing the admission gate (in-flight
+// gauge up).
+func (m *Metrics) ObserveAdmit() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.inFlight++
+	m.mu.Unlock()
+}
+
+// ObserveDone records one admitted request finishing, successfully or
+// not (in-flight gauge down).
+func (m *Metrics) ObserveDone() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.inFlight--
+	m.mu.Unlock()
+}
+
+// ObserveRejected records one request shed at the admission gate.
+func (m *Metrics) ObserveRejected() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.rejected++
+	m.mu.Unlock()
+}
+
+// ObserveTimeout records one admitted request hitting the per-request
+// deadline.
+func (m *Metrics) ObserveTimeout() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.timedOut++
+	m.mu.Unlock()
 }
 
 // ObserveLatency records one caller-visible request latency.
@@ -92,6 +141,12 @@ type Snapshot struct {
 	// MaxCoalesced is the largest micro-batch flushed so far — > 1 means
 	// batching is actually coalescing traffic.
 	MaxCoalesced int `json:"max_coalesced"`
+	// Rejected counts requests shed at the admission gate (HTTP 429).
+	Rejected int64 `json:"rejected"`
+	// TimedOut counts admitted requests that hit the request deadline.
+	TimedOut int64 `json:"timed_out"`
+	// InFlight is the currently admitted request gauge.
+	InFlight int64 `json:"in_flight"`
 	// BatchSizeHist buckets runtime batch sizes (keys "1", "2", "3-4",
 	// ... "65+"); zero buckets are omitted.
 	BatchSizeHist map[string]int64 `json:"batch_size_hist"`
@@ -115,6 +170,9 @@ func (m *Metrics) Snapshot() Snapshot {
 		Batches:          m.batches,
 		CoalescedBatches: m.coalesced,
 		MaxCoalesced:     m.maxCoal,
+		Rejected:         m.rejected,
+		TimedOut:         m.timedOut,
+		InFlight:         m.inFlight,
 		BatchSizeHist:    make(map[string]int64, histBuckets),
 	}
 	for i, n := range m.hist {

@@ -37,9 +37,11 @@ var ErrRegistryClosed = errors.New("registry: closed")
 // config collects the functional options applied to every model loaded
 // into a Registry.
 type config struct {
-	rtOpts   []engine.Option
-	window   time.Duration
-	maxBatch int
+	rtOpts      []engine.Option
+	window      time.Duration
+	maxBatch    int
+	maxInFlight int
+	reqTimeout  time.Duration
 }
 
 // Option configures a Registry at construction.
@@ -71,6 +73,25 @@ func WithMaxBatch(n int) Option {
 	return func(c *config) { c.maxBatch = n }
 }
 
+// WithMaxInFlight caps the concurrently admitted inference requests per
+// model (each Handle.Infer or Handle.InferBatch counts once, for its
+// whole lifetime including micro-batcher queueing). A request arriving
+// at the cap is rejected immediately with ErrOverloaded — shed, not
+// silently queued — which the HTTP layer maps to 429. n <= 0 (the
+// default) leaves admission unlimited.
+func WithMaxInFlight(n int) Option {
+	return func(c *config) { c.maxInFlight = n }
+}
+
+// WithRequestTimeout bounds one admitted request end to end: time spent
+// waiting in the micro-batcher's pending queue, on the runtime job
+// queue, and computing. A request that exceeds it fails with
+// ErrRequestTimeout instead of hanging while the queues stay saturated.
+// d <= 0 (the default) disables the deadline.
+func WithRequestTimeout(d time.Duration) Option {
+	return func(c *config) { c.reqTimeout = d }
+}
+
 // entry is one loaded model and its serving machinery.
 type entry struct {
 	name    string
@@ -79,6 +100,12 @@ type entry struct {
 	batcher *Batcher
 	metrics *Metrics
 	loaded  time.Time
+
+	// admission gate: slots bounds concurrently admitted requests (nil =
+	// unlimited), timeout bounds one admitted request end to end (0 =
+	// none). See admission.go.
+	slots   chan struct{}
+	timeout time.Duration
 
 	refs     int  // in-flight handles
 	unloaded bool // out of the name table; close when refs hit 0
@@ -181,7 +208,11 @@ func (r *Registry) Load(name string, model core.Model) error {
 		batcher: NewBatcher(rt, r.cfg.window, r.cfg.maxBatch, metrics),
 		metrics: metrics,
 		loaded:  time.Now(),
+		timeout: r.cfg.reqTimeout,
 		done:    make(chan struct{}),
+	}
+	if r.cfg.maxInFlight > 0 {
+		e.slots = make(chan struct{}, r.cfg.maxInFlight)
 	}
 
 	r.mu.Lock()
@@ -283,9 +314,15 @@ func (r *Registry) Acquire(name string) (*Handle, error) {
 // Unload removes the named model and blocks until its runtime has
 // drained and closed: the name disappears immediately (new Acquires
 // fail), in-flight requests finish on their handles, then the batcher
-// flushes and Runtime.Close drains the pool.
+// flushes and Runtime.Close drains the pool. After Close it fails with
+// ErrRegistryClosed — checked before the name lookup, so clients can
+// tell shutdown (every name is gone) from a genuinely unknown model.
 func (r *Registry) Unload(name string) error {
 	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrRegistryClosed
+	}
 	e, ok := r.entries[name]
 	if !ok {
 		r.mu.Unlock()
@@ -336,8 +373,16 @@ type ModelStat struct {
 	Workers      int      `json:"workers"`
 	BatchWindow  string   `json:"batch_window"`
 	MaxBatch     int      `json:"max_batch"`
-	LoadedAt     string   `json:"loaded_at"`
-	Metrics      Snapshot `json:"metrics"`
+	// MaxInFlight is the admission cap (0 = unlimited); RequestTimeout
+	// the per-request deadline ("0s" = none).
+	MaxInFlight    int    `json:"max_in_flight"`
+	RequestTimeout string `json:"request_timeout"`
+	// QueueLen/QueueCap sample the runtime job queue — the backpressure
+	// signal behind admission control.
+	QueueLen int      `json:"queue_len"`
+	QueueCap int      `json:"queue_cap"`
+	LoadedAt string   `json:"loaded_at"`
+	Metrics  Snapshot `json:"metrics"`
 }
 
 // statFor builds one entry's record; it reads only immutable entry
@@ -345,20 +390,24 @@ type ModelStat struct {
 func statFor(e *entry) ModelStat {
 	m := e.model
 	return ModelStat{
-		Name:         e.name,
-		Model:        m.String(),
-		Kind:         m.Kind(),
-		InputDim:     m.InputDim(),
-		OutputDim:    m.OutputDim(),
-		Layers:       m.NumLayers(),
-		Arithmetics:  m.ArithNames(),
-		MemoryBits:   m.MemoryBits(),
-		Standardized: m.Standardizer() != nil,
-		Workers:      e.rt.Workers(),
-		BatchWindow:  e.batcher.Window().String(),
-		MaxBatch:     e.batcher.MaxBatch(),
-		LoadedAt:     e.loaded.UTC().Format(time.RFC3339),
-		Metrics:      e.metrics.Snapshot(),
+		Name:           e.name,
+		Model:          m.String(),
+		Kind:           m.Kind(),
+		InputDim:       m.InputDim(),
+		OutputDim:      m.OutputDim(),
+		Layers:         m.NumLayers(),
+		Arithmetics:    m.ArithNames(),
+		MemoryBits:     m.MemoryBits(),
+		Standardized:   m.Standardizer() != nil,
+		Workers:        e.rt.Workers(),
+		BatchWindow:    e.batcher.Window().String(),
+		MaxBatch:       e.batcher.MaxBatch(),
+		MaxInFlight:    cap(e.slots),
+		RequestTimeout: e.timeout.String(),
+		QueueLen:       e.rt.QueueLen(),
+		QueueCap:       e.rt.QueueCap(),
+		LoadedAt:       e.loaded.UTC().Format(time.RFC3339),
+		Metrics:        e.metrics.Snapshot(),
 	}
 }
 

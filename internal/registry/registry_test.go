@@ -306,4 +306,12 @@ func TestRegistryClose(t *testing.T) {
 	if err := r.Load("c", posit8Model(10)); !errors.Is(err, ErrRegistryClosed) {
 		t.Fatalf("load after close: %v", err)
 	}
+	// Unload of a model that WAS loaded must report shutdown, not a bad
+	// name — clients distinguish "retry elsewhere" from "fix your name".
+	if err := r.Unload("a"); !errors.Is(err, ErrRegistryClosed) {
+		t.Fatalf("unload after close: %v, want ErrRegistryClosed", err)
+	}
+	if err := r.Unload("never-existed"); !errors.Is(err, ErrRegistryClosed) {
+		t.Fatalf("unload of unknown name after close: %v, want ErrRegistryClosed", err)
+	}
 }

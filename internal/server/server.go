@@ -22,6 +22,13 @@
 // uploads are accepted), 404 for unknown models, 409 for duplicate
 // loads, 405 for wrong methods. Inference observes request-context
 // cancellation, so a disconnected client stops occupying the pool.
+//
+// Inference rides each model's admission gate: with a registry
+// max-in-flight cap configured, requests beyond the cap are shed with
+// 429 + Retry-After instead of queueing without bound, and admitted
+// requests that exceed the registry request timeout get 503 +
+// Retry-After. /v1/metrics reports the rejected/timed-out counters and
+// the in-flight gauge per model.
 package server
 
 import (
@@ -30,7 +37,9 @@ import (
 	"fmt"
 	"net/http"
 	"path/filepath"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/nn"
@@ -242,11 +251,14 @@ func (s *Server) allowedPath(p string) (string, bool) {
 func (s *Server) handleUnloadModel(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if err := s.reg.Unload(name); err != nil {
-		if errors.Is(err, registry.ErrNotFound) {
+		switch {
+		case errors.Is(err, registry.ErrNotFound):
 			writeError(w, http.StatusNotFound, "model %q not loaded", name)
-			return
+		case errors.Is(err, registry.ErrRegistryClosed):
+			writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		default:
+			writeError(w, http.StatusInternalServerError, "%v", err)
 		}
-		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "unloaded", "model": name})
@@ -304,6 +316,16 @@ type prediction struct {
 type inferResponse struct {
 	Result  *prediction  `json:"result,omitempty"`
 	Results []prediction `json:"results,omitempty"`
+}
+
+// retryAfter suggests a whole-seconds backoff for shed or timed-out
+// requests: one batch window, floored at 1s (the header does not admit
+// sub-second values).
+func retryAfter(h *registry.Handle) string {
+	if w := h.Batcher().Window(); w > time.Second {
+		return strconv.Itoa(int((w + time.Second - 1) / time.Second))
+	}
+	return "1"
 }
 
 func (s *Server) handleModelInfer(w http.ResponseWriter, r *http.Request) {
@@ -366,13 +388,23 @@ func (s *Server) infer(w http.ResponseWriter, r *http.Request, name string) {
 	)
 	if single {
 		var one []float64
-		one, err = h.Batcher().Infer(r.Context(), req.Input)
+		one, err = h.Infer(r.Context(), req.Input)
 		logits = [][]float64{one}
 	} else {
-		logits, err = h.Batcher().InferBatch(r.Context(), req.Inputs)
+		logits, err = h.InferBatch(r.Context(), req.Inputs)
 	}
 	switch {
 	case err == nil:
+	case errors.Is(err, registry.ErrOverloaded):
+		// Shed, not queued: tell the client to back off. One batch window
+		// (rounded up to a whole second) is when capacity plausibly frees.
+		w.Header().Set("Retry-After", retryAfter(h))
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case errors.Is(err, registry.ErrRequestTimeout):
+		w.Header().Set("Retry-After", retryAfter(h))
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
 	case errors.Is(err, engine.ErrClosed), errors.Is(err, registry.ErrBatcherClosed):
 		writeError(w, http.StatusServiceUnavailable, "model %q unloading", name)
 		return

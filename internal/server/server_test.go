@@ -507,6 +507,148 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 }
 
+// TestOverloadSheds429: a burst past the max-in-flight cap is shed with
+// 429 + Retry-After while admitted requests return logits bit-identical
+// to unbatched session inference, and /v1/metrics reports the rejected
+// count and in-flight gauge.
+func TestOverloadSheds429(t *testing.T) {
+	_, ts, m, test := newTestServer(t,
+		registry.WithMaxInFlight(1),
+		registry.WithBatchWindow(50*time.Millisecond),
+		registry.WithMaxBatch(64),
+	)
+	s := m.NewInferer()
+
+	const n = 16
+	type result struct {
+		status     int
+		retryAfter string
+		logits     []float64
+		input      []float64
+		err        error
+	}
+	results := make([]result, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			x := test.X[i%len(test.X)]
+			results[i].input = x
+			body, _ := json.Marshal(map[string]any{"input": x})
+			resp, err := http.Post(ts.URL+"/v1/infer", "application/json", bytes.NewReader(body))
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			defer resp.Body.Close()
+			results[i].status = resp.StatusCode
+			results[i].retryAfter = resp.Header.Get("Retry-After")
+			if resp.StatusCode == http.StatusOK {
+				var out struct {
+					Result struct {
+						Logits []float64 `json:"logits"`
+					} `json:"result"`
+				}
+				if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+					results[i].err = err
+					return
+				}
+				results[i].logits = out.Result.Logits
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	var served, shed int
+	for i, r := range results {
+		if r.err != nil {
+			t.Fatalf("request %d: %v", i, r.err)
+		}
+		switch r.status {
+		case http.StatusOK:
+			served++
+			if err := compareLogits(r.logits, s.Infer(r.input)); err != nil {
+				t.Fatalf("admitted request %d: %v", i, err)
+			}
+		case http.StatusTooManyRequests:
+			shed++
+			if r.retryAfter == "" {
+				t.Fatalf("request %d: 429 without Retry-After", i)
+			}
+		default:
+			t.Fatalf("request %d: unexpected status %d", i, r.status)
+		}
+	}
+	if served == 0 {
+		t.Fatal("no request was admitted")
+	}
+	if shed == 0 {
+		t.Fatalf("burst of %d past max-in-flight 1 shed nothing", n)
+	}
+
+	var metrics struct {
+		Models []struct {
+			MaxInFlight int `json:"max_in_flight"`
+			QueueCap    int `json:"queue_cap"`
+			Metrics     struct {
+				Requests int64 `json:"requests"`
+				Rejected int64 `json:"rejected"`
+				TimedOut int64 `json:"timed_out"`
+				InFlight int64 `json:"in_flight"`
+			} `json:"metrics"`
+		} `json:"models"`
+	}
+	getJSON(t, ts.URL+"/v1/metrics", &metrics)
+	if len(metrics.Models) != 1 {
+		t.Fatalf("metrics models: %+v", metrics)
+	}
+	got := metrics.Models[0]
+	if got.MaxInFlight != 1 || got.QueueCap <= 0 {
+		t.Fatalf("stat admission fields: %+v", got)
+	}
+	if got.Metrics.Rejected != int64(shed) || got.Metrics.Requests != int64(served) {
+		t.Fatalf("metrics rejected=%d requests=%d, observed shed=%d served=%d",
+			got.Metrics.Rejected, got.Metrics.Requests, shed, served)
+	}
+	if got.Metrics.InFlight != 0 {
+		t.Fatalf("in-flight gauge = %d after burst drained", got.Metrics.InFlight)
+	}
+}
+
+// TestRequestTimeout503: an admitted request stuck behind a
+// never-flushing batch window gets 503 + Retry-After at the configured
+// deadline, and the timed-out counter moves.
+func TestRequestTimeout503(t *testing.T) {
+	_, ts, _, test := newTestServer(t,
+		registry.WithRequestTimeout(30*time.Millisecond),
+		registry.WithBatchWindow(time.Hour),
+		registry.WithMaxBatch(1<<20),
+	)
+	body, _ := json.Marshal(map[string]any{"input": test.X[0]})
+	resp, err := http.Post(ts.URL+"/v1/infer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("stuck request = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	stat, err := getServer(t, ts).Registry().Stat("iris")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat.Metrics.TimedOut != 1 {
+		t.Fatalf("timed_out = %d, want 1", stat.Metrics.TimedOut)
+	}
+	if stat.RequestTimeout != "30ms" {
+		t.Fatalf("stat request_timeout = %q", stat.RequestTimeout)
+	}
+}
+
 func TestBadRequests(t *testing.T) {
 	_, ts, _, test := newTestServer(t)
 	check := func(name, body string) {

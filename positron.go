@@ -286,7 +286,11 @@ type Registry = registry.Registry
 type RegistryOption = registry.Option
 
 // ModelHandle pins one registered model (and its Runtime, Batcher and
-// Metrics) for the duration of a request; Release when done.
+// Metrics) for the duration of a request; Release when done. Its
+// Infer/InferBatch methods are the admission-controlled entry points:
+// they claim an in-flight slot (failing fast with ErrModelOverloaded at
+// the WithMaxInFlight cap), apply the WithRequestTimeout deadline, and
+// ride the micro-batcher.
 type ModelHandle = registry.Handle
 
 // Batcher coalesces concurrent single-sample inferences into shared
@@ -309,6 +313,15 @@ var ErrModelNotFound = registry.ErrNotFound
 // ErrModelExists is returned by Registry loads of an already-taken name.
 var ErrModelExists = registry.ErrExists
 
+// ErrModelOverloaded is returned by ModelHandle.Infer/InferBatch when
+// the model is at its WithMaxInFlight admission cap: the request was
+// shed, not queued. positrond maps it to HTTP 429 with Retry-After.
+var ErrModelOverloaded = registry.ErrOverloaded
+
+// ErrRequestTimeout is returned when an admitted request exceeds the
+// WithRequestTimeout deadline before its inference completes.
+var ErrRequestTimeout = registry.ErrRequestTimeout
+
 // NewRegistry returns an empty serving registry. Options configure every
 // model loaded afterwards: WithBatchWindow, WithMaxBatch,
 // WithRuntimeOptions.
@@ -321,6 +334,18 @@ func WithBatchWindow(d time.Duration) RegistryOption { return registry.WithBatch
 // WithMaxBatch flushes a coalesced batch at size n instead of waiting
 // out the window (n <= 1 disables coalescing).
 func WithMaxBatch(n int) RegistryOption { return registry.WithMaxBatch(n) }
+
+// WithMaxInFlight caps concurrently admitted inference requests per
+// model; a request arriving at the cap fails fast with
+// ErrModelOverloaded (HTTP 429 through positrond) instead of queueing
+// without bound. n <= 0 leaves admission unlimited (the default).
+func WithMaxInFlight(n int) RegistryOption { return registry.WithMaxInFlight(n) }
+
+// WithRequestTimeout bounds one admitted request end to end — batching
+// window, runtime queueing and compute; exceeded requests fail with
+// ErrRequestTimeout (HTTP 503 through positrond). d <= 0 disables the
+// deadline (the default).
+func WithRequestTimeout(d time.Duration) RegistryOption { return registry.WithRequestTimeout(d) }
 
 // WithRuntimeOptions sets the Runtime options (WithWorkers,
 // WithQueueDepth, WithWarmTables) applied to every per-model runtime a
