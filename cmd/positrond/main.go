@@ -15,9 +15,24 @@
 // first -model is the default served by the /v1/infer and /v1/model
 // aliases unless -default names another.
 //
+// Router mode fronts a set of replicas instead of serving models
+// itself: health-probed, circuit-broken, retrying proxy with
+// least-queue-depth placement and consistent-hash model affinity:
+//
+//	positrond -route 127.0.0.1:8081,127.0.0.1:8082 -addr :8080 \
+//	          -retries 2 -breaker-threshold 3 -breaker-cooldown 2s \
+//	          -probe-interval 1s -hedge 20ms
+//
+// Deterministic fault injection (for chaos drills; see internal/faults
+// for the rule grammar) wraps whichever plane is serving:
+//
+//	positrond -model iris.json -fault 'error=503@p=0.2' \
+//	          -fault '/v1/models/iris/infer:latency=50ms@p=0.3' -fault-seed 42
+//
 // Endpoints:
 //
-//	GET    /healthz                  liveness probe
+//	GET    /healthz                  liveness probe (503 once draining)
+//	GET    /readyz                   readiness probe
 //	GET    /v1/models                list loaded models
 //	POST   /v1/models                load {"name":..., "path":...} or
 //	                                 {"name":..., "artifact":{...}}
@@ -25,9 +40,11 @@
 //	DELETE /v1/models/{name}         graceful unload
 //	POST   /v1/models/{name}/infer   {"input": [...]} or {"inputs": [[...], ...]}
 //	GET    /v1/metrics               per-model batching and latency metrics
+//	                                 (per-replica breaker state in router mode)
 //	GET    /v1/model, POST /v1/infer default-model aliases
 //
-// SIGINT/SIGTERM shut the daemon down gracefully: the listener stops
+// SIGINT/SIGTERM shut the daemon down gracefully: /healthz flips to 503
+// first (so routers and load balancers drain away), the listener stops
 // accepting, in-flight requests finish, then every model's worker pool
 // drains.
 package main
@@ -46,7 +63,9 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/faults"
 	"repro/internal/registry"
+	"repro/internal/router"
 	"repro/internal/server"
 )
 
@@ -79,6 +98,15 @@ func (m *modelFlags) Set(v string) error {
 	return nil
 }
 
+// stringFlags collects a repeatable string flag (-fault).
+type stringFlags []string
+
+func (s *stringFlags) String() string { return strings.Join(*s, ",") }
+func (s *stringFlags) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
 // deriveName turns an artifact path into a model name:
 // models/Iris.quant.json -> "Iris".
 func deriveName(path string) string {
@@ -90,7 +118,8 @@ func deriveName(path string) string {
 
 func main() {
 	var models modelFlags
-	flag.Var(&models, "model", "name=path (or path) of a saved model artifact; repeatable (at least one required)")
+	var faultSpecs stringFlags
+	flag.Var(&models, "model", "name=path (or path) of a saved model artifact; repeatable (required unless -route)")
 	defaultModel := flag.String("default", "", "model served by the /v1/infer and /v1/model aliases (default: the first -model)")
 	modelDir := flag.String("model-dir", "",
 		"directory POST /v1/models path loads may read artifacts from (default: the first -model's directory; uploads are always allowed)")
@@ -107,10 +136,50 @@ func main() {
 		"per-request deadline covering batching and queueing; exceeded requests get HTTP 503 instead of hanging (0 = none)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second,
 		"grace period for in-flight requests on shutdown")
+
+	// Router mode.
+	route := flag.String("route", "",
+		"comma-separated replica addresses; run as a resilient routing tier instead of serving models (mutually exclusive with -model)")
+	probeInterval := flag.Duration("probe-interval", time.Second, "router: delay between replica health probes")
+	probeTimeout := flag.Duration("probe-timeout", 500*time.Millisecond, "router: per-probe timeout (a timed-out probe counts as a breaker failure)")
+	breakerThreshold := flag.Int("breaker-threshold", 3, "router: consecutive failures that open a replica's circuit breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", 2*time.Second, "router: how long an open breaker sheds load before a half-open trial")
+	retries := flag.Int("retries", 2, "router: extra attempts after a retriable failure (0 disables)")
+	retryBackoff := flag.Duration("retry-backoff", 10*time.Millisecond, "router: exponential-backoff base for the full-jitter retry delay")
+	retryBackoffMax := flag.Duration("retry-backoff-max", 250*time.Millisecond, "router: cap on the retry backoff delay")
+	hedge := flag.Duration("hedge", 0, "router: hedge idempotent requests that have not answered after this delay (0 disables)")
+
+	// Fault injection (chaos drills), applies to either mode.
+	flag.Var(&faultSpecs, "fault",
+		"deterministic fault-injection rule, e.g. 'error=503@p=0.2', '/v1/infer:latency=50ms@p=0.3', 'drop@p=0.1'; repeatable")
+	faultSeed := flag.Uint64("fault-seed", 1, "seed for the fault-injection schedule")
 	flag.Parse()
 
+	faultRules, err := faults.ParseRules(faultSpecs)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *route != "" {
+		if len(models) > 0 {
+			fatal(errors.New("-route and -model are mutually exclusive: a router proxies, it does not serve models"))
+		}
+		runRouter(*route, *addr, routerConfig{
+			probeInterval:    *probeInterval,
+			probeTimeout:     *probeTimeout,
+			breakerThreshold: *breakerThreshold,
+			breakerCooldown:  *breakerCooldown,
+			retries:          *retries,
+			backoffBase:      *retryBackoff,
+			backoffMax:       *retryBackoffMax,
+			hedge:            *hedge,
+			shutdownTimeout:  *shutdownTimeout,
+		}, faultRules, *faultSeed)
+		return
+	}
+
 	if len(models) == 0 {
-		fmt.Fprintln(os.Stderr, "positrond: at least one -model is required")
+		fmt.Fprintln(os.Stderr, "positrond: at least one -model is required (or -route for router mode)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -146,7 +215,7 @@ func main() {
 
 	httpSrv := &http.Server{
 		Addr:    *addr,
-		Handler: srv,
+		Handler: withFaults(srv, faultRules, *faultSeed),
 		// Slow-client hardening: a stalled peer must not pin a goroutine
 		// and descriptor forever. Bodies are bounded (server.MaxBodyBytes /
 		// server.MaxArtifactBytes).
@@ -170,6 +239,9 @@ func main() {
 		fmt.Printf("positrond: admission control: max in-flight %d (0 = unlimited), request timeout %s\n",
 			*maxInFlight, *requestTimeout)
 	}
+	if len(faultRules) > 0 {
+		fmt.Printf("positrond: fault injection ACTIVE (%d rule(s), seed %d)\n", len(faultRules), *faultSeed)
+	}
 	fmt.Printf("positrond: serving %d model(s) on %s\n", reg.Len(), *addr)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -177,6 +249,9 @@ func main() {
 	select {
 	case <-ctx.Done():
 		fmt.Println("positrond: shutting down...")
+		// Flip /healthz to 503 before closing the listener so routers
+		// and load balancers drain away instead of eating resets.
+		srv.BeginShutdown()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
@@ -191,6 +266,87 @@ func main() {
 		fatal(err)
 	}
 	fmt.Println("positrond: bye")
+}
+
+// routerConfig carries the router-mode flag values.
+type routerConfig struct {
+	probeInterval    time.Duration
+	probeTimeout     time.Duration
+	breakerThreshold int
+	breakerCooldown  time.Duration
+	retries          int
+	backoffBase      time.Duration
+	backoffMax       time.Duration
+	hedge            time.Duration
+	shutdownTimeout  time.Duration
+}
+
+// runRouter runs positrond as the resilient routing tier.
+func runRouter(route, addr string, cfg routerConfig, faultRules []faults.Rule, faultSeed uint64) {
+	var addrs []string
+	for _, a := range strings.Split(route, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	rt, err := router.New(addrs,
+		router.WithProbeInterval(cfg.probeInterval),
+		router.WithProbeTimeout(cfg.probeTimeout),
+		router.WithBreakerThreshold(cfg.breakerThreshold),
+		router.WithBreakerCooldown(cfg.breakerCooldown),
+		router.WithMaxRetries(cfg.retries),
+		router.WithBackoff(cfg.backoffBase, cfg.backoffMax),
+		router.WithHedgeDelay(cfg.hedge),
+	)
+	if err != nil {
+		fatal(err)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           withFaults(rt, faultRules, faultSeed),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	fmt.Printf("positrond: routing across %d replica(s): %s\n", len(addrs), strings.Join(addrs, ", "))
+	fmt.Printf("positrond: breaker threshold %d cooldown %s, retries %d (backoff %s..%s), probe every %s, hedge %s\n",
+		cfg.breakerThreshold, cfg.breakerCooldown, cfg.retries, cfg.backoffBase, cfg.backoffMax,
+		cfg.probeInterval, cfg.hedge)
+	if len(faultRules) > 0 {
+		fmt.Printf("positrond: fault injection ACTIVE (%d rule(s), seed %d)\n", len(faultRules), faultSeed)
+	}
+	fmt.Printf("positrond: router listening on %s\n", addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		fmt.Println("positrond: shutting down...")
+		rt.BeginShutdown()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.shutdownTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "positrond: shutdown:", err)
+		}
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	}
+	rt.Close()
+	fmt.Println("positrond: bye")
+}
+
+// withFaults wraps h in the fault injector when rules are configured.
+func withFaults(h http.Handler, rules []faults.Rule, seed uint64) http.Handler {
+	if len(rules) == 0 {
+		return h
+	}
+	return faults.New(seed, rules...).Wrap(h)
 }
 
 func fatal(err error) {

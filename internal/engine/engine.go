@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/datasets"
@@ -29,24 +30,35 @@ import (
 // ErrClosed is returned by Runtime methods called after Close.
 var ErrClosed = errors.New("engine: runtime closed")
 
+// ErrPanic wraps a panic recovered inside a worker: the inference that
+// panicked fails with this error, the worker survives with a fresh
+// execution plane, and Runtime.Panics counts the event. A poisoned
+// input must cost one request, never the daemon.
+var ErrPanic = errors.New("engine: inference panicked")
+
 // Result is one completed streaming inference.
 type Result struct {
 	// ID is the caller's identifier from Submit.
 	ID int
-	// Logits are the decoded output logits.
+	// Logits are the decoded output logits (nil when Err is set).
 	Logits []float64
-	// Class is the argmax class (lowest index wins ties).
+	// Class is the argmax class (lowest index wins ties); -1 when Err is
+	// set.
 	Class int
+	// Err reports an inference that failed inside the worker (a
+	// recovered model-kernel panic, wrapping ErrPanic).
+	Err error
 }
 
 // task is one unit of work: an input plus where its logits go. When dst
 // is non-nil the worker decodes into it (the allocation-free shared-
-// output path); otherwise the worker allocates the logits.
+// output path); otherwise the worker allocates the logits. deliver is
+// called exactly once, with err set when the inference panicked.
 type task struct {
 	id      int
 	x       []float64
 	dst     []float64
-	deliver func(id int, logits []float64)
+	deliver func(id int, logits []float64, err error)
 }
 
 // config collects the functional options.
@@ -99,13 +111,19 @@ type Runtime struct {
 	mu     sync.RWMutex
 	closed bool
 
+	// panics counts inferences that panicked inside a worker (each one
+	// failed with ErrPanic; the worker survived).
+	panics atomic.Int64
+
 	// shared-output batch state (sharedBatch serialises those batches).
 	sharedOut     bool
 	sharedMu      sync.Mutex
 	sharedBuf     []float64
 	sharedHdrs    [][]float64
 	sharedWG      sync.WaitGroup
-	sharedDeliver func(id int, logits []float64)
+	sharedErrMu   sync.Mutex
+	sharedErr     error
+	sharedDeliver func(id int, logits []float64, err error)
 }
 
 // NewRuntime starts a runtime over the model. Each worker builds its own
@@ -142,7 +160,16 @@ func NewRuntime(model core.Model, opts ...Option) (*Runtime, error) {
 		results:   make(chan Result, cfg.queueDepth),
 		sharedOut: cfg.sharedOut,
 	}
-	r.sharedDeliver = func(int, []float64) { r.sharedWG.Done() }
+	r.sharedDeliver = func(id int, _ []float64, err error) {
+		if err != nil {
+			r.sharedErrMu.Lock()
+			if r.sharedErr == nil {
+				r.sharedErr = fmt.Errorf("engine: batch input %d: %w", id, err)
+			}
+			r.sharedErrMu.Unlock()
+		}
+		r.sharedWG.Done()
+	}
 	r.wg.Add(cfg.workers)
 	for w := 0; w < cfg.workers; w++ {
 		go r.worker()
@@ -150,17 +177,35 @@ func NewRuntime(model core.Model, opts ...Option) (*Runtime, error) {
 	return r, nil
 }
 
-// worker drains the job queue through one private execution plane.
+// worker drains the job queue through one private execution plane. A
+// model kernel that panics fails its own task with ErrPanic and costs
+// this worker its inferer (the panic may have left scratch buffers
+// half-written, so a fresh one is built) — but never the worker, and
+// never the daemon.
 func (r *Runtime) worker() {
 	defer r.wg.Done()
 	s := r.model.NewInferer()
 	for t := range r.jobs {
-		if t.dst != nil {
-			t.deliver(t.id, s.InferInto(t.dst, t.x))
-		} else {
-			t.deliver(t.id, s.Infer(t.x))
+		logits, err := runTask(s, t)
+		if err != nil {
+			r.panics.Add(1)
+			s = r.model.NewInferer()
 		}
+		t.deliver(t.id, logits, err)
 	}
+}
+
+// runTask executes one inference, converting a panic into an error.
+func runTask(s core.Inferer, t task) (logits []float64, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			logits, err = nil, fmt.Errorf("%w: %v", ErrPanic, p)
+		}
+	}()
+	if t.dst != nil {
+		return s.InferInto(t.dst, t.x), nil
+	}
+	return s.Infer(t.x), nil
 }
 
 // Model returns the model plane the runtime serves.
@@ -183,6 +228,12 @@ func (r *Runtime) QueueLen() int { return len(r.jobs) }
 // WithSharedOutputs — callers then own the serialisation and copy-out of
 // InferBatch results.
 func (r *Runtime) SharedOutputs() bool { return r.sharedOut }
+
+// Panics returns how many inferences have panicked inside workers since
+// construction. Each one failed its own request with ErrPanic while the
+// worker survived; a nonzero value means some model kernel is unsound
+// for some inputs and deserves investigation.
+func (r *Runtime) Panics() int64 { return r.panics.Load() }
 
 // checkInput validates one input vector against the model shape.
 func (r *Runtime) checkInput(x []float64) error {
@@ -233,9 +284,21 @@ func (r *Runtime) InferBatch(ctx context.Context, xs [][]float64) ([][]float64, 
 		return r.inferBatchShared(ctx, xs)
 	}
 	out := make([][]float64, len(xs))
-	var wg sync.WaitGroup
-	deliver := func(id int, logits []float64) {
-		out[id] = logits
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	deliver := func(id int, logits []float64, err error) {
+		if err != nil {
+			errMu.Lock()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("engine: batch input %d: %w", id, err)
+			}
+			errMu.Unlock()
+		} else {
+			out[id] = logits
+		}
 		wg.Done()
 	}
 	for i, x := range xs {
@@ -247,6 +310,9 @@ func (r *Runtime) InferBatch(ctx context.Context, xs [][]float64) ([][]float64, 
 		}
 	}
 	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
 	return out, nil
 }
 
@@ -272,10 +338,17 @@ func (r *Runtime) inferBatchShared(ctx context.Context, xs [][]float64) ([][]flo
 		if err := r.enqueue(ctx, task{id: i, x: x, dst: hdrs[i], deliver: r.sharedDeliver}); err != nil {
 			r.sharedWG.Done()
 			r.sharedWG.Wait()
+			r.sharedErr = nil // delivered tasks may have panicked; the ctx error wins
 			return nil, err
 		}
 	}
 	r.sharedWG.Wait()
+	// sharedWG.Wait orders every sharedDeliver write before this read, and
+	// the caller holds sharedMu, so the reset cannot race the next batch.
+	if err := r.sharedErr; err != nil {
+		r.sharedErr = nil
+		return nil, err
+	}
 	return hdrs, nil
 }
 
@@ -357,7 +430,11 @@ func (r *Runtime) Submit(ctx context.Context, id int, x []float64) error {
 
 // deliverResult is the streaming delivery path (one shared func value so
 // Submit allocates no closure per call).
-func (r *Runtime) deliverResult(id int, logits []float64) {
+func (r *Runtime) deliverResult(id int, logits []float64, err error) {
+	if err != nil {
+		r.results <- Result{ID: id, Class: -1, Err: err}
+		return
+	}
 	r.results <- Result{ID: id, Logits: logits, Class: nn.Argmax(logits)}
 }
 

@@ -1,0 +1,188 @@
+package faults
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseRule(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Rule
+	}{
+		{"latency=50ms@p=0.3", Rule{Kind: Latency, Delay: 50 * time.Millisecond, P: 0.3}},
+		{"error=503@p=0.2", Rule{Kind: Error, Status: 503, P: 0.2}},
+		{"drop@p=0.1", Rule{Kind: Drop, P: 0.1}},
+		{"drop", Rule{Kind: Drop, P: 1}},
+		{"error=429", Rule{Kind: Error, Status: 429, P: 1}},
+		{"/v1/infer:error=503@p=1", Rule{Path: "/v1/infer", Kind: Error, Status: 503, P: 1}},
+		{"/v1/models:latency=1s", Rule{Path: "/v1/models", Kind: Latency, Delay: time.Second, P: 1}},
+	}
+	for _, c := range cases {
+		got, err := ParseRule(c.in)
+		if err != nil {
+			t.Fatalf("ParseRule(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Errorf("ParseRule(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+		// Rules round-trip through String.
+		again, err := ParseRule(got.String())
+		if err != nil || again != got {
+			t.Errorf("round-trip %q -> %q -> %+v (%v)", c.in, got.String(), again, err)
+		}
+	}
+}
+
+func TestParseRuleRejects(t *testing.T) {
+	for _, s := range []string{
+		"", "latency=abc", "latency=-5ms", "error=200", "error=x", "explode",
+		"drop@p=1.5", "drop@p=-0.1", "drop@q=0.5", "/v1/infer drop",
+	} {
+		if r, err := ParseRule(s); err == nil {
+			t.Errorf("ParseRule(%q) = %+v, want error", s, r)
+		}
+	}
+}
+
+// countingHandler records how many requests reached the inner handler.
+type countingHandler struct{ n int }
+
+func (h *countingHandler) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	h.n++
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.WriteString(w, "ok")
+}
+
+// TestErrorInjectionDeterministic replays the same seed twice and
+// demands the identical injection schedule, and a different seed to
+// diverge somewhere.
+func TestErrorInjectionDeterministic(t *testing.T) {
+	rule := Rule{Kind: Error, Status: 503, P: 0.5}
+	schedule := func(seed uint64) []int {
+		inner := &countingHandler{}
+		h := New(seed, rule).Wrap(inner)
+		codes := make([]int, 64)
+		for i := range codes {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/infer", nil))
+			codes[i] = rec.Code
+		}
+		return codes
+	}
+	a, b, c := schedule(42), schedule(42), schedule(43)
+	if len(a) != len(b) {
+		t.Fatal("length mismatch")
+	}
+	n503 := 0
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at request %d: %d vs %d", i, a[i], b[i])
+		}
+		if a[i] != c[i] {
+			same = false
+		}
+		if a[i] == 503 {
+			n503++
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical schedules")
+	}
+	// p = 0.5 over 64 draws: expect some of each, not all of either.
+	if n503 == 0 || n503 == len(a) {
+		t.Errorf("injected %d/%d errors at p=0.5 — sampling broken", n503, len(a))
+	}
+	if got := New(42, rule).Counts(); got != (Counts{}) {
+		t.Errorf("fresh injector counts = %+v, want zero", got)
+	}
+}
+
+func TestPathScoping(t *testing.T) {
+	rule := Rule{Path: "/v1/infer", Kind: Error, Status: 503, P: 1}
+	inner := &countingHandler{}
+	h := New(1, rule).Wrap(inner)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/infer", nil))
+	if rec.Code != 503 {
+		t.Errorf("scoped route: got %d, want 503", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Errorf("out-of-scope route: got %d, want 200", rec.Code)
+	}
+	if inner.n != 1 {
+		t.Errorf("inner handler saw %d requests, want 1", inner.n)
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	rule := Rule{Kind: Latency, Delay: 30 * time.Millisecond, P: 1}
+	in := New(7, rule)
+	h := in.Wrap(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(200)
+	}))
+	start := time.Now()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Errorf("request returned after %s, want >= 30ms injected latency", d)
+	}
+	if rec.Code != 200 {
+		t.Errorf("latency rule must fall through: got %d", rec.Code)
+	}
+	if c := in.Counts(); c.Latencies != 1 {
+		t.Errorf("latencies = %d, want 1", c.Latencies)
+	}
+}
+
+// TestDropSeversConnection exercises the hijack path over a real
+// listener: the client must see a transport error, not a response.
+func TestDropSeversConnection(t *testing.T) {
+	in := New(3, Rule{Kind: Drop, P: 1})
+	ts := httptest.NewServer(in.Wrap(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(200)
+	})))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/infer")
+	if err == nil {
+		resp.Body.Close()
+		t.Fatalf("dropped request produced a response: %v", resp.Status)
+	}
+	if c := in.Counts(); c.Drops != 1 {
+		t.Errorf("drops = %d, want 1", c.Drops)
+	}
+}
+
+func TestNilInjectorPassesThrough(t *testing.T) {
+	var in *Injector
+	inner := &countingHandler{}
+	if h := in.Wrap(inner); h != http.Handler(inner) {
+		t.Error("nil injector must return next unchanged")
+	}
+	if got := in.Counts(); got != (Counts{}) {
+		t.Errorf("nil injector counts = %+v", got)
+	}
+	if in.Rules() != nil {
+		t.Error("nil injector rules != nil")
+	}
+}
+
+func TestParseRules(t *testing.T) {
+	rules, err := ParseRules([]string{"drop@p=0.1", "/x:error=500"})
+	if err != nil || len(rules) != 2 {
+		t.Fatalf("ParseRules: %v (%d rules)", err, len(rules))
+	}
+	if _, err := ParseRules([]string{"drop", "bogus"}); err == nil ||
+		!strings.Contains(err.Error(), "bogus") {
+		t.Errorf("ParseRules must fail on the bad rule, got %v", err)
+	}
+}

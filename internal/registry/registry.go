@@ -359,6 +359,14 @@ func (r *Registry) Len() int {
 	return len(r.entries)
 }
 
+// Closed reports whether Close has been called — the readiness probe's
+// signal that this process is past the point of serving.
+func (r *Registry) Closed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.closed
+}
+
 // ModelStat is one registry entry's introspection record.
 type ModelStat struct {
 	Name         string   `json:"name"`
@@ -379,8 +387,12 @@ type ModelStat struct {
 	RequestTimeout string `json:"request_timeout"`
 	// QueueLen/QueueCap sample the runtime job queue — the backpressure
 	// signal behind admission control.
-	QueueLen int      `json:"queue_len"`
-	QueueCap int      `json:"queue_cap"`
+	QueueLen int `json:"queue_len"`
+	QueueCap int `json:"queue_cap"`
+	// Panics counts inferences that panicked inside a worker (each failed
+	// its own request; the worker survived). Nonzero means some kernel is
+	// unsound for some inputs.
+	Panics   int64    `json:"panics"`
 	LoadedAt string   `json:"loaded_at"`
 	Metrics  Snapshot `json:"metrics"`
 }
@@ -406,6 +418,7 @@ func statFor(e *entry) ModelStat {
 		RequestTimeout: e.timeout.String(),
 		QueueLen:       e.rt.QueueLen(),
 		QueueCap:       e.rt.QueueCap(),
+		Panics:         e.rt.Panics(),
 		LoadedAt:       e.loaded.UTC().Format(time.RFC3339),
 		Metrics:        e.metrics.Snapshot(),
 	}

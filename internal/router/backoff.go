@@ -1,0 +1,34 @@
+package router
+
+// Retry backoff: exponential with full jitter (sleep uniformly in
+// [0, min(cap, base·2^attempt))), the schedule that minimises total
+// client work under contention — a herd of retries after a replica
+// crash must decorrelate, not resynchronise. Draws come from the
+// router's seeded SplitMix64 source so tests can pin the schedule.
+
+import (
+	"time"
+
+	"repro/internal/rng"
+)
+
+// backoffDelay returns the sleep before retry number attempt (0-based):
+// uniform in [0, min(max, base<<attempt)). base <= 0 disables backoff.
+// The caller owns the source's synchronisation.
+func backoffDelay(src *rng.Source, base, max time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	if max < base {
+		max = base
+	}
+	ceil := max
+	// base<<attempt with overflow care: beyond 62 shifts (or once the
+	// shifted value passes max) the cap rules.
+	if attempt < 62 {
+		if d := base << uint(attempt); d > 0 && d < max {
+			ceil = d
+		}
+	}
+	return time.Duration(src.Float64() * float64(ceil))
+}

@@ -1,0 +1,65 @@
+package router
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+)
+
+func TestBackoffJitterBounds(t *testing.T) {
+	const (
+		base = 10 * time.Millisecond
+		max  = 250 * time.Millisecond
+	)
+	src := rng.New(42)
+	for attempt := 0; attempt < 16; attempt++ {
+		ceil := max
+		if attempt < 62 {
+			if d := base << uint(attempt); d > 0 && d < max {
+				ceil = d
+			}
+		}
+		for i := 0; i < 200; i++ {
+			d := backoffDelay(src, base, max, attempt)
+			if d < 0 || d >= ceil {
+				t.Fatalf("attempt %d draw %d: delay %v outside [0, %v)", attempt, i, d, ceil)
+			}
+		}
+	}
+}
+
+func TestBackoffDeterministic(t *testing.T) {
+	a, b := rng.New(7), rng.New(7)
+	for k := 0; k < 32; k++ {
+		da := backoffDelay(a, time.Millisecond, time.Second, k%6)
+		db := backoffDelay(b, time.Millisecond, time.Second, k%6)
+		if da != db {
+			t.Fatalf("draw %d: same seed diverged: %v vs %v", k, da, db)
+		}
+	}
+}
+
+func TestBackoffDisabledAndClamped(t *testing.T) {
+	src := rng.New(1)
+	if d := backoffDelay(src, 0, time.Second, 3); d != 0 {
+		t.Fatalf("base 0 must disable backoff, got %v", d)
+	}
+	if d := backoffDelay(src, -time.Millisecond, time.Second, 3); d != 0 {
+		t.Fatalf("negative base must disable backoff, got %v", d)
+	}
+	// max below base clamps up to base, never panics or goes negative.
+	for i := 0; i < 100; i++ {
+		d := backoffDelay(src, 100*time.Millisecond, time.Millisecond, 5)
+		if d < 0 || d >= 100*time.Millisecond {
+			t.Fatalf("clamped draw %v outside [0, base)", d)
+		}
+	}
+	// Huge attempt numbers must not overflow the shift.
+	for i := 0; i < 100; i++ {
+		d := backoffDelay(src, time.Millisecond, time.Second, 300)
+		if d < 0 || d >= time.Second {
+			t.Fatalf("large-attempt draw %v outside [0, max)", d)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package router
+
+// The per-replica circuit breaker. A replica that keeps failing must
+// stop receiving traffic before it drags every request through a
+// timeout — the breaker trips after a run of consecutive failures
+// (opened), sheds load for a cooldown, then lets a single trial through
+// (half-open) and closes again only on success. Active health probes
+// feed the same breaker, so a crashed replica trips it without any
+// client paying for the discovery, and a recovered one closes it before
+// client traffic has to gamble.
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is one replica's circuit-breaker state.
+type BreakerState int
+
+const (
+	// BreakerClosed: traffic flows; consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: traffic is shed until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: one trial request may probe the replica; success
+	// closes the breaker, failure re-opens it.
+	BreakerHalfOpen
+)
+
+// String names the state as it appears in metrics.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// breakerCounts are the transition counters a breaker accumulates.
+type breakerCounts struct {
+	Opens     int64 `json:"opens"`
+	HalfOpens int64 `json:"half_opens"`
+	Closes    int64 `json:"closes"`
+}
+
+// breaker is one replica's state machine. All methods are safe for
+// concurrent use. now is injectable so the transition tests are
+// deterministic.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int // consecutive failures while closed
+	openedAt time.Time
+	trial    bool // half-open trial in flight
+	counts   breakerCounts
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// Allow reports whether a request may be sent to the replica right now.
+// While open it denies until the cooldown elapses, then admits exactly
+// one trial (the half-open transition); further requests are denied
+// until that trial settles via RecordSuccess or RecordFailure.
+func (b *breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.counts.HalfOpens++
+		b.trial = true
+		return true
+	default: // BreakerHalfOpen
+		if b.trial {
+			return false
+		}
+		b.trial = true
+		return true
+	}
+}
+
+// RecordSuccess closes the breaker from any state. Health probes call
+// this too: a recovered replica rejoins the pool on its next good probe
+// without waiting for a client request to run the half-open trial.
+func (b *breaker) RecordSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerClosed {
+		b.counts.Closes++
+	}
+	b.state = BreakerClosed
+	b.fails = 0
+	b.trial = false
+}
+
+// RecordFailure counts one failure: the threshold-th consecutive
+// failure while closed opens the breaker, and a failed half-open trial
+// re-opens it (restarting the cooldown). Failures while already open
+// keep it open without extending the cooldown.
+func (b *breaker) RecordFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.openLocked()
+		}
+	case BreakerHalfOpen:
+		b.openLocked()
+	case BreakerOpen:
+		// Already shedding; nothing to count.
+	}
+}
+
+func (b *breaker) openLocked() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.trial = false
+	b.counts.Opens++
+}
+
+// State returns the current state (transitioning Open to HalfOpen is
+// done by Allow, not State — observation must not consume the trial).
+func (b *breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// snapshot returns the state, consecutive-failure count and transition
+// counters atomically.
+func (b *breaker) snapshot() (BreakerState, int, breakerCounts) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.fails, b.counts
+}

@@ -1,0 +1,143 @@
+package router
+
+import (
+	"testing"
+	"time"
+)
+
+// testClock is an injectable manual clock for deterministic breaker
+// transition tests.
+type testClock struct{ t time.Time }
+
+func (c *testClock) now() time.Time          { return c.t }
+func (c *testClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(threshold int, cooldown time.Duration) (*breaker, *testClock) {
+	clk := &testClock{t: time.Unix(0, 0)}
+	b := newBreaker(threshold, cooldown)
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerFullCycle(t *testing.T) {
+	b, clk := newTestBreaker(3, time.Second)
+
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("initial state = %v, want closed", got)
+	}
+	// Failures below the threshold keep it closed.
+	b.RecordFailure()
+	b.RecordFailure()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("after 2 failures state = %v, want closed", got)
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker must allow")
+	}
+	// The third consecutive failure opens it.
+	b.RecordFailure()
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("after 3 failures state = %v, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker must deny before cooldown")
+	}
+	// Just before the cooldown elapses it still denies.
+	clk.advance(time.Second - time.Nanosecond)
+	if b.Allow() {
+		t.Fatal("open breaker must deny until the full cooldown")
+	}
+	// After the cooldown one trial is admitted (half-open), and only one.
+	clk.advance(time.Nanosecond)
+	if !b.Allow() {
+		t.Fatal("breaker must admit a trial after cooldown")
+	}
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state after trial admitted = %v, want half-open", got)
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker must admit exactly one trial")
+	}
+	// Trial success closes.
+	b.RecordSuccess()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("after trial success state = %v, want closed", got)
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker must allow again")
+	}
+
+	_, fails, counts := b.snapshot()
+	if fails != 0 {
+		t.Fatalf("consecutive fails after close = %d, want 0", fails)
+	}
+	want := breakerCounts{Opens: 1, HalfOpens: 1, Closes: 1}
+	if counts != want {
+		t.Fatalf("counts = %+v, want %+v", counts, want)
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+
+	b.RecordFailure() // threshold 1: opens immediately
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state = %v, want open", got)
+	}
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("expected half-open trial")
+	}
+	// Trial failure re-opens and restarts the cooldown.
+	b.RecordFailure()
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after failed trial = %v, want open", got)
+	}
+	clk.advance(time.Second - time.Millisecond)
+	if b.Allow() {
+		t.Fatal("cooldown must restart after a failed trial")
+	}
+	clk.advance(time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("expected a second trial after the restarted cooldown")
+	}
+
+	_, _, counts := b.snapshot()
+	want := breakerCounts{Opens: 2, HalfOpens: 2, Closes: 0}
+	if counts != want {
+		t.Fatalf("counts = %+v, want %+v", counts, want)
+	}
+}
+
+func TestBreakerSuccessResetsFailureRun(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	b.RecordFailure()
+	b.RecordFailure()
+	b.RecordSuccess() // interrupts the run
+	b.RecordFailure()
+	b.RecordFailure()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state = %v, want closed (failures are consecutive, not cumulative)", got)
+	}
+	b.RecordFailure()
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state = %v, want open after 3 consecutive failures", got)
+	}
+}
+
+func TestBreakerProbeSuccessClosesFromOpen(t *testing.T) {
+	// Health probes call RecordSuccess directly: a recovered replica
+	// must rejoin without waiting for a client-driven half-open trial.
+	b, _ := newTestBreaker(1, time.Hour)
+	b.RecordFailure()
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state = %v, want open", got)
+	}
+	b.RecordSuccess()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after probe success = %v, want closed", got)
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker must allow")
+	}
+}

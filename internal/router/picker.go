@@ -1,0 +1,118 @@
+package router
+
+// Replica selection: consistent-hash affinity with load-aware spill.
+// Rendezvous (highest-random-weight) hashing gives every model name a
+// stable preference order over the replica set — so a hot model's
+// requests land where its tables are warm, and adding or removing one
+// replica only reassigns the models that hashed to it. The picker
+// prefers the affinity replica until its probed queue occupancy says it
+// is busier than the least-loaded alternative AND at least half full;
+// then it spills to the least-queue-depth candidate. The circuit
+// breaker has the final word at selection time.
+
+import "hash/fnv"
+
+// rendezvousScore ranks (model, replica) pairs; the highest score is
+// the model's home replica.
+func rendezvousScore(model, addr string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(model))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(addr))
+	return h.Sum64()
+}
+
+// rank returns the replicas in the model's rendezvous preference order.
+func (rt *Router) rank(model string) []*replica {
+	ranked := make([]*replica, len(rt.replicas))
+	copy(ranked, rt.replicas)
+	scores := make(map[*replica]uint64, len(ranked))
+	for _, r := range ranked {
+		scores[r] = rendezvousScore(model, r.addr())
+	}
+	// Insertion sort: replica counts are single digits.
+	for i := 1; i < len(ranked); i++ {
+		for j := i; j > 0 && scores[ranked[j]] > scores[ranked[j-1]]; j-- {
+			ranked[j], ranked[j-1] = ranked[j-1], ranked[j]
+		}
+	}
+	return ranked
+}
+
+// pick selects the replica for one attempt on model, skipping replicas
+// in tried (earlier attempts of the same request) while alternatives
+// remain, preferring ready replicas over merely-live ones, and asking
+// each candidate's breaker for permission. It returns nil when no
+// replica is currently available — the caller degrades to a fast 503.
+func (rt *Router) pick(model string, tried map[*replica]bool) *replica {
+	ranked := rt.rank(model)
+
+	// Candidate passes, most to least constrained: untried+ready,
+	// untried+routable, then (when everything was tried already) any
+	// ready, any routable, and finally any replica at all. Within a pass
+	// the affinity/least-queue rule chooses, then breakers gate. The
+	// last pass makes the probed health view advisory rather than
+	// absolute: a single timed-out probe (CPU contention, a slow host)
+	// must not blacklist the only live replica — the breaker, which
+	// integrates real request outcomes, has the final word, and only
+	// when every breaker denies does the router degrade to a fast 503.
+	passes := []func(r *replica) bool{
+		func(r *replica) bool {
+			h, d, ready, _, _ := r.view()
+			return !tried[r] && h && !d && ready
+		},
+		func(r *replica) bool { return !tried[r] && r.routable() },
+		func(r *replica) bool {
+			h, d, ready, _, _ := r.view()
+			return h && !d && ready
+		},
+		func(r *replica) bool { return r.routable() },
+		func(r *replica) bool { return true },
+	}
+	for _, keep := range passes {
+		var cands []*replica
+		for _, r := range ranked {
+			if keep(r) {
+				cands = append(cands, r)
+			}
+		}
+		if len(cands) == 0 {
+			continue
+		}
+		if r := admitOne(cands); r != nil {
+			return r
+		}
+	}
+	return nil
+}
+
+// admitOne applies the affinity/least-queue rule over candidates (in
+// rendezvous order) and returns the first whose breaker admits.
+func admitOne(cands []*replica) *replica {
+	affinity := cands[0]
+	_, _, _, affLen, affCap := affinity.view()
+	least := affinity
+	leastLen := affLen
+	for _, c := range cands[1:] {
+		_, _, _, qLen, _ := c.view()
+		if qLen < leastLen {
+			least, leastLen = c, qLen
+		}
+	}
+	choice := affinity
+	// Spill only when the home replica is both busier than the best
+	// alternative and at least half full — affinity is worth a short
+	// queue, not a saturated one.
+	if affLen > leastLen && affCap > 0 && 2*affLen >= affCap {
+		choice = least
+	}
+	if choice.br.Allow() {
+		return choice
+	}
+	for _, c := range cands {
+		if c != choice && c.br.Allow() {
+			return c
+		}
+	}
+	return nil
+}

@@ -3,7 +3,13 @@
 // worker-pool Runtime and a dynamic micro-batcher; single-sample
 // requests arriving within the batching window share one runtime batch.
 //
-//	GET    /healthz                 liveness probe
+//	GET    /healthz                 liveness probe (503 once shutdown
+//	                                has begun — the drain signal the
+//	                                router tier routes away from)
+//	GET    /readyz                  readiness probe: 503 while the
+//	                                registry is closed, empty, or every
+//	                                model queue is saturated; the body
+//	                                carries per-model queue occupancy
 //	GET    /v1/models               list loaded models (with stats)
 //	POST   /v1/models               load a model: {"name": "...", "path": "..."}
 //	                                or {"name": "...", "artifact": {...}}
@@ -39,6 +45,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/engine"
@@ -61,6 +68,14 @@ type Server struct {
 	defaultName string
 	modelDir    string
 	mux         *http.ServeMux
+
+	// draining flips /healthz to 503 once shutdown has begun, so
+	// health-probing upstreams stop routing here while in-flight requests
+	// finish (BeginShutdown).
+	draining atomic.Bool
+	// panics counts handler panics recovered by ServeHTTP (500 to the
+	// client, daemon alive). Exposed in /v1/metrics.
+	panics atomic.Int64
 }
 
 // Option configures a Server at construction.
@@ -84,6 +99,7 @@ func New(reg *registry.Registry, defaultName string, opts ...Option) *Server {
 		opt(s)
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /v1/models", s.handleListModels)
 	s.mux.HandleFunc("POST /v1/models", s.handleLoadModel)
 	s.mux.HandleFunc("GET /v1/models/{name}", s.handleModelStat)
@@ -93,6 +109,7 @@ func New(reg *registry.Registry, defaultName string, opts ...Option) *Server {
 	s.mux.HandleFunc("GET /v1/model", s.handleDefaultModelStat)
 	s.mux.HandleFunc("POST /v1/infer", s.handleDefaultInfer)
 	s.mux.HandleFunc("/healthz", methodNotAllowed)
+	s.mux.HandleFunc("/readyz", methodNotAllowed)
 	s.mux.HandleFunc("/v1/models", methodNotAllowed)
 	s.mux.HandleFunc("/v1/models/{name}", methodNotAllowed)
 	s.mux.HandleFunc("/v1/models/{name}/infer", methodNotAllowed)
@@ -102,8 +119,53 @@ func New(reg *registry.Registry, defaultName string, opts ...Option) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. It recovers handler panics: the
+// request fails with a 500 JSON error (when nothing has been written
+// yet) and the daemon survives, with the event counted in /v1/metrics.
+// http.ErrAbortHandler propagates — that is net/http's own
+// abort-the-connection protocol, not a crash.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	ww := &observedWriter{ResponseWriter: w}
+	defer func() {
+		if p := recover(); p != nil {
+			if p == http.ErrAbortHandler {
+				panic(p)
+			}
+			s.panics.Add(1)
+			if !ww.wrote {
+				writeError(ww, http.StatusInternalServerError, "internal error: %v", p)
+			}
+		}
+	}()
+	s.mux.ServeHTTP(ww, r)
+}
+
+// BeginShutdown flips /healthz (and /readyz) to 503 so health-probing
+// upstreams — the router tier, load balancers — stop routing new
+// requests to this replica while in-flight ones finish. Call it before
+// shutting the HTTP listener down; it does not itself reject requests.
+// Idempotent and safe for concurrent use.
+func (s *Server) BeginShutdown() { s.draining.Store(true) }
+
+// Draining reports whether BeginShutdown has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// observedWriter tracks whether a response has started, so the panic
+// recovery path knows if a 500 can still be written.
+type observedWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (w *observedWriter) WriteHeader(code int) {
+	w.wrote = true
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *observedWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
 
 // Registry returns the model registry backing the server.
 func (s *Server) Registry() *registry.Registry { return s.reg }
@@ -133,7 +195,54 @@ func methodNotAllowed(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// readyModel is one model's queue occupancy in the readiness body.
+type readyModel struct {
+	Name     string `json:"name"`
+	QueueLen int    `json:"queue_len"`
+	QueueCap int    `json:"queue_cap"`
+}
+
+// readyResponse is the /readyz body: overall status plus per-model
+// occupancy, the signal the router tier's probes read for least-loaded
+// replica picking.
+type readyResponse struct {
+	Status string       `json:"status"`
+	Models []readyModel `json:"models"`
+}
+
+// handleReadyz distinguishes readiness from liveness: the process may be
+// alive (healthz 200) yet unable to serve — shutting down, no models
+// loaded, or every model's job queue saturated. Upstreams route new
+// traffic only to ready replicas.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	stats := s.reg.Stats()
+	models := make([]readyModel, len(stats))
+	saturated := len(stats) > 0
+	for i, st := range stats {
+		models[i] = readyModel{Name: st.Name, QueueLen: st.QueueLen, QueueCap: st.QueueCap}
+		if st.QueueLen < st.QueueCap {
+			saturated = false
+		}
+	}
+	status, code := "ready", http.StatusOK
+	switch {
+	case s.draining.Load():
+		status, code = "draining", http.StatusServiceUnavailable
+	case s.reg.Closed():
+		status, code = "registry closed", http.StatusServiceUnavailable
+	case len(stats) == 0:
+		status, code = "no models loaded", http.StatusServiceUnavailable
+	case saturated:
+		status, code = "all model queues saturated", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, readyResponse{Status: status, Models: models})
 }
 
 // defaultModel resolves the name behind the /v1/infer and /v1/model
@@ -288,12 +397,26 @@ func (s *Server) writeModelStat(w http.ResponseWriter, name string) {
 
 // --- metrics ---
 
+// serverMetrics is the process-level slice of /v1/metrics (per-model
+// stats live under "models").
+type serverMetrics struct {
+	// Panics counts handler panics recovered by ServeHTTP (each cost one
+	// request a 500, never the daemon).
+	Panics int64 `json:"panics"`
+	// Draining reports whether shutdown has begun (healthz is 503).
+	Draining bool `json:"draining"`
+}
+
 type metricsResponse struct {
+	Server serverMetrics        `json:"server"`
 	Models []registry.ModelStat `json:"models"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, metricsResponse{Models: s.reg.Stats()})
+	writeJSON(w, http.StatusOK, metricsResponse{
+		Server: serverMetrics{Panics: s.panics.Load(), Draining: s.draining.Load()},
+		Models: s.reg.Stats(),
+	})
 }
 
 // --- inference ---
@@ -407,6 +530,11 @@ func (s *Server) infer(w http.ResponseWriter, r *http.Request, name string) {
 		return
 	case errors.Is(err, engine.ErrClosed), errors.Is(err, registry.ErrBatcherClosed):
 		writeError(w, http.StatusServiceUnavailable, "model %q unloading", name)
+		return
+	case errors.Is(err, engine.ErrPanic):
+		// A poisoned input killed its own inference, not the daemon; the
+		// worker recovered and /v1/metrics counts the panic.
+		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	default:
 		// Context cancellation: the client is gone; any status works.

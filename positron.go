@@ -12,7 +12,10 @@
 //     plus float64 training to produce the networks.
 //   - Serving: the Model interface (uniform and mixed-precision networks
 //     behind one versioned Save/Load artifact) and the context-aware
-//     worker-pool Runtime; cmd/positrond serves any artifact over HTTP.
+//     worker-pool Runtime; cmd/positrond serves any artifact over HTTP,
+//     and the Router tier fronts many positrond replicas with circuit
+//     breakers, retries and health-aware proxying (chaos-tested via the
+//     deterministic FaultInjector).
 //   - Evaluation: the analytic Virtex-7 hardware model and harnesses
 //     regenerating every table and figure of the paper.
 //
@@ -26,6 +29,7 @@ import (
 	"repro/internal/datasets"
 	"repro/internal/emac"
 	"repro/internal/engine"
+	"repro/internal/faults"
 	"repro/internal/fixedpoint"
 	"repro/internal/hw"
 	"repro/internal/minifloat"
@@ -33,6 +37,7 @@ import (
 	"repro/internal/posit"
 	"repro/internal/registry"
 	"repro/internal/rng"
+	"repro/internal/router"
 	"repro/internal/server"
 )
 
@@ -373,6 +378,79 @@ func WithModelDir(dir string) ServerOption { return server.WithModelDir(dir) }
 // one).
 func NewServer(reg *Registry, defaultModel string, opts ...ServerOption) *InferenceServer {
 	return server.New(reg, defaultModel, opts...)
+}
+
+// --- resilience: replica routing and fault injection ---
+
+// Router is the resilient replica-routing tier: an HTTP handler that
+// fronts N positrond replicas with per-replica circuit breakers, active
+// health probing, bounded retries with full-jitter backoff,
+// consistent-hash model affinity with least-queue-depth spill, optional
+// request hedging, and graceful degradation to a fast 503 with
+// Retry-After when no replica is available. cmd/positrond runs one with
+// -route.
+type Router = router.Router
+
+// RouterOption configures a Router at construction.
+type RouterOption = router.Option
+
+// NewRouter builds a routing tier over the replica addresses and starts
+// one health-probe goroutine per replica; call Close to release them.
+func NewRouter(addrs []string, opts ...RouterOption) (*Router, error) {
+	return router.New(addrs, opts...)
+}
+
+// WithProbeInterval sets the delay between replica health probes.
+func WithProbeInterval(d time.Duration) RouterOption { return router.WithProbeInterval(d) }
+
+// WithProbeTimeout bounds one probe round; a timed-out probe counts as
+// a circuit-breaker failure.
+func WithProbeTimeout(d time.Duration) RouterOption { return router.WithProbeTimeout(d) }
+
+// WithBreakerThreshold sets how many consecutive failures open a
+// replica's circuit breaker.
+func WithBreakerThreshold(n int) RouterOption { return router.WithBreakerThreshold(n) }
+
+// WithBreakerCooldown sets how long an open breaker sheds load before
+// admitting a half-open trial.
+func WithBreakerCooldown(d time.Duration) RouterOption { return router.WithBreakerCooldown(d) }
+
+// WithMaxRetries bounds extra attempts after a retriable failure.
+func WithMaxRetries(n int) RouterOption { return router.WithMaxRetries(n) }
+
+// WithRetryBackoff sets the exponential-backoff base and cap for the
+// full-jitter retry delay.
+func WithRetryBackoff(base, max time.Duration) RouterOption { return router.WithBackoff(base, max) }
+
+// WithHedgeDelay hedges idempotent requests that have not answered
+// after d with a second attempt at another replica; the first response
+// wins. 0 disables hedging.
+func WithHedgeDelay(d time.Duration) RouterOption { return router.WithHedgeDelay(d) }
+
+// RouterMetrics is the router's /v1/metrics body: router-level counters
+// plus per-replica breaker and probe state.
+type RouterMetrics = router.MetricsSnapshot
+
+// ReplicaStatus is one replica's snapshot in RouterMetrics.
+type ReplicaStatus = router.ReplicaStatus
+
+// FaultRule is one deterministic fault-injection rule (see
+// ParseFaultRule for the grammar).
+type FaultRule = faults.Rule
+
+// FaultInjector injects latency, error and connection-drop faults into
+// an HTTP handler on a seeded deterministic schedule — the chaos half
+// of the resilience harness (positrond -fault).
+type FaultInjector = faults.Injector
+
+// ParseFaultRule parses "latency=50ms@p=0.3", "error=503@p=0.2",
+// "drop@p=0.1", optionally scoped as "/v1/infer:error=503@p=0.2".
+func ParseFaultRule(s string) (FaultRule, error) { return faults.ParseRule(s) }
+
+// NewFaultInjector builds an injector over the rules; wrap a handler
+// with its Wrap method. Identical seeds replay identical schedules.
+func NewFaultInjector(seed uint64, rules ...FaultRule) *FaultInjector {
+	return faults.New(seed, rules...)
 }
 
 // Engine is the original worker-pool batch-inference engine over a
