@@ -521,7 +521,9 @@ func BenchmarkAllocDotProduct(b *testing.B) {
 
 // BenchmarkAllocForwardPosit8 is the Table II-style end-to-end
 // microbenchmark: one full posit(8,0) forward pass through a WBC-shaped
-// network (30-16-8-2) on the pre-decoded inference plane.
+// network (30-16-8-2) on the pre-decoded inference plane. A warm session
+// decoding through InferInto into a reused buffer must not allocate at
+// all — the proof single-sample inference is allocation-free end to end.
 func BenchmarkAllocForwardPosit8(b *testing.B) {
 	posit.WarmTables(posit.MustFormat(8, 0))
 	net := NewMLP([]int{30, 16, 8, 2}, 42)
@@ -531,10 +533,65 @@ func BenchmarkAllocForwardPosit8(b *testing.B) {
 	for i := range x {
 		x[i] = r.NormMS(0, 1)
 	}
-	dp.Infer(x) // one warm pass so lazy buffers don't count
+	s := dp.NewSession()
+	logits := make([]float64, 2)
+	s.InferInto(logits, x) // one warm pass so lazy buffers don't count
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		dp.Infer(x)
+		s.InferInto(logits, x)
+	}
+}
+
+// BenchmarkForwardBatch measures the fused whole-flush batch kernels
+// (decode-once-per-flush, cache-blocked weight traversal, SWAR/table
+// inner loops) against looping the per-sample kernel over the same
+// flush, for each arm and flush size. cmd/benchsnap -check holds the
+// fused 256-flush to at least per-sample throughput in CI.
+func BenchmarkForwardBatch(b *testing.B) {
+	const in, out = 30, 16
+	for _, arith := range []emac.Arithmetic{
+		emac.NewPosit(8, 0), emac.NewFloatN(8, 4), emac.NewFixed(8, 4),
+	} {
+		r := rng.New(31)
+		w := make([][]emac.Code, out)
+		bias := make([]emac.Code, out)
+		for j := range w {
+			row := make([]emac.Code, in)
+			for i := range row {
+				row[i] = arith.Quantize(r.NormMS(0, 1))
+			}
+			w[j] = row
+			bias[j] = arith.Quantize(r.NormMS(0, 0.5))
+		}
+		k, ok := arith.(emac.KernelBuilder).NewLayerKernel(w, bias)
+		if !ok {
+			b.Fatalf("%s: no layer kernel", arith.Name())
+		}
+		bk, ok := arith.(emac.BatchKernelBuilder).NewBatchLayerKernel(w, bias)
+		if !ok {
+			b.Fatalf("%s: no batch layer kernel", arith.Name())
+		}
+		for _, bsz := range []int{8, 32, 256} {
+			act := make([]emac.Code, bsz*in)
+			for i := range act {
+				act[i] = arith.Quantize(r.NormMS(0, 1))
+			}
+			dst := make([]emac.Code, bsz*out)
+			b.Run(fmt.Sprintf("fused/%s/B%d", arith.Name(), bsz), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					bk.ForwardBatchStrided(act, dst, bsz)
+				}
+			})
+			b.Run(fmt.Sprintf("persample/%s/B%d", arith.Name(), bsz), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					for s := 0; s < bsz; s++ {
+						k.Forward(act[s*in:(s+1)*in], dst[s*out:(s+1)*out])
+					}
+				}
+			})
+		}
 	}
 }

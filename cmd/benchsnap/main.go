@@ -5,6 +5,10 @@
 //
 //	go run ./cmd/benchsnap            # writes ./BENCH_arith.json
 //	go run ./cmd/benchsnap -o out.json
+//	go run ./cmd/benchsnap -check     # bench-regression smoke (CI): fail
+//	                                  # if the fused 256-sample flush is
+//	                                  # slower than 256x the per-sample
+//	                                  # layer kernel; writes nothing
 package main
 
 import (
@@ -70,6 +74,8 @@ func measure(name string, fn func(b *testing.B)) Result {
 
 func main() {
 	out := flag.String("o", "BENCH_arith.json", "output path")
+	check := flag.Bool("check", false,
+		"regression smoke: only compare ForwardBatch256 against 256x the per-sample layer kernel per arm, exit 1 on regression, write nothing")
 	flag.Parse()
 
 	f80 := posit.MustFormat(8, 0)
@@ -102,68 +108,91 @@ func main() {
 		GOARCH:    runtime.GOARCH,
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
 	}
-	snap.Results = append(snap.Results,
-		measure("PositMul/posit(8,0)", func(b *testing.B) {
-			b.ReportAllocs()
-			var sink posit.Posit
-			for i := 0; i < b.N; i++ {
-				sink = mulXs[i%1024].Mul(mulXs[(i+7)%1024])
-			}
-			_ = sink
-		}),
-		measure("PositAdd/posit(8,0)", func(b *testing.B) {
-			b.ReportAllocs()
-			var sink posit.Posit
-			for i := 0; i < b.N; i++ {
-				sink = addXs[i%1024].Add(addXs[(i+7)%1024])
-			}
-			_ = sink
-		}),
-		measure("DotProduct256/posit(8,0)", func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				posit.DotProduct(dotW, dotX)
-			}
-		}),
-		measure("Forward30-16-8-2/posit(8,0)", func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				dp.Infer(inX)
-			}
-		}),
-		measure("Forward30-16-8-2/float(8,4)", func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				dpFloat.Infer(inX)
-			}
-		}),
-		measure("Forward30-16-8-2/fixed(8,4)", func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				dpFixed.Infer(inX)
-			}
-		}),
-	)
-	// Layer-kernel benches: one pre-decoded 16×30 layer forward per arm
-	// (the Table II cross-arm datapath at layer granularity).
+	if !*check {
+		// Forward30-16-8-2 measures steady-state serving inference: one
+		// warm session per arm through InferInto with a reused logits
+		// buffer, so the row proves the single-sample path is
+		// allocation-free end to end.
+		sess := dp.NewSession()
+		sessFloat := dpFloat.NewSession()
+		sessFixed := dpFixed.NewSession()
+		logits := make([]float64, 2)
+		sess.InferInto(logits, inX)
+		sessFloat.InferInto(logits, inX)
+		sessFixed.InferInto(logits, inX)
+		snap.Results = append(snap.Results,
+			measure("PositMul/posit(8,0)", func(b *testing.B) {
+				b.ReportAllocs()
+				var sink posit.Posit
+				for i := 0; i < b.N; i++ {
+					sink = mulXs[i%1024].Mul(mulXs[(i+7)%1024])
+				}
+				_ = sink
+			}),
+			measure("PositAdd/posit(8,0)", func(b *testing.B) {
+				b.ReportAllocs()
+				var sink posit.Posit
+				for i := 0; i < b.N; i++ {
+					sink = addXs[i%1024].Add(addXs[(i+7)%1024])
+				}
+				_ = sink
+			}),
+			measure("DotProduct256/posit(8,0)", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					posit.DotProduct(dotW, dotX)
+				}
+			}),
+			measure("Forward30-16-8-2/posit(8,0)", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					sess.InferInto(logits, inX)
+				}
+			}),
+			measure("Forward30-16-8-2/float(8,4)", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					sessFloat.InferInto(logits, inX)
+				}
+			}),
+			measure("Forward30-16-8-2/fixed(8,4)", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					sessFixed.InferInto(logits, inX)
+				}
+			}),
+		)
+	}
+	// Layer-kernel and fused-batch benches: one pre-decoded 16×30 layer
+	// per arm, measuring the per-sample Forward against the whole-flush
+	// ForwardBatch at B ∈ {8, 32, 256} (the Table II cross-arm datapath
+	// at layer and flush granularity). In -check mode only the 256-flush
+	// runs and is held to 256× the per-sample kernel.
+	type layerCheck struct {
+		arm      string
+		perOp    float64
+		batch256 float64
+	}
+	var checks []layerCheck
 	for _, arm := range []struct {
 		name string
 		a    emac.Arithmetic
 	}{
-		{"LayerKernel16x30/posit(8,0)", emac.NewPosit(8, 0)},
-		{"LayerKernel16x30/float(8,4)", emac.NewFloatN(8, 4)},
-		{"LayerKernel16x30/fixed(8,4)", emac.NewFixed(8, 4)},
+		{"posit(8,0)", emac.NewPosit(8, 0)},
+		{"float(8,4)", emac.NewFloatN(8, 4)},
+		{"fixed(8,4)", emac.NewFixed(8, 4)},
 	} {
 		const in, out = 30, 16
+		lr := rng.New(31)
 		w := make([][]emac.Code, out)
 		bias := make([]emac.Code, out)
 		for j := range w {
 			row := make([]emac.Code, in)
 			for i := range row {
-				row[i] = arm.a.Quantize(r.NormMS(0, 1))
+				row[i] = arm.a.Quantize(lr.NormMS(0, 1))
 			}
 			w[j] = row
-			bias[j] = arm.a.Quantize(r.NormMS(0, 0.5))
+			bias[j] = arm.a.Quantize(lr.NormMS(0, 0.5))
 		}
 		k, ok := arm.a.(emac.KernelBuilder).NewLayerKernel(w, bias)
 		if !ok {
@@ -172,15 +201,61 @@ func main() {
 		}
 		act := make([]emac.Code, in)
 		for i := range act {
-			act[i] = arm.a.Quantize(r.NormMS(0, 1))
+			act[i] = arm.a.Quantize(lr.NormMS(0, 1))
 		}
 		dst := make([]emac.Code, out)
-		snap.Results = append(snap.Results, measure(arm.name, func(b *testing.B) {
+		kres := measure("LayerKernel16x30/"+arm.name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				k.Forward(act, dst)
 			}
-		}))
+		})
+		snap.Results = append(snap.Results, kres)
+		bk, ok := arm.a.(emac.BatchKernelBuilder).NewBatchLayerKernel(w, bias)
+		if !ok {
+			fmt.Fprintln(os.Stderr, "benchsnap: no batch layer kernel for", arm.a.Name())
+			os.Exit(1)
+		}
+		lc := layerCheck{arm: arm.name, perOp: kres.NsPerOp}
+		for _, bsz := range []int{8, 32, 256} {
+			if *check && bsz != 256 {
+				continue
+			}
+			actP := make([]emac.Code, bsz*in)
+			for i := range actP {
+				actP[i] = arm.a.Quantize(lr.NormMS(0, 1))
+			}
+			outP := make([]emac.Code, bsz*out)
+			bres := measure(fmt.Sprintf("ForwardBatch%d/%s", bsz, arm.name), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					bk.ForwardBatchStrided(actP, outP, bsz)
+				}
+			})
+			snap.Results = append(snap.Results, bres)
+			if bsz == 256 {
+				lc.batch256 = bres.NsPerOp
+			}
+		}
+		checks = append(checks, lc)
+	}
+	if *check {
+		pass := true
+		for _, c := range checks {
+			limit := c.perOp * 256
+			fmt.Printf("benchsnap check: %-12s fused 256-flush %12.1f ns, 256x per-sample %12.1f ns (%.2fx per-sample throughput)\n",
+				c.arm, c.batch256, limit, limit/c.batch256)
+			if c.batch256 > limit {
+				fmt.Fprintf(os.Stderr,
+					"benchsnap check: REGRESSION: %s ForwardBatch256 is slower than 256x the per-sample kernel\n", c.arm)
+				pass = false
+			}
+		}
+		if !pass {
+			os.Exit(1)
+		}
+		fmt.Println("benchsnap check: fused batch kernels OK")
+		return
 	}
 	// Batch-engine bench: 256 inferences per op through the worker pool.
 	for _, workers := range []int{1, 4} {

@@ -29,6 +29,11 @@
 //	positrond -model iris.json -fault 'error=503@p=0.2' \
 //	          -fault '/v1/models/iris/infer:latency=50ms@p=0.3' -fault-seed 42
 //
+// Opt-in profiling serves the net/http/pprof endpoints on a separate
+// listener (off by default; keep it firewalled):
+//
+//	positrond -model iris.json -pprof 127.0.0.1:6060
+//
 // Endpoints:
 //
 //	GET    /healthz                  liveness probe (503 once draining)
@@ -55,6 +60,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -153,7 +159,11 @@ func main() {
 	flag.Var(&faultSpecs, "fault",
 		"deterministic fault-injection rule, e.g. 'error=503@p=0.2', '/v1/infer:latency=50ms@p=0.3', 'drop@p=0.1'; repeatable")
 	faultSeed := flag.Uint64("fault-seed", 1, "seed for the fault-injection schedule")
+	pprofAddr := flag.String("pprof", "",
+		"serve net/http/pprof profiling endpoints on this separate address, e.g. 127.0.0.1:6060 (off by default; never expose publicly)")
 	flag.Parse()
+
+	startPprof(*pprofAddr)
 
 	faultRules, err := faults.ParseRules(faultSpecs)
 	if err != nil {
@@ -339,6 +349,28 @@ func runRouter(route, addr string, cfg routerConfig, faultRules []faults.Rule, f
 	}
 	rt.Close()
 	fmt.Println("positrond: bye")
+}
+
+// startPprof serves the net/http/pprof endpoints on their own listener
+// when -pprof names an address. Profiling stays off the serving port so
+// operators can firewall it separately; an explicit mux keeps anything
+// else registered on http.DefaultServeMux from leaking out with it.
+func startPprof(addr string) {
+	if addr == "" {
+		return
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			fmt.Fprintln(os.Stderr, "positrond: pprof listener:", err)
+		}
+	}()
+	fmt.Printf("positrond: pprof profiling on http://%s/debug/pprof/\n", addr)
 }
 
 // withFaults wraps h in the fault injector when rules are configured.

@@ -1,0 +1,172 @@
+package core
+
+// The batched execution plane. InferBatchInto runs a whole flush of
+// samples through the network in one fused pass per layer: activations
+// for all samples live in one flat sample-major plane, each layer's
+// BatchLayerKernel consumes the plane in a single call (decoding every
+// activation column once per flush and streaming each pre-decoded
+// weight row through all samples while hot), and two ping-pong planes
+// are reused across flushes so the steady state allocates nothing.
+// Results are bit-identical to per-sample inference — each sample's
+// arithmetic is unchanged, only the loop order differs.
+
+import (
+	"fmt"
+
+	"repro/internal/emac"
+)
+
+// growPlane sizes one reused activation plane.
+func growPlane(p *[]emac.Code, n int) []emac.Code {
+	if cap(*p) < n {
+		*p = make([]emac.Code, n)
+	}
+	return (*p)[:n]
+}
+
+// forwardBatch computes the layer's raw MAC outputs for a flush of b
+// samples over flat sample-major planes, via the whole-flush batch
+// kernel when one exists and per-sample forwards otherwise.
+func (e *execLayer) forwardBatch(act, dst []emac.Code, b int) {
+	if e.bkernel != nil {
+		e.bkernel.ForwardBatchStrided(act, dst, b)
+		return
+	}
+	l := e.model
+	for s := 0; s < b; s++ {
+		row := act[s*l.In : (s+1)*l.In]
+		drow := dst[s*l.Out : (s+1)*l.Out]
+		if e.kernel != nil {
+			e.kernel.Forward(row, drow)
+			continue
+		}
+		for j := 0; j < l.Out; j++ {
+			mac := e.macs[j]
+			mac.Reset(l.B[j])
+			wrow := l.W[j]
+			for i, a := range row {
+				mac.Step(wrow[i], a)
+			}
+			drow[j] = mac.Result()
+		}
+	}
+}
+
+// runBatch executes the fused forward pass for a whole flush and returns
+// the final activation codes (flat sample-major, living in a reused
+// plane).
+func (s *Session) runBatch(xs [][]float64) []emac.Code {
+	n := s.net
+	b := len(xs)
+	in0 := n.Layers[0].In
+	plane := growPlane(&s.planes[0], b*in0)
+	a := n.Arith
+	st := n.Stand
+	for si, x := range xs {
+		if len(x) != in0 {
+			panic(fmt.Sprintf("core: network expects %d inputs, got %d", in0, len(x)))
+		}
+		dst := plane[si*in0 : (si+1)*in0]
+		if st != nil {
+			for i, v := range x {
+				dst[i] = a.Quantize((v - st.Mean[i]) / st.Std[i])
+			}
+		} else {
+			for i, v := range x {
+				dst[i] = a.Quantize(v)
+			}
+		}
+	}
+	act := plane
+	for li := range s.layers {
+		e := &s.layers[li]
+		next := growPlane(&s.planes[(li+1)%2], b*e.model.Out)
+		e.forwardBatch(act, next, b)
+		if li < len(s.layers)-1 {
+			for j, c := range next {
+				next[j] = n.activate(c)
+			}
+		}
+		act = next
+	}
+	return act
+}
+
+// InferBatchInto runs a whole flush of inputs through the fused batched
+// layer kernels, decoding the logits into the flat sample-major dst
+// (which must have len(xs) × the network's output width), and returns
+// dst. Results are bit-identical to calling InferInto per sample; with
+// the session's planes warm this path allocates nothing.
+func (s *Session) InferBatchInto(dst []float64, xs [][]float64) []float64 {
+	act := s.runBatch(xs)
+	if len(dst) != len(act) {
+		panic(fmt.Sprintf("core: InferBatchInto buffer has %d slots for %d logits", len(dst), len(act)))
+	}
+	a := s.net.Arith
+	for i, c := range act {
+		dst[i] = a.Decode(c)
+	}
+	return dst
+}
+
+// runBatch is the mixed-precision fused forward pass: per-layer
+// arithmetics, with ReLU and the format-conversion unit applied to the
+// whole plane at each boundary.
+func (s *MixedSession) runBatch(xs [][]float64) []emac.Code {
+	n := s.net
+	b := len(xs)
+	in0 := n.Layers[0].In
+	plane := growPlane(&s.planes[0], b*in0)
+	first := n.LayerAriths[0]
+	st := n.Stand
+	for si, x := range xs {
+		if len(x) != in0 {
+			panic("core: mixed input size mismatch")
+		}
+		dst := plane[si*in0 : (si+1)*in0]
+		if st != nil {
+			for i, v := range x {
+				dst[i] = first.Quantize((v - st.Mean[i]) / st.Std[i])
+			}
+		} else {
+			for i, v := range x {
+				dst[i] = first.Quantize(v)
+			}
+		}
+	}
+	act := plane
+	for li := range s.layers {
+		a := n.LayerAriths[li]
+		e := &s.layers[li]
+		next := growPlane(&s.planes[(li+1)%2], b*e.model.Out)
+		e.forwardBatch(act, next, b)
+		if li < len(s.layers)-1 {
+			for j, c := range next {
+				next[j] = a.ReLU(c)
+			}
+			to := n.LayerAriths[li+1]
+			if to != a {
+				for j, c := range next {
+					next[j] = to.Quantize(a.Decode(c))
+				}
+			}
+		}
+		act = next
+	}
+	return act
+}
+
+// InferBatchInto runs a whole flush through the mixed-precision fused
+// pipeline, decoding the logits into the flat sample-major dst, and
+// returns dst. Bit-identical to per-sample InferInto.
+func (s *MixedSession) InferBatchInto(dst []float64, xs [][]float64) []float64 {
+	act := s.runBatch(xs)
+	if len(dst) != len(act) {
+		panic(fmt.Sprintf("core: InferBatchInto buffer has %d slots for %d logits", len(dst), len(act)))
+	}
+	last := s.net.LayerAriths[len(s.net.LayerAriths)-1]
+	for i, c := range act {
+		dst[i] = last.Decode(c)
+	}
+	return dst
+}

@@ -24,6 +24,12 @@ type Inferer interface {
 	// have the model's output width), and returns dst. With the session's
 	// internal buffers warm this path allocates nothing.
 	InferInto(dst []float64, x []float64) []float64
+	// InferBatchInto runs a whole flush of inputs through the fused
+	// batched layer kernels, decoding the logits into the flat
+	// sample-major dst (len(xs) × the model's output width), and returns
+	// dst. Results are bit-identical to per-sample InferInto; with the
+	// session's planes warm this path allocates nothing.
+	InferBatchInto(dst []float64, xs [][]float64) []float64
 	// Predict returns the argmax class for one input.
 	Predict(x []float64) int
 	// Accuracy evaluates classification accuracy on a dataset.

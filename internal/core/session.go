@@ -23,6 +23,9 @@ type execLayer struct {
 	// kernel is the batched pre-decoded datapath for the whole layer
 	// (nil when the arithmetic has none); bit-identical to the MACs.
 	kernel emac.LayerKernel
+	// bkernel is the whole-flush batched datapath (nil when the
+	// arithmetic offers none); bit-identical to per-sample forwards.
+	bkernel emac.BatchLayerKernel
 	// macs holds one EMAC unit per neuron, reused across inputs exactly
 	// like the hardware units are. Built only when there is no kernel.
 	macs []emac.MAC
@@ -34,6 +37,11 @@ type execLayer struct {
 // arithmetic.
 func newExecLayer(l *Layer, a emac.Arithmetic) execLayer {
 	e := execLayer{model: l, act: make([]emac.Code, l.Out)}
+	if bb, ok := a.(emac.BatchKernelBuilder); ok {
+		if bk, ok := bb.NewBatchLayerKernel(l.W, l.B); ok {
+			e.bkernel = bk
+		}
+	}
 	if kb, ok := a.(emac.KernelBuilder); ok {
 		if k, ok := kb.NewLayerKernel(l.W, l.B); ok {
 			e.kernel = k
@@ -79,6 +87,10 @@ type Session struct {
 	layers []execLayer
 	// in is the reused input-code buffer.
 	in []emac.Code
+	// planes are the two reused ping-pong activation planes the batched
+	// forward pass flows through (flat sample-major, grown to the
+	// largest flush × layer width seen).
+	planes [2][]emac.Code
 }
 
 // NewSession builds an independent execution plane for the network. Any
@@ -189,6 +201,7 @@ type MixedSession struct {
 	net    *MixedNetwork
 	layers []execLayer
 	in     []emac.Code
+	planes [2][]emac.Code
 }
 
 // NewSession builds an independent execution plane for the mixed network.

@@ -50,14 +50,20 @@ type Result struct {
 	Err error
 }
 
-// task is one unit of work: an input plus where its logits go. When dst
-// is non-nil the worker decodes into it (the allocation-free shared-
-// output path); otherwise the worker allocates the logits. deliver is
-// called exactly once, with err set when the inference panicked.
+// task is one unit of work. For a streaming task, x is the input and
+// dst (optional) is where the logits go: when dst is non-nil the worker
+// decodes into it (the allocation-free shared-output path), otherwise it
+// allocates the logits. When xs is non-nil the task is one fused batch
+// chunk instead: the worker runs the whole chunk through the inferer's
+// batched kernels in one InferBatchInto call, decoding into the flat
+// dstFlat window (len(xs) × output width). deliver is called exactly
+// once either way, with err set when the inference panicked.
 type task struct {
 	id      int
 	x       []float64
 	dst     []float64
+	xs      [][]float64
+	dstFlat []float64
 	deliver func(id int, logits []float64, err error)
 }
 
@@ -164,7 +170,7 @@ func NewRuntime(model core.Model, opts ...Option) (*Runtime, error) {
 		if err != nil {
 			r.sharedErrMu.Lock()
 			if r.sharedErr == nil {
-				r.sharedErr = fmt.Errorf("engine: batch input %d: %w", id, err)
+				r.sharedErr = fmt.Errorf("engine: batch chunk at input %d: %w", id, err)
 			}
 			r.sharedErrMu.Unlock()
 		}
@@ -195,13 +201,18 @@ func (r *Runtime) worker() {
 	}
 }
 
-// runTask executes one inference, converting a panic into an error.
+// runTask executes one task — a fused batch chunk or one streaming
+// inference — converting a panic into an error.
 func runTask(s core.Inferer, t task) (logits []float64, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			logits, err = nil, fmt.Errorf("%w: %v", ErrPanic, p)
 		}
 	}()
+	if t.xs != nil {
+		s.InferBatchInto(t.dstFlat, t.xs)
+		return nil, nil
+	}
 	if t.dst != nil {
 		return s.InferInto(t.dst, t.x), nil
 	}
@@ -260,13 +271,26 @@ func (r *Runtime) enqueue(ctx context.Context, t task) error {
 	}
 }
 
-// InferBatch runs every input through the pool and returns the logits in
-// input order. Results are bit-identical to running one core session
-// serially (each inference is independent; only scheduling differs).
-// Cancelling ctx stops submission and returns ctx.Err after every
-// already-submitted inference has drained — no worker is left writing
-// into the batch. Under WithSharedOutputs the returned slices are valid
-// only until the next InferBatch call.
+// batchChunk returns the fused-chunk size for a batch of n samples:
+// ceil(n / workers), so one batch spreads over the whole pool while
+// each worker runs its share as a single fused InferBatchInto call.
+func (r *Runtime) batchChunk(n int) int {
+	c := (n + r.workers - 1) / r.workers
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// InferBatch splits the batch into one fused chunk per worker and runs
+// each chunk through the inferer's batched layer kernels in a single
+// call, so every weight row is decoded once per chunk instead of once
+// per sample. Logits come back in input order, bit-identical to running
+// one core session serially (each sample's arithmetic is unchanged; only
+// the loop order differs). Cancelling ctx stops submission and returns
+// ctx.Err after every already-submitted chunk has drained — no worker is
+// left writing into the batch. Under WithSharedOutputs the returned
+// slices are valid only until the next InferBatch call.
 func (r *Runtime) InferBatch(ctx context.Context, xs [][]float64) ([][]float64, error) {
 	for i, x := range xs {
 		if err := r.checkInput(x); err != nil {
@@ -283,27 +307,36 @@ func (r *Runtime) InferBatch(ctx context.Context, xs [][]float64) ([][]float64, 
 		defer r.sharedMu.Unlock()
 		return r.inferBatchShared(ctx, xs)
 	}
+	od := r.model.OutputDim()
+	buf := make([]float64, len(xs)*od)
 	out := make([][]float64, len(xs))
+	for i := range out {
+		out[i] = buf[i*od : (i+1)*od : (i+1)*od]
+	}
 	var (
 		wg       sync.WaitGroup
 		errMu    sync.Mutex
 		firstErr error
 	)
-	deliver := func(id int, logits []float64, err error) {
+	deliver := func(id int, _ []float64, err error) {
 		if err != nil {
 			errMu.Lock()
 			if firstErr == nil {
-				firstErr = fmt.Errorf("engine: batch input %d: %w", id, err)
+				firstErr = fmt.Errorf("engine: batch chunk at input %d: %w", id, err)
 			}
 			errMu.Unlock()
-		} else {
-			out[id] = logits
 		}
 		wg.Done()
 	}
-	for i, x := range xs {
+	chunk := r.batchChunk(len(xs))
+	for start := 0; start < len(xs); start += chunk {
+		end := start + chunk
+		if end > len(xs) {
+			end = len(xs)
+		}
 		wg.Add(1)
-		if err := r.enqueue(ctx, task{id: i, x: x, deliver: deliver}); err != nil {
+		t := task{id: start, xs: xs[start:end], dstFlat: buf[start*od : end*od], deliver: deliver}
+		if err := r.enqueue(ctx, t); err != nil {
 			wg.Done()
 			wg.Wait() // drain already-submitted work before returning
 			return nil, err
@@ -333,12 +366,18 @@ func (r *Runtime) inferBatchShared(ctx context.Context, xs [][]float64) ([][]flo
 	for i := range hdrs {
 		hdrs[i] = buf[i*od : (i+1)*od : (i+1)*od]
 	}
-	for i, x := range xs {
+	chunk := r.batchChunk(len(xs))
+	for start := 0; start < len(xs); start += chunk {
+		end := start + chunk
+		if end > len(xs) {
+			end = len(xs)
+		}
 		r.sharedWG.Add(1)
-		if err := r.enqueue(ctx, task{id: i, x: x, dst: hdrs[i], deliver: r.sharedDeliver}); err != nil {
+		t := task{id: start, xs: xs[start:end], dstFlat: buf[start*od : end*od], deliver: r.sharedDeliver}
+		if err := r.enqueue(ctx, t); err != nil {
 			r.sharedWG.Done()
 			r.sharedWG.Wait()
-			r.sharedErr = nil // delivered tasks may have panicked; the ctx error wins
+			r.sharedErr = nil // delivered chunks may have panicked; the ctx error wins
 			return nil, err
 		}
 	}

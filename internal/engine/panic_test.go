@@ -46,6 +46,13 @@ func (panicInferer) InferInto(dst []float64, x []float64) []float64 {
 	return dst
 }
 
+func (panicInferer) InferBatchInto(dst []float64, xs [][]float64) []float64 {
+	for i, x := range xs {
+		panicInferer{}.InferInto(dst[i*2:(i+1)*2], x)
+	}
+	return dst
+}
+
 func (panicInferer) Predict(x []float64) int { return 0 }
 
 func (panicInferer) Accuracy(*datasets.Dataset) float64 { return 0 }

@@ -1,0 +1,288 @@
+package posit
+
+// BatchDenseKernel is the GEMM-style batched datapath for one dense
+// layer: it computes a whole flush of samples through the layer with the
+// per-sample work reduced to one table add per MAC. Three ideas stack:
+//
+//  1. Decode once per flush: each activation pattern is classified and
+//     transposed into a column-major byte plane exactly once, instead of
+//     once per sample×row like the per-sample kernel's predecode.
+//  2. Term tables: for formats narrow enough to enumerate (n <= 8), the
+//     full signed MAC contribution ±(sig_w·sig_a) << (fb+adj_w+adj_a) of
+//     every (weight, activation) pattern pair is precomputed, so the
+//     inner loop is acc[s] += tab[w][a] — no multiply, no shift, no sign
+//     fix-up at MAC time.
+//  3. Cache blocking: the loop order is (row j, weight i, sample s), so
+//     one 2 KiB table row stays hot while it is streamed through every
+//     sample in the flush, and the activation plane is walked
+//     column-contiguously.
+//
+// The kernel qualifies only when the eq.-(4) quire for the layer fan-in
+// fits one machine word: then the register is a plain int64 (the exact
+// sum can never overflow it, by the quire sizing) and rounding is the
+// single-word Result fast path. NewBatchDenseKernel reports ok == false
+// otherwise and callers fall back to looping the per-sample kernel.
+// Results are bit-identical to DenseKernel.ForwardBits per sample, which
+// the exhaustive equivalence tests verify.
+
+import (
+	"math/bits"
+
+	"repro/internal/bitutil"
+)
+
+// termTabStride is the padded row length of a term table: rows are
+// indexed by the activation pattern, stored as a byte, so a fixed
+// 256-entry stride lets the inner loop convert the row to a *[256]int64
+// and index it with no bounds check. Formats narrower than 8 bits simply
+// leave the upper entries zero (their patterns never occur).
+const termTabStride = 256
+
+// termTab returns the signed MAC-term table for f (one int64 per
+// (weight, activation) pattern pair, at the quire's fraction depth),
+// building and caching it on first use; nil when f is too wide for one.
+// Memory cost: 2^n × 256 × 8 bytes — 512 KiB at the n = 8 ceiling.
+func (f Format) termTab() []int64 {
+	if f.n > opTabMaxN {
+		return nil
+	}
+	if p := termTabs[f.n][f.es].Load(); p != nil {
+		return *p
+	}
+	return f.buildTermTab()
+}
+
+func (f Format) buildTermTab() []int64 {
+	// Build the decode table first: tabMu is not reentrant.
+	dec := f.decTab()
+	tabMu.Lock()
+	defer tabMu.Unlock()
+	if p := termTabs[f.n][f.es].Load(); p != nil {
+		return *p
+	}
+	fb := int((uint(1) << (f.es + 1)) * (f.n - 2))
+	count := 1 << f.n
+	t := make([]int64, count*termTabStride)
+	for wb := 0; wb < count; wb++ {
+		wd := predecodeBits(f, dec, uint64(wb))
+		if wd.cls != pdReal {
+			continue // zero/NaR rows stay all-zero
+		}
+		row := t[wb*termTabStride : (wb+1)*termTabStride]
+		for ab := 0; ab < count; ab++ {
+			ad := predecodeBits(f, dec, uint64(ab))
+			if ad.cls != pdReal {
+				continue
+			}
+			// Exactly the per-sample single-word tier's term: the
+			// significand product shifted to the quire's fraction depth,
+			// signed by the XOR mask (two's complement in uint64 is the
+			// int64 bit pattern).
+			v := wd.sig * ad.sig << uint(fb+int(wd.adj)+int(ad.adj))
+			sm := wd.sgn ^ ad.sgn
+			row[ab] = int64((v ^ sm) - sm)
+		}
+	}
+	termTabs[f.n][f.es].Store(&t)
+	return t
+}
+
+// BatchDenseKernel holds the pre-decoded parameters and reused flush
+// scratch for one layer. Not safe for concurrent use.
+type BatchDenseKernel struct {
+	f       Format
+	in, out int
+	tab     []int64
+	// wRow[j*in+i] is the term-table row offset of weight (j,i), already
+	// multiplied by termTabStride; -1 for zero/NaR weights (their table
+	// row is all zeros, so skipping them is free and exact).
+	wRow []int32
+	// biasTerm[j] is the bias contribution at the quire's fraction depth.
+	biasTerm []int64
+	// narRow[j] records a NaR weight or bias in row j.
+	narRow    []bool
+	width     uint // eq.-(4) register width for the fan-in; <= 64
+	widthMask uint64
+	fracBits  uint
+	narBits   uint64
+
+	// flush scratch, grown on demand and reused across flushes.
+	actT []uint8 // column-major activation patterns [in][b]
+	narS []bool  // per-sample NaR flag
+	acc  []int64 // per-sample registers for the current row
+}
+
+// NewBatchDenseKernel pre-decodes a row-major weight matrix (out rows of
+// in weights) and bias vector of format f into a batched layer kernel.
+// ok is false when this configuration has no batched fast path: the
+// format is too wide to enumerate (n > 8) or the eq.-(4) quire for this
+// fan-in does not fit one machine word.
+func NewBatchDenseKernel(f Format, w [][]Posit, b []Posit) (*BatchDenseKernel, bool) {
+	f.mustValid()
+	out := len(w)
+	if out == 0 || len(b) != out || len(w[0]) == 0 {
+		return nil, false
+	}
+	in := len(w[0])
+	if f.n > opTabMaxN || QuireSize(f, in) > 64 {
+		return nil, false
+	}
+	k := &BatchDenseKernel{
+		f:        f,
+		in:       in,
+		out:      out,
+		tab:      f.termTab(),
+		wRow:     make([]int32, out*in),
+		biasTerm: make([]int64, out),
+		narRow:   make([]bool, out),
+		width:    QuireSize(f, in),
+		fracBits: (uint(1) << (f.es + 1)) * (f.n - 2),
+	}
+	k.widthMask = bitutil.Mask(k.width)
+	k.narBits = f.NaR().bits
+	wd := make([]pdec, in)
+	for j, row := range w {
+		if len(row) != in {
+			panic("posit: BatchDenseKernel ragged weight matrix")
+		}
+		predecodeInto(wd, row, f)
+		nar := false
+		dst := k.wRow[j*in : (j+1)*in]
+		for i, d := range wd {
+			switch d.cls {
+			case pdReal:
+				dst[i] = int32(row[i].bits) * termTabStride
+			case pdNaR:
+				nar = true
+				dst[i] = -1
+			default:
+				dst[i] = -1
+			}
+		}
+		bd := predecodeBits(f, f.decTab(), b[j].mustFormat(f).bits)
+		switch bd.cls {
+		case pdReal:
+			v := bd.sig << uint(int(k.fracBits)+int(bd.adj))
+			k.biasTerm[j] = int64((v ^ bd.sgn) - bd.sgn)
+		case pdNaR:
+			nar = true
+		}
+		k.narRow[j] = nar
+	}
+	return k, true
+}
+
+// mustFormat panics unless p has format f (mirrors predecodeInto's check
+// for the bias vector, which is decoded one element at a time here).
+func (p Posit) mustFormat(f Format) Posit {
+	if p.f != f {
+		panic("posit: mixed formats in kernel operand")
+	}
+	return p
+}
+
+// In returns the layer fan-in.
+func (k *BatchDenseKernel) In() int { return k.in }
+
+// Out returns the layer width.
+func (k *BatchDenseKernel) Out() int { return k.out }
+
+// Format returns the kernel's posit format.
+func (k *BatchDenseKernel) Format() Format { return k.f }
+
+// grow sizes the flush scratch for b samples.
+func (k *BatchDenseKernel) grow(b int) {
+	if cap(k.actT) < k.in*b {
+		k.actT = make([]uint8, k.in*b)
+	}
+	if cap(k.narS) < b {
+		k.narS = make([]bool, b)
+	}
+	if cap(k.acc) < b {
+		k.acc = make([]int64, b)
+	}
+}
+
+// encodeAcc rounds one sample's register to a posit — the single-word
+// Quire.Result fast path on an int64 register (masking to the eq.-(4)
+// width reproduces the hardware register's residue exactly).
+func (k *BatchDenseKernel) encodeAcc(a int64) uint64 {
+	m := uint64(a) & k.widthMask
+	sign := m>>(k.width-1)&1 == 1
+	if sign {
+		m = -m & k.widthMask
+	}
+	if m == 0 {
+		return 0
+	}
+	l := uint(bits.Len64(m))
+	return k.f.encode(sign, int(l)-1-int(k.fracBits), m, l, false).bits
+}
+
+// ForwardBatchBits computes dst[s*Out()+j] = round(b[j] + Σ_i
+// W[j][i]·act[s*In()+i]) for every sample s in the flush: flat
+// sample-major planes, len(act) = b·In(), len(dst) = b·Out(). No
+// activation function is applied. Not safe for concurrent use (the flush
+// scratch is reused).
+func (k *BatchDenseKernel) ForwardBatchBits(act, dst []uint64, b int) {
+	if b < 0 || len(act) != b*k.in || len(dst) != b*k.out {
+		panic("posit: BatchDenseKernel batch size mismatch")
+	}
+	if b == 0 {
+		return
+	}
+	k.grow(b)
+	mask := k.f.Mask()
+	narPat := k.f.signBit()
+	in, out := k.in, k.out
+	actT, narS := k.actT, k.narS
+	// Decode once per flush: transpose the patterns into column-major
+	// bytes (column s-contiguous, matching the inner loop) and record
+	// which samples carry a NaR activation (poisoning every row, exactly
+	// as per-sample accumulation would).
+	for s := 0; s < b; s++ {
+		nar := false
+		row := act[s*in : (s+1)*in]
+		for i, p := range row {
+			p &= mask
+			if p == narPat {
+				nar = true
+			}
+			actT[i*b+s] = uint8(p)
+		}
+		narS[s] = nar
+	}
+	acc := k.acc[:b]
+	for j := 0; j < out; j++ {
+		bt := k.biasTerm[j]
+		for s := range acc {
+			acc[s] = bt
+		}
+		wr := k.wRow[j*in : (j+1)*in]
+		for i, off := range wr {
+			if off < 0 {
+				continue // zero/NaR weight: all-zero table row
+			}
+			// One table row (2 KiB) stays hot across the whole flush;
+			// the fixed-size array view removes the inner bounds check.
+			row := (*[termTabStride]int64)(k.tab[off:])
+			col := actT[i*b : i*b+b]
+			for s, a := range col {
+				acc[s] += row[a]
+			}
+		}
+		if k.narRow[j] {
+			for s := 0; s < b; s++ {
+				dst[s*out+j] = k.narBits
+			}
+			continue
+		}
+		for s, a := range acc {
+			if narS[s] {
+				dst[s*out+j] = k.narBits
+			} else {
+				dst[s*out+j] = k.encodeAcc(a)
+			}
+		}
+	}
+}

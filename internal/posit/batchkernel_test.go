@@ -1,0 +1,121 @@
+package posit
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// randPosits fills a slice with patterns drawn from the full code space
+// (zero and NaR included).
+func randPosits(f Format, n int, r *rng.Source) []Posit {
+	out := make([]Posit, n)
+	for i := range out {
+		out[i] = Posit{f: f, bits: uint64(r.Uint64()) & f.Mask()}
+	}
+	return out
+}
+
+// TestBatchDenseKernelMatchesPerSample drives random layers of every
+// gated small format through both kernels and requires bit-identical
+// outputs, NaR patterns included.
+func TestBatchDenseKernelMatchesPerSample(t *testing.T) {
+	r := rng.New(7)
+	for _, tc := range []struct{ n, es uint }{{5, 0}, {6, 1}, {7, 0}, {8, 0}, {8, 1}} {
+		f := MustFormat(tc.n, tc.es)
+		for trial := 0; trial < 4; trial++ {
+			in, out := 1+int(r.Uint64()%24), 1+int(r.Uint64()%12)
+			w := make([][]Posit, out)
+			for j := range w {
+				w[j] = randPosits(f, in, r)
+			}
+			b := randPosits(f, out, r)
+			bk, ok := NewBatchDenseKernel(f, w, b)
+			if !ok {
+				t.Fatalf("%v: no batch kernel for in=%d", f, in)
+			}
+			sk := NewDenseKernel(f, w, b)
+			batch := 1 + int(r.Uint64()%9)
+			act := make([]uint64, batch*in)
+			for i := range act {
+				act[i] = uint64(r.Uint64()) & f.Mask()
+			}
+			got := make([]uint64, batch*out)
+			bk.ForwardBatchBits(act, got, batch)
+			want := make([]uint64, out)
+			for s := 0; s < batch; s++ {
+				sk.ForwardBits(act[s*in:(s+1)*in], want)
+				for j, wbits := range want {
+					if got[s*out+j] != wbits {
+						t.Fatalf("%v in=%d out=%d: sample %d row %d: batch %#x, per-sample %#x",
+							f, in, out, s, j, got[s*out+j], wbits)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchDenseKernelExhaustive sweeps every (weight, activation)
+// 8-bit pattern pair through a 1×1 layer with every bias class (zero,
+// real, NaR) and checks the batch path against the per-sample kernel —
+// the batch analogue of the kernel equivalence sweeps.
+func TestBatchDenseKernelExhaustive(t *testing.T) {
+	f := MustFormat(8, 0)
+	count := int(uint64(1) << f.n)
+	for _, bias := range []uint64{0, 0x37, f.signBit()} {
+		bv := []Posit{{f: f, bits: bias}}
+		for wb := 0; wb < count; wb++ {
+			w := [][]Posit{{{f: f, bits: uint64(wb)}}}
+			bk, ok := NewBatchDenseKernel(f, w, bv)
+			if !ok {
+				t.Fatal("no batch kernel for 1x1 posit(8,0)")
+			}
+			sk := NewDenseKernel(f, w, bv)
+			act := make([]uint64, count)
+			for ab := range act {
+				act[ab] = uint64(ab)
+			}
+			got := make([]uint64, count)
+			bk.ForwardBatchBits(act, got, count)
+			want := make([]uint64, 1)
+			for ab := 0; ab < count; ab++ {
+				sk.ForwardBits(act[ab:ab+1], want)
+				if got[ab] != want[0] {
+					t.Fatalf("bias %#x w %#x a %#x: batch %#x, per-sample %#x",
+						bias, wb, ab, got[ab], want[0])
+				}
+			}
+		}
+	}
+}
+
+// TestBatchDenseKernelGates checks the fallback conditions: wide formats
+// and multi-word quires must decline.
+func TestBatchDenseKernelGates(t *testing.T) {
+	wide := MustFormat(16, 1)
+	w := [][]Posit{{wide.Zero()}}
+	if _, ok := NewBatchDenseKernel(wide, w, []Posit{wide.Zero()}); ok {
+		t.Fatal("n=16 must have no term-table batch kernel")
+	}
+	// posit(8,3): quire width 2^5*6+2+clog2(k) = 194+ bits, far beyond one
+	// word even at k=1.
+	f := MustFormat(8, 3)
+	w8 := [][]Posit{{f.Zero()}}
+	if _, ok := NewBatchDenseKernel(f, w8, []Posit{f.Zero()}); ok {
+		t.Fatal("multi-word quire must have no single-word batch kernel")
+	}
+	if QuireSize(MustFormat(8, 0), 30) > 64 {
+		t.Fatal("posit(8,0) k=30 quire should fit one word")
+	}
+}
+
+// TestBatchDenseKernelEmptyFlush checks the b = 0 edge.
+func TestBatchDenseKernelEmptyFlush(t *testing.T) {
+	f := MustFormat(8, 0)
+	bk, ok := NewBatchDenseKernel(f, [][]Posit{{f.Zero()}}, []Posit{f.Zero()})
+	if !ok {
+		t.Fatal("no batch kernel")
+	}
+	bk.ForwardBatchBits(nil, nil, 0) // must not panic
+}

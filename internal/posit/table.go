@@ -81,6 +81,9 @@ var (
 	decTabs [decTabMaxN + 1][MaxES + 1]atomic.Pointer[[]uint32]
 	mulTabs [opTabMaxN + 1][MaxES + 1]atomic.Pointer[[]uint8]
 	addTabs [opTabMaxN + 1][MaxES + 1]atomic.Pointer[[]uint8]
+	// termTabs holds the batched kernels' signed MAC-term tables (see
+	// batchkernel.go): 2^n × 256 int64 entries per format.
+	termTabs [opTabMaxN + 1][MaxES + 1]atomic.Pointer[[]int64]
 )
 
 // decTab returns the decode table for f, building it on first use, or nil

@@ -147,8 +147,14 @@ func (m flakyStatModel) String() string {
 
 func (flakyInferer) Infer(x []float64) []float64          { return []float64{0} }
 func (flakyInferer) InferInto(dst, x []float64) []float64 { dst[0] = 0; return dst }
-func (flakyInferer) Predict([]float64) int                { return 0 }
-func (flakyInferer) Accuracy(*datasets.Dataset) float64   { return 0 }
+func (flakyInferer) InferBatchInto(dst []float64, xs [][]float64) []float64 {
+	for i := range xs {
+		dst[i] = 0
+	}
+	return dst
+}
+func (flakyInferer) Predict([]float64) int              { return 0 }
+func (flakyInferer) Accuracy(*datasets.Dataset) float64 { return 0 }
 
 // TestHandlerPanicRecovered: a panic inside a handler becomes a 500 JSON
 // error and a panics tick — the daemon keeps serving.
@@ -248,6 +254,12 @@ func (poisonInferer) Infer(x []float64) []float64 {
 }
 func (poisonInferer) InferInto(dst, x []float64) []float64 {
 	copy(dst, poisonInferer{}.Infer(x))
+	return dst
+}
+func (poisonInferer) InferBatchInto(dst []float64, xs [][]float64) []float64 {
+	for i, x := range xs {
+		poisonInferer{}.InferInto(dst[i:i+1], x)
+	}
 	return dst
 }
 func (poisonInferer) Predict([]float64) int              { return 0 }
