@@ -8,7 +8,9 @@
 //	go run ./cmd/benchsnap -check     # bench-regression smoke (CI): fail
 //	                                  # if the fused 256-sample flush is
 //	                                  # slower than 256x the per-sample
-//	                                  # layer kernel; writes nothing
+//	                                  # layer kernel, or the binary
+//	                                  # artifact decode is not >=3x faster
+//	                                  # than the JSON parse; writes nothing
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/emac"
 	"repro/internal/engine"
@@ -239,8 +242,47 @@ func main() {
 		}
 		checks = append(checks, lc)
 	}
+	// ArtifactLoad: warm model load from bytes, JSON parse vs binary
+	// decode on the 30-16-8-2 posit(8,0) net. The binary path is the one
+	// positrond restarts and registry warm loads ride on; -check holds it
+	// to >=3x the JSON parser's throughput.
+	jsonBytes, err := json.Marshal(dp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+	binBytes, err := artifact.Encode(dp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+	loadJSON := measure("ArtifactLoad/json", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.ParseModel(jsonBytes); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	loadBin := measure("ArtifactLoad/bin", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := artifact.Decode(binBytes); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	snap.Results = append(snap.Results, loadJSON, loadBin)
 	if *check {
 		pass := true
+		speedup := loadJSON.NsPerOp / loadBin.NsPerOp
+		fmt.Printf("benchsnap check: ArtifactLoad json %.1f ns, bin %.1f ns (%.2fx)\n",
+			loadJSON.NsPerOp, loadBin.NsPerOp, speedup)
+		if speedup < 3 {
+			fmt.Fprintf(os.Stderr,
+				"benchsnap check: REGRESSION: binary artifact decode only %.2fx the JSON parse (want >= 3x)\n", speedup)
+			pass = false
+		}
 		for _, c := range checks {
 			limit := c.perOp * 256
 			fmt.Printf("benchsnap check: %-12s fused 256-flush %12.1f ns, 256x per-sample %12.1f ns (%.2fx per-sample throughput)\n",
@@ -254,7 +296,7 @@ func main() {
 		if !pass {
 			os.Exit(1)
 		}
-		fmt.Println("benchsnap check: fused batch kernels OK")
+		fmt.Println("benchsnap check: fused batch kernels and artifact load OK")
 		return
 	}
 	// Batch-engine bench: 256 inferences per op through the worker pool.

@@ -11,9 +11,19 @@
 //	          -max-inflight 256 -request-timeout 2s
 //
 // Each -model flag is either name=path or a bare path (the name is then
-// derived from the file name: models/Iris.quant.json -> "Iris"). The
-// first -model is the default served by the /v1/infer and /v1/model
-// aliases unless -default names another.
+// derived from the file name: models/Iris.quant.json -> "Iris"). Both
+// JSON and binary (.bin, trainer -format bin) artifacts load
+// transparently — the format is sniffed from the bytes. The first
+// -model is the default served by the /v1/infer and /v1/model aliases
+// unless -default names another.
+//
+// Every loaded model is fingerprinted (SHA-256 of its canonical binary
+// encoding) into a content-addressed artifact store: /v1/models serves
+// the hash as an ETag (If-None-Match polls answer 304), same-hash loads
+// under different names share one stored blob, and -store-dir makes the
+// store durable on disk (warm restarts, byte-verified reads):
+//
+//	positrond -model iris.quant.bin -store-dir /var/lib/positron/artifacts
 //
 // Router mode fronts a set of replicas instead of serving models
 // itself: health-probed, circuit-broken, retrying proxy with
@@ -68,6 +78,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/artifact/store"
 	"repro/internal/engine"
 	"repro/internal/faults"
 	"repro/internal/registry"
@@ -142,6 +153,8 @@ func main() {
 		"per-request deadline covering batching and queueing; exceeded requests get HTTP 503 instead of hanging (0 = none)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second,
 		"grace period for in-flight requests on shutdown")
+	storeDir := flag.String("store-dir", "",
+		"durable content-addressed artifact store directory: loaded artifacts persist there by SHA-256 with an in-memory read cache (empty = in-memory only)")
 
 	// Router mode.
 	route := flag.String("route", "",
@@ -194,7 +207,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	reg := registry.New(
+	regOpts := []registry.Option{
 		registry.WithRuntimeOptions(
 			engine.WithWorkers(*workers),
 			engine.WithQueueDepth(*queue),
@@ -204,7 +217,15 @@ func main() {
 		registry.WithMaxBatch(*maxBatch),
 		registry.WithMaxInFlight(*maxInFlight),
 		registry.WithRequestTimeout(*requestTimeout),
-	)
+	}
+	if *storeDir != "" {
+		disk, err := store.NewDisk(*storeDir)
+		if err != nil {
+			fatal(fmt.Errorf("opening artifact store: %w", err))
+		}
+		regOpts = append(regOpts, registry.WithStore(store.NewUnion(store.NewMem(), disk)))
+	}
+	reg := registry.New(regOpts...)
 	for _, mf := range models {
 		if err := reg.LoadPath(mf.name, mf.path); err != nil {
 			fatal(err)
@@ -241,9 +262,13 @@ func main() {
 		if stat.Name == def {
 			marker = "*"
 		}
-		fmt.Printf("positrond: %s %-20s %s (%s, %d features -> %d classes, %d workers, window %s, max batch %d)\n",
+		fmt.Printf("positrond: %s %-20s %s (%s, %d features -> %d classes, %d workers, window %s, max batch %d, sha256:%.12s)\n",
 			marker, stat.Name, stat.Model, stat.Kind, stat.InputDim, stat.OutputDim,
-			stat.Workers, stat.BatchWindow, stat.MaxBatch)
+			stat.Workers, stat.BatchWindow, stat.MaxBatch, stat.ContentHash)
+	}
+	if *storeDir != "" {
+		st := reg.StoreStats()
+		fmt.Printf("positrond: artifact store %s: %d object(s), %d bytes\n", *storeDir, st.Objects, st.Bytes)
 	}
 	if *maxInFlight > 0 || *requestTimeout > 0 {
 		fmt.Printf("positrond: admission control: max in-flight %d (0 = unlimited), request timeout %s\n",

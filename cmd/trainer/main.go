@@ -6,10 +6,12 @@
 //
 // Usage:
 //
-//	trainer [-out DIR] [-quant SPEC]
+//	trainer [-out DIR] [-quant SPEC] [-format json|bin]
 //
 // SPEC is an arithmetic such as posit(8,0), float(8,4), fixed(8,4) or
-// float32.
+// float32. -format selects the quantised artifact encoding: json (the
+// default, human-readable) or bin (the compact binary format positrond
+// loads several times faster and hashes for content addressing).
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/emac"
 	"repro/internal/experiments"
@@ -28,10 +31,15 @@ import (
 func main() {
 	out := flag.String("out", "", "directory to save trained models (JSON); empty = don't save")
 	quant := flag.String("quant", "", "also save a quantised serving artifact per dataset in this arithmetic (e.g. posit(8,0))")
+	format := flag.String("format", "json", "quantised artifact format: json or bin")
 	flag.Parse()
 
 	if *quant != "" && *out == "" {
 		fmt.Fprintln(os.Stderr, "trainer: -quant requires -out")
+		os.Exit(2)
+	}
+	if *format != "json" && *format != "bin" {
+		fmt.Fprintf(os.Stderr, "trainer: -format must be json or bin, got %q\n", *format)
 		os.Exit(2)
 	}
 	var arith emac.Arithmetic
@@ -73,15 +81,28 @@ func main() {
 				q := core.Quantize(tr.Net, arith)
 				acc := q.Accuracy(tr.Test)
 				q.Stand = tr.Std
-				qpath := filepath.Join(*out, tr.Name+".quant.json")
-				if err := q.Save(qpath); err != nil {
+				qpath := filepath.Join(*out, tr.Name+".quant."+*format)
+				if err := artifactSave(q, qpath, *format); err != nil {
 					fatal(err)
 				}
-				fmt.Printf("  quantised (%s) accuracy: %6.2f%%  saved to %s\n",
-					arith.Name(), 100*acc, qpath)
+				_, hash, err := artifact.Canonical(q)
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Printf("  quantised (%s) accuracy: %6.2f%%  saved to %s (sha256:%s)\n",
+					arith.Name(), 100*acc, qpath, hash)
 			}
 		}
 	}
+}
+
+// artifactSave writes the quantised serving artifact in the selected
+// encoding; both forms carry identical semantics and hash identically.
+func artifactSave(m core.Model, path, format string) error {
+	if format == "bin" {
+		return artifact.Save(m, path)
+	}
+	return m.Save(path)
 }
 
 func fatal(err error) {

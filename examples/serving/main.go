@@ -47,9 +47,12 @@ func main() {
 		panic(err)
 	}
 	defer os.RemoveAll(dir)
-	uniPath := filepath.Join(dir, "posit8.json")
+	// One artifact per format: the uniform network as a compact binary
+	// artifact (content-addressed, fast to load), the mixed one as JSON.
+	// The registry sniffs the format, so serving code never cares.
+	uniPath := filepath.Join(dir, "posit8.quant.bin")
 	mixedPath := filepath.Join(dir, "mixed.json")
-	if err := uni.Save(uniPath); err != nil {
+	if err := positron.SaveArtifact(uni, uniPath); err != nil {
 		panic(err)
 	}
 	if err := mixed.Save(mixedPath); err != nil {
@@ -91,15 +94,39 @@ func main() {
 
 	var list struct {
 		Models []struct {
-			Name        string   `json:"name"`
-			Kind        string   `json:"kind"`
-			Arithmetics []string `json:"arithmetics"`
+			Name          string   `json:"name"`
+			Kind          string   `json:"kind"`
+			Arithmetics   []string `json:"arithmetics"`
+			ContentHash   string   `json:"content_hash"`
+			ArtifactBytes int64    `json:"artifact_bytes"`
 		} `json:"models"`
 	}
 	getInto(base+"/v1/models", &list)
 	for _, m := range list.Models {
-		fmt.Printf("  serving %-8s kind=%-7s arithmetics=%v\n", m.Name, m.Kind, m.Arithmetics)
+		fmt.Printf("  serving %-8s kind=%-7s arithmetics=%v artifact=%dB sha256:%.12s\n",
+			m.Name, m.Kind, m.Arithmetics, m.ArtifactBytes, m.ContentHash)
 	}
+
+	// Content addressing in the API: the model list's ETag fingerprints
+	// the loaded set, so a replica syncing membership polls with
+	// If-None-Match and pays a 304 — no body — while nothing changed.
+	listResp, err := http.Get(base + "/v1/models")
+	if err != nil {
+		panic(err)
+	}
+	io.Copy(io.Discard, listResp.Body)
+	listResp.Body.Close()
+	etag := listResp.Header.Get("ETag")
+	req304, _ := http.NewRequest(http.MethodGet, base+"/v1/models", nil)
+	req304.Header.Set("If-None-Match", etag)
+	r304, err := http.DefaultClient.Do(req304)
+	if err != nil {
+		panic(err)
+	}
+	io.Copy(io.Discard, r304.Body)
+	r304.Body.Close()
+	fmt.Printf("membership sync poll: ETag %s, If-None-Match -> %d (%s)\n",
+		etag, r304.StatusCode, http.StatusText(r304.StatusCode))
 
 	// Query both models with the same raw sample; different precision
 	// layouts, one API.

@@ -1,0 +1,163 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/artifact"
+	"repro/internal/fsutil"
+)
+
+// Disk is the durable store: one file per artifact under
+// root/<hh>/<hash>, where <hh> is the first hash byte in hex — 256
+// shards keep any one directory small at fleet-scale artifact counts.
+// Writes are atomic (temp file + rename into the shard), so concurrent
+// Puts of the same hash are safe (they race to rename identical bytes
+// onto one name) and a crashed writer leaves no torn blob behind.
+type Disk struct {
+	counters
+	root string
+
+	// occupancy cache, initialised by a walk at construction and kept
+	// current by Put/Delete. mu also serialises the exists-check in Put
+	// against Delete, so the dedup fast path cannot lose bytes.
+	mu      sync.Mutex
+	objects int64
+	bytes   int64
+}
+
+// NewDisk opens (creating if needed) a disk store rooted at dir.
+func NewDisk(dir string) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	d := &Disk{root: dir}
+	err := filepath.WalkDir(dir, func(path string, entry fs.DirEntry, err error) error {
+		if err != nil || entry.IsDir() {
+			return err
+		}
+		if _, herr := artifact.ParseHash(entry.Name()); herr != nil {
+			return nil // stray file (e.g. an orphaned temp); not ours to count
+		}
+		info, err := entry.Info()
+		if err != nil {
+			return err
+		}
+		d.objects++
+		d.bytes += info.Size()
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: scanning %s: %w", dir, err)
+	}
+	return d, nil
+}
+
+// Root returns the store's root directory.
+func (d *Disk) Root() string { return d.root }
+
+// path maps a hash to its sharded file path.
+func (d *Disk) path(h artifact.Hash) string {
+	hex := h.String()
+	return filepath.Join(d.root, hex[:2], hex)
+}
+
+// Put implements Store.
+func (d *Disk) Put(data []byte) (artifact.Hash, error) {
+	h := artifact.Sum(data)
+	d.puts.Add(1)
+	path := d.path(h)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, err := os.Stat(path); err == nil {
+		d.putDedups.Add(1)
+		return h, nil
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return h, err
+	}
+	if err := fsutil.WriteFileAtomic(path, data, 0o644); err != nil {
+		return h, err
+	}
+	d.objects++
+	d.bytes += int64(len(data))
+	return h, nil
+}
+
+// Get implements Store.
+func (d *Disk) Get(h artifact.Hash) ([]byte, error) {
+	d.gets.Add(1)
+	data, err := os.ReadFile(d.path(h))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := verify(h, data); err != nil {
+		d.corrupt.Add(1)
+		return nil, err
+	}
+	d.hits.Add(1)
+	return data, nil
+}
+
+// Has implements Store.
+func (d *Disk) Has(h artifact.Hash) (bool, error) {
+	_, err := os.Stat(d.path(h))
+	if errors.Is(err, fs.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Delete implements Store.
+func (d *Disk) Delete(h artifact.Hash) error {
+	path := d.path(h)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	info, err := os.Stat(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return ErrNotFound
+	}
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(path); err != nil {
+		return err
+	}
+	d.objects--
+	d.bytes -= info.Size()
+	return nil
+}
+
+// List implements Store.
+func (d *Disk) List() ([]artifact.Hash, error) {
+	var out []artifact.Hash
+	err := filepath.WalkDir(d.root, func(path string, entry fs.DirEntry, err error) error {
+		if err != nil || entry.IsDir() {
+			return err
+		}
+		if h, herr := artifact.ParseHash(entry.Name()); herr == nil {
+			out = append(out, h)
+		}
+		return nil
+	})
+	return out, err
+}
+
+// Stats implements Store.
+func (d *Disk) Stats() Stats {
+	d.mu.Lock()
+	s := Stats{Objects: d.objects, Bytes: d.bytes}
+	d.mu.Unlock()
+	d.fill(&s)
+	return s
+}

@@ -1,0 +1,100 @@
+package store
+
+import (
+	"sync"
+
+	"repro/internal/artifact"
+)
+
+// Mem is the in-process store: a map from hash to bytes. It is the
+// registry's default backing store and the fast layer of a warm-cache
+// Union.
+type Mem struct {
+	counters
+	mu    sync.RWMutex
+	blobs map[artifact.Hash][]byte
+	bytes int64
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem {
+	return &Mem{blobs: make(map[artifact.Hash][]byte)}
+}
+
+// Put implements Store. The bytes are copied, so callers may reuse the
+// buffer.
+func (m *Mem) Put(data []byte) (artifact.Hash, error) {
+	h := artifact.Sum(data)
+	m.puts.Add(1)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.blobs[h]; ok {
+		m.putDedups.Add(1)
+		return h, nil
+	}
+	m.blobs[h] = append([]byte(nil), data...)
+	m.bytes += int64(len(data))
+	return h, nil
+}
+
+// Get implements Store.
+func (m *Mem) Get(h artifact.Hash) ([]byte, error) {
+	m.gets.Add(1)
+	m.mu.RLock()
+	data, ok := m.blobs[h]
+	m.mu.RUnlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	// The map is append-only under the lock, but verify anyway: the
+	// contract is that no store ever returns bytes that do not match
+	// their address (a caller scribbling on a returned slice shows up
+	// here instead of propagating silently).
+	if err := verify(h, data); err != nil {
+		m.corrupt.Add(1)
+		return nil, err
+	}
+	m.hits.Add(1)
+	return data, nil
+}
+
+// Has implements Store.
+func (m *Mem) Has(h artifact.Hash) (bool, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	_, ok := m.blobs[h]
+	return ok, nil
+}
+
+// Delete implements Store.
+func (m *Mem) Delete(h artifact.Hash) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.blobs[h]
+	if !ok {
+		return ErrNotFound
+	}
+	delete(m.blobs, h)
+	m.bytes -= int64(len(data))
+	return nil
+}
+
+// List implements Store.
+func (m *Mem) List() ([]artifact.Hash, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]artifact.Hash, 0, len(m.blobs))
+	for h := range m.blobs {
+		out = append(out, h)
+	}
+	return out, nil
+}
+
+// Stats implements Store.
+func (m *Mem) Stats() Stats {
+	m.mu.RLock()
+	s := Stats{Objects: int64(len(m.blobs)), Bytes: m.bytes}
+	m.mu.RUnlock()
+	m.fill(&s)
+	return s
+}

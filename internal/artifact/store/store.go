@@ -1,0 +1,95 @@
+// Package store provides content-addressed artifact storage: blobs
+// keyed by the SHA-256 of their bytes. Because the key *is* the
+// content, storage is automatically deduplicated (a second Put of the
+// same bytes is free), immutable (a blob can never change under its
+// key), and self-verifying (Get re-hashes what it read and refuses to
+// return bytes that no longer match their address) — the properties a
+// fleet distributing model artifacts to millions-of-users replicas
+// needs from its storage plane.
+//
+// Three implementations compose:
+//
+//   - Mem    — a mutex-guarded in-process map; the warm cache.
+//   - Disk   — a directory sharded by hash prefix, written atomically
+//     (temp file + rename), so a crashed writer never corrupts
+//     the store and concurrent writers of one hash are safe.
+//   - Union  — a read-through overlay (fast layer over slow layer,
+//     e.g. mem-over-disk): Gets populate the fast layer, Puts
+//     write through to both.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/artifact"
+)
+
+// ErrNotFound is returned by Get/Delete for an absent hash.
+var ErrNotFound = errors.New("store: artifact not found")
+
+// ErrCorrupt is returned by Get when the stored bytes no longer hash to
+// their address — bit rot, tampering, or a torn write something slipped
+// past the atomic-rename discipline.
+var ErrCorrupt = errors.New("store: artifact bytes do not match their hash")
+
+// Store is a content-addressed blob store. Implementations are safe for
+// concurrent use.
+type Store interface {
+	// Put stores data under its content hash and returns the hash.
+	// Storing bytes that are already present is a cheap no-op (counted
+	// as a dedup in Stats).
+	Put(data []byte) (artifact.Hash, error)
+	// Get returns the bytes stored under h, verifying they still hash
+	// to h. Callers must not mutate the result.
+	Get(h artifact.Hash) ([]byte, error)
+	// Has reports whether h is present, without reading the bytes.
+	Has(h artifact.Hash) (bool, error)
+	// Delete removes h. Deleting an absent hash fails with ErrNotFound.
+	Delete(h artifact.Hash) error
+	// List returns the stored hashes, in no particular order.
+	List() ([]artifact.Hash, error)
+	// Stats reports occupancy and operation counters.
+	Stats() Stats
+}
+
+// Stats is a store's introspection record. Objects/Bytes describe
+// current occupancy; the counters are cumulative since construction.
+type Stats struct {
+	// Objects and Bytes describe what the store currently holds.
+	Objects int64 `json:"objects"`
+	Bytes   int64 `json:"bytes"`
+	// Puts counts Put calls; PutDedups the subset that found their hash
+	// already present (the fleet's dedup win).
+	Puts      int64 `json:"puts"`
+	PutDedups int64 `json:"put_dedups"`
+	// Gets counts Get calls; Hits the subset that returned bytes;
+	// Corrupt the subset that failed hash verification.
+	Gets    int64 `json:"gets"`
+	Hits    int64 `json:"hits"`
+	Corrupt int64 `json:"corrupt"`
+}
+
+// counters is the atomic operation-counter block shared by the
+// implementations (occupancy is tracked per-implementation, under its
+// own synchronisation).
+type counters struct {
+	puts, putDedups, gets, hits, corrupt atomic.Int64
+}
+
+func (c *counters) fill(s *Stats) {
+	s.Puts = c.puts.Load()
+	s.PutDedups = c.putDedups.Load()
+	s.Gets = c.gets.Load()
+	s.Hits = c.hits.Load()
+	s.Corrupt = c.corrupt.Load()
+}
+
+// verify re-hashes data against its claimed address.
+func verify(h artifact.Hash, data []byte) error {
+	if artifact.Sum(data) != h {
+		return fmt.Errorf("%w: %s", ErrCorrupt, h)
+	}
+	return nil
+}

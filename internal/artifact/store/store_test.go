@@ -1,0 +1,255 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/artifact"
+)
+
+// implementations under test, each built fresh per subtest.
+func implementations(t *testing.T) map[string]func() Store {
+	t.Helper()
+	return map[string]func() Store{
+		"mem": func() Store { return NewMem() },
+		"disk": func() Store {
+			d, err := NewDisk(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		},
+		"union": func() Store {
+			d, err := NewDisk(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return NewUnion(NewMem(), d)
+		},
+	}
+}
+
+// TestStoreContract runs the common semantics over every implementation.
+func TestStoreContract(t *testing.T) {
+	for name, build := range implementations(t) {
+		t.Run(name, func(t *testing.T) {
+			s := build()
+			blob := []byte("quantised words")
+			h, err := s.Put(blob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h != artifact.Sum(blob) {
+				t.Fatal("Put returned a hash that is not the content hash")
+			}
+			got, err := s.Get(h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, blob) {
+				t.Fatalf("Get returned %q", got)
+			}
+			if ok, err := s.Has(h); err != nil || !ok {
+				t.Fatalf("Has = %v, %v", ok, err)
+			}
+			if ok, _ := s.Has(artifact.Sum([]byte("absent"))); ok {
+				t.Fatal("Has reports an absent hash")
+			}
+			if _, err := s.Get(artifact.Sum([]byte("absent"))); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Get absent: %v", err)
+			}
+
+			// Dedup: same bytes again stores nothing new.
+			if _, err := s.Put(blob); err != nil {
+				t.Fatal(err)
+			}
+			st := s.Stats()
+			if st.Objects != 1 {
+				t.Fatalf("after duplicate Put: %d objects", st.Objects)
+			}
+			if st.PutDedups != 1 {
+				t.Fatalf("put_dedups = %d, want 1", st.PutDedups)
+			}
+			if st.Bytes != int64(len(blob)) {
+				t.Fatalf("bytes = %d, want %d", st.Bytes, len(blob))
+			}
+
+			// A second distinct blob coexists; List sees both.
+			h2, err := s.Put([]byte("other artifact"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			hashes, err := s.List()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(hashes) != 2 {
+				t.Fatalf("List: %d hashes", len(hashes))
+			}
+
+			// Delete removes exactly its blob.
+			if err := s.Delete(h); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Delete(h); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("double Delete: %v", err)
+			}
+			if _, err := s.Get(h); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Get after Delete: %v", err)
+			}
+			if _, err := s.Get(h2); err != nil {
+				t.Fatalf("unrelated blob lost: %v", err)
+			}
+			if st := s.Stats(); st.Objects != 1 {
+				t.Fatalf("after delete: %d objects", st.Objects)
+			}
+		})
+	}
+}
+
+// TestConcurrentPutSameHash is the -race contract: many goroutines
+// storing identical bytes must coexist and leave exactly one object.
+func TestConcurrentPutSameHash(t *testing.T) {
+	for name, build := range implementations(t) {
+		t.Run(name, func(t *testing.T) {
+			s := build()
+			blob := bytes.Repeat([]byte("w"), 4096)
+			want := artifact.Sum(blob)
+			var wg sync.WaitGroup
+			errs := make([]error, 16)
+			for i := range errs {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					h, err := s.Put(blob)
+					if err == nil && h != want {
+						err = fmt.Errorf("hash mismatch")
+					}
+					errs[i] = err
+				}(i)
+			}
+			wg.Wait()
+			for i, err := range errs {
+				if err != nil {
+					t.Fatalf("put %d: %v", i, err)
+				}
+			}
+			if st := s.Stats(); st.Objects != 1 || st.Bytes != int64(len(blob)) {
+				t.Fatalf("after concurrent puts: %d objects, %d bytes", st.Objects, st.Bytes)
+			}
+			if got, err := s.Get(want); err != nil || !bytes.Equal(got, blob) {
+				t.Fatalf("readback: %v", err)
+			}
+		})
+	}
+}
+
+// TestDiskDetectsCorruption: bytes rotted on disk must surface as
+// ErrCorrupt, never be returned as the artifact.
+func TestDiskDetectsCorruption(t *testing.T) {
+	d, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := []byte("pristine artifact bytes")
+	h, err := d.Put(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rot one byte behind the store's back.
+	path := filepath.Join(d.Root(), h.String()[:2], h.String())
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[0] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Get(h); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupted Get: %v", err)
+	}
+	if st := d.Stats(); st.Corrupt != 1 {
+		t.Fatalf("corrupt counter = %d", st.Corrupt)
+	}
+	// The union surfaces the same failure instead of caching garbage.
+	u := NewUnion(NewMem(), d)
+	if _, err := u.Get(h); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("union corrupted Get: %v", err)
+	}
+	if ok, _ := u.Fast().Has(h); ok {
+		t.Fatal("union cached a corrupt blob in the fast layer")
+	}
+}
+
+// TestDiskPersistsAcrossReopen: a new Disk over an existing root sees
+// the blobs and counts them in Stats.
+func TestDiskPersistsAcrossReopen(t *testing.T) {
+	root := t.TempDir()
+	d1, err := NewDisk(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := d1.Put([]byte("durable"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := NewDisk(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := d2.Get(h); err != nil || string(got) != "durable" {
+		t.Fatalf("reopen Get: %q, %v", got, err)
+	}
+	if st := d2.Stats(); st.Objects != 1 || st.Bytes != int64(len("durable")) {
+		t.Fatalf("reopen stats: %+v", st)
+	}
+}
+
+// TestUnionReadThroughPopulatesFastLayer: the warm-cache behaviour the
+// registry's instant warm loads ride on.
+func TestUnionReadThroughPopulatesFastLayer(t *testing.T) {
+	disk, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := []byte("cold artifact")
+	h, err := disk.Put(blob) // present only in the slow layer
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := NewMem()
+	u := NewUnion(mem, disk)
+	if ok, _ := mem.Has(h); ok {
+		t.Fatal("fast layer warm before any Get")
+	}
+	if got, err := u.Get(h); err != nil || !bytes.Equal(got, blob) {
+		t.Fatalf("cold Get: %v", err)
+	}
+	if ok, _ := mem.Has(h); !ok {
+		t.Fatal("read-through did not populate the fast layer")
+	}
+	// The second Get is served from memory: disk's Get counter is flat.
+	diskGets := disk.Stats().Gets
+	if _, err := u.Get(h); err != nil {
+		t.Fatal(err)
+	}
+	if got := disk.Stats().Gets; got != diskGets {
+		t.Fatalf("warm Get still hit the slow layer (%d -> %d)", diskGets, got)
+	}
+	// Write-through: a Put lands in both layers.
+	h2, err := u.Put([]byte("written through"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, layer := range map[string]Store{"fast": mem, "slow": disk} {
+		if ok, _ := layer.Has(h2); !ok {
+			t.Fatalf("Put did not reach the %s layer", name)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package store
+
+import "repro/internal/artifact"
+
+// Union is a read-through overlay of two stores: a fast layer (usually
+// Mem) over a slow, authoritative layer (usually Disk). Gets try the
+// fast layer first and populate it on a slow-layer hit — the warm-load
+// cache pattern: the first load of an artifact after a restart pays the
+// disk read, every load after that is a map lookup. Puts write through
+// to both layers, so the slow layer is always complete and a crash
+// loses nothing but warmth.
+type Union struct {
+	counters
+	fast, slow Store
+}
+
+// NewUnion composes fast over slow.
+func NewUnion(fast, slow Store) *Union {
+	return &Union{fast: fast, slow: slow}
+}
+
+// Put implements Store: write-through to the slow layer first (it is
+// the durable one; if it fails the artifact is not stored), then warm
+// the fast layer.
+func (u *Union) Put(data []byte) (artifact.Hash, error) {
+	u.puts.Add(1)
+	if ok, err := u.slow.Has(artifact.Sum(data)); err == nil && ok {
+		u.putDedups.Add(1)
+	}
+	h, err := u.slow.Put(data)
+	if err != nil {
+		return h, err
+	}
+	_, err = u.fast.Put(data)
+	return h, err
+}
+
+// Get implements Store: fast layer first; a slow-layer hit populates
+// the fast layer for the next reader.
+func (u *Union) Get(h artifact.Hash) ([]byte, error) {
+	u.gets.Add(1)
+	if data, err := u.fast.Get(h); err == nil {
+		u.hits.Add(1)
+		return data, nil
+	}
+	data, err := u.slow.Get(h)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := u.fast.Put(data); err != nil {
+		return nil, err
+	}
+	u.hits.Add(1)
+	return data, nil
+}
+
+// Has implements Store.
+func (u *Union) Has(h artifact.Hash) (bool, error) {
+	if ok, err := u.fast.Has(h); err == nil && ok {
+		return true, nil
+	}
+	return u.slow.Has(h)
+}
+
+// Delete implements Store: removed from both layers; present in
+// neither is ErrNotFound.
+func (u *Union) Delete(h artifact.Hash) error {
+	fastErr := u.fast.Delete(h)
+	slowErr := u.slow.Delete(h)
+	if slowErr == nil || fastErr == nil {
+		return nil
+	}
+	return slowErr
+}
+
+// List implements Store: the slow layer is authoritative (the fast
+// layer is a subset by construction).
+func (u *Union) List() ([]artifact.Hash, error) { return u.slow.List() }
+
+// Stats implements Store: occupancy of the authoritative slow layer,
+// with the union's own read-through counters (fast-layer hit ratio is
+// visible as fast.Stats().Hits vs the union's Gets).
+func (u *Union) Stats() Stats {
+	slow := u.slow.Stats()
+	s := Stats{Objects: slow.Objects, Bytes: slow.Bytes}
+	u.fill(&s)
+	return s
+}
+
+// Fast returns the overlay's fast layer.
+func (u *Union) Fast() Store { return u.fast }
+
+// Slow returns the overlay's authoritative slow layer.
+func (u *Union) Slow() Store { return u.slow }

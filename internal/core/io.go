@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/datasets"
 	"repro/internal/emac"
+	"repro/internal/fsutil"
 )
 
 // Serialization of quantised networks: the deployment artifact a Deep
@@ -36,33 +37,15 @@ type arithDescriptor struct {
 }
 
 func describeArith(a emac.Arithmetic) (arithDescriptor, error) {
-	switch arm := a.(type) {
-	case emac.PositArith:
-		return arithDescriptor{Family: "posit", N: arm.F.N(), ES: arm.F.ES(), QuireDrop: arm.QuireDrop}, nil
-	case emac.FloatArith:
-		return arithDescriptor{Family: "float", N: arm.F.N(), WE: arm.F.WE()}, nil
-	case emac.FixedArith:
-		return arithDescriptor{Family: "fixed", N: arm.F.N(), Q: arm.F.Q()}, nil
-	case emac.Float32Arith:
-		return arithDescriptor{Family: "float32"}, nil
-	default:
-		return arithDescriptor{}, fmt.Errorf("core: unserialisable arithmetic %T", a)
+	s, err := DescribeArith(a)
+	if err != nil {
+		return arithDescriptor{}, err
 	}
+	return arithDescriptor{Family: s.Family, N: s.N, ES: s.ES, WE: s.WE, Q: s.Q, QuireDrop: s.QuireDrop}, nil
 }
 
 func (d arithDescriptor) build() (emac.Arithmetic, error) {
-	switch d.Family {
-	case "posit":
-		return newPositArith(d.N, d.ES, d.QuireDrop)
-	case "float":
-		return newFloatArith(d.N, d.WE)
-	case "fixed":
-		return newFixedArith(d.N, d.Q)
-	case "float32":
-		return emac.Float32Arith{}, nil
-	default:
-		return nil, fmt.Errorf("core: unknown arithmetic family %q", d.Family)
-	}
+	return ArithSpec{Family: d.Family, N: d.N, ES: d.ES, WE: d.WE, Q: d.Q, QuireDrop: d.QuireDrop}.Build()
 }
 
 type layerJSON struct {
@@ -324,12 +307,16 @@ func (n *Network) Save(path string) error { return saveJSON(n, path) }
 // Save writes the mixed quantised model as a versioned JSON artifact.
 func (n *MixedNetwork) Save(path string) error { return saveJSON(n, path) }
 
+// saveJSON writes the artifact atomically (temp file + rename in the
+// target directory): artifacts are the unit of deployment, and a trainer
+// killed mid-save must never leave a truncated file where positrond (or
+// the artifact store) will load it.
 func saveJSON(m json.Marshaler, path string) error {
 	data, err := json.MarshalIndent(m, "", " ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, data, 0o644)
+	return fsutil.WriteFileAtomic(path, data, 0o644)
 }
 
 // Load reads a uniform quantised model saved by Network.Save.

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/emac"
+)
+
+// ArithSpec is the serialisable identity of one EMAC arithmetic: the
+// family plus the format parameters that family uses. It is the single
+// source of truth both artifact codecs (JSON v1 and the binary format)
+// lower arithmetics into, so the two formats cannot drift on what an
+// arithmetic *is*. Build validates through the error-returning format
+// constructors — specs come from artifacts, which come from outside the
+// program.
+type ArithSpec struct {
+	Family string // "posit" | "float" | "fixed" | "float32"
+	N      uint   // storage width (posit/float/fixed)
+	ES     uint   // posit exponent field width
+	WE     uint   // minifloat exponent width
+	Q      uint   // fixed-point fraction bits
+	// QuireDrop preserves the truncated-quire ablation setting.
+	QuireDrop uint
+}
+
+// DescribeArith lowers an arithmetic into its spec. It fails on
+// arithmetic implementations the artifact formats do not know.
+func DescribeArith(a emac.Arithmetic) (ArithSpec, error) {
+	switch arm := a.(type) {
+	case emac.PositArith:
+		return ArithSpec{Family: "posit", N: arm.F.N(), ES: arm.F.ES(), QuireDrop: arm.QuireDrop}, nil
+	case emac.FloatArith:
+		return ArithSpec{Family: "float", N: arm.F.N(), WE: arm.F.WE()}, nil
+	case emac.FixedArith:
+		return ArithSpec{Family: "fixed", N: arm.F.N(), Q: arm.F.Q()}, nil
+	case emac.Float32Arith:
+		return ArithSpec{Family: "float32"}, nil
+	default:
+		return ArithSpec{}, fmt.Errorf("core: unserialisable arithmetic %T", a)
+	}
+}
+
+// Build constructs the arithmetic the spec names, validating every
+// parameter.
+func (s ArithSpec) Build() (emac.Arithmetic, error) {
+	switch s.Family {
+	case "posit":
+		return newPositArith(s.N, s.ES, s.QuireDrop)
+	case "float":
+		return newFloatArith(s.N, s.WE)
+	case "fixed":
+		return newFixedArith(s.N, s.Q)
+	case "float32":
+		return emac.Float32Arith{}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown arithmetic family %q", s.Family)
+	}
+}

@@ -1,0 +1,50 @@
+// Package fsutil holds the small filesystem idioms the artifact plane
+// relies on. The one that matters is atomic file replacement: model
+// artifacts are the unit of deployment, and a killed writer must never
+// leave a truncated artifact where a loader will find it.
+package fsutil
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes data to path so that readers observe either the
+// old content or the new content, never a partial write: the bytes go to
+// a temporary file in the target's directory (same filesystem, so the
+// final rename cannot degrade to a copy) which is fsynced, closed and
+// renamed over path. On any error the temporary file is removed and the
+// destination is untouched.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if tmpName != "" {
+			_ = os.Remove(tmpName)
+		}
+	}()
+	if _, err := tmp.Write(data); err != nil {
+		_ = tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		_ = tmp.Close()
+		return err
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		_ = tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return err
+	}
+	tmpName = "" // renamed away; nothing to clean up
+	return nil
+}

@@ -1,0 +1,52 @@
+package fsutil
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileAtomicCreatesAndReplaces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "artifact.bin")
+	if err := WriteFileAtomic(path, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "v1" {
+		t.Fatalf("got %q", got)
+	}
+	if err := WriteFileAtomic(path, []byte("v2 longer content"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "v2 longer content" {
+		t.Fatalf("replace: got %q", got)
+	}
+}
+
+func TestWriteFileAtomicLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFileAtomic(path, bytes.Repeat([]byte("x"), 1<<16), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".") {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Fatalf("want exactly the target file, got %d entries", len(entries))
+	}
+}
+
+func TestWriteFileAtomicMissingDirFails(t *testing.T) {
+	err := WriteFileAtomic(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), []byte("x"), 0o644)
+	if err == nil {
+		t.Fatal("want error for missing directory")
+	}
+}

@@ -17,10 +17,13 @@ package registry
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/artifact"
+	"repro/internal/artifact/store"
 	"repro/internal/core"
 	"repro/internal/engine"
 )
@@ -42,6 +45,7 @@ type config struct {
 	maxBatch    int
 	maxInFlight int
 	reqTimeout  time.Duration
+	store       store.Store
 }
 
 // Option configures a Registry at construction.
@@ -83,6 +87,17 @@ func WithMaxInFlight(n int) Option {
 	return func(c *config) { c.maxInFlight = n }
 }
 
+// WithStore sets the content-addressed artifact store behind the
+// registry. Every loaded model's canonical binary bytes are Put into it
+// keyed by content hash, so same-hash loads under different names store
+// the bytes once, /v1/models can serve the hash as an ETag, and with a
+// durable store (e.g. a mem-over-disk union) restarts warm-load from
+// local bytes instead of re-fetching artifacts. The default is a fresh
+// in-memory store.
+func WithStore(s store.Store) Option {
+	return func(c *config) { c.store = s }
+}
+
 // WithRequestTimeout bounds one admitted request end to end: time spent
 // waiting in the micro-batcher's pending queue, on the runtime job
 // queue, and computing. A request that exceeds it fails with
@@ -100,6 +115,11 @@ type entry struct {
 	batcher *Batcher
 	metrics *Metrics
 	loaded  time.Time
+
+	// hash/artBytes identify the model's canonical binary artifact in
+	// the content-addressed store: its SHA-256 and byte size.
+	hash     artifact.Hash
+	artBytes int64
 
 	// admission gate: slots bounds concurrently admitted requests (nil =
 	// unlimited), timeout bounds one admitted request end to end (0 =
@@ -139,6 +159,9 @@ func New(opts ...Option) *Registry {
 	cfg := config{window: DefaultBatchWindow, maxBatch: DefaultMaxBatch}
 	for _, opt := range opts {
 		opt(&cfg)
+	}
+	if cfg.store == nil {
+		cfg.store = store.NewMem()
 	}
 	return &Registry{cfg: cfg, entries: make(map[string]*entry)}
 }
@@ -188,6 +211,26 @@ func (r *Registry) Load(name string, model core.Model) error {
 	}
 	r.mu.Unlock()
 
+	// Fingerprint the model and store its canonical binary bytes: the
+	// hash is the model's fleet-wide identity (served as the /v1/models
+	// ETag), and the content-addressed store dedups same-hash loads
+	// under different names. Done outside the lock — hashing is cheap
+	// but a durable store may touch disk.
+	// Models outside the binary codec (test doubles, experimental planes)
+	// have no canonical artifact: they load and serve normally, with a
+	// zero hash and no store entry.
+	data, hash, err := artifact.Canonical(model)
+	switch {
+	case errors.Is(err, artifact.ErrUnsupported):
+		data, hash = nil, artifact.Hash{}
+	case err != nil:
+		return err
+	default:
+		if _, err := r.cfg.store.Put(data); err != nil {
+			return fmt.Errorf("registry: storing artifact for %q: %w", name, err)
+		}
+	}
+
 	// Build the runtime outside the lock: warm tables can take a while
 	// and must not stall unrelated lookups. Shared outputs only when the
 	// micro-batcher will serialise access and copy results out; on the
@@ -202,14 +245,16 @@ func (r *Registry) Load(name string, model core.Model) error {
 	}
 	metrics := &Metrics{}
 	e := &entry{
-		name:    name,
-		model:   model,
-		rt:      rt,
-		batcher: NewBatcher(rt, r.cfg.window, r.cfg.maxBatch, metrics),
-		metrics: metrics,
-		loaded:  time.Now(),
-		timeout: r.cfg.reqTimeout,
-		done:    make(chan struct{}),
+		name:     name,
+		model:    model,
+		rt:       rt,
+		batcher:  NewBatcher(rt, r.cfg.window, r.cfg.maxBatch, metrics),
+		metrics:  metrics,
+		loaded:   time.Now(),
+		hash:     hash,
+		artBytes: int64(len(data)),
+		timeout:  r.cfg.reqTimeout,
+		done:     make(chan struct{}),
 	}
 	if r.cfg.maxInFlight > 0 {
 		e.slots = make(chan struct{}, r.cfg.maxInFlight)
@@ -231,20 +276,25 @@ func (r *Registry) Load(name string, model core.Model) error {
 	return nil
 }
 
-// LoadPath loads an artifact file (uniform or mixed) under name.
+// LoadPath loads an artifact file (uniform or mixed) under name. Binary
+// and JSON artifacts are detected transparently by the binary magic.
 func (r *Registry) LoadPath(name, path string) error {
-	model, err := core.LoadModel(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	return r.Load(name, model)
+	if err := r.LoadBytes(name, data); err != nil {
+		return fmt.Errorf("registry: loading %s: %w", path, err)
+	}
+	return nil
 }
 
-// LoadBytes loads an artifact from raw JSON — the upload path: clients
+// LoadBytes loads an artifact from raw bytes — the upload path: clients
 // POST the artifact body to the daemon instead of referencing a file on
-// the server's disk.
+// the server's disk. Binary and JSON artifacts are detected
+// transparently.
 func (r *Registry) LoadBytes(name string, data []byte) error {
-	model, err := core.ParseModel(data)
+	model, err := artifact.Parse(data)
 	if err != nil {
 		return err
 	}
@@ -266,6 +316,9 @@ func (h *Handle) Name() string { return h.e.name }
 
 // Model returns the pinned model plane.
 func (h *Handle) Model() core.Model { return h.e.model }
+
+// ContentHash returns the model's artifact content address.
+func (h *Handle) ContentHash() artifact.Hash { return h.e.hash }
 
 // Runtime returns the model's worker-pool runtime. When micro-batching
 // is enabled it is built with shared outputs: call it through Batcher
@@ -340,6 +393,16 @@ func (r *Registry) Unload(name string) error {
 	return nil
 }
 
+// Store returns the content-addressed artifact store behind the
+// registry. Unload does not remove artifact bytes from it — blobs are
+// immutable, may back several names at once, and double as the warm
+// cache for the next load of the same hash.
+func (r *Registry) Store() store.Store { return r.cfg.store }
+
+// StoreStats reports the artifact store's occupancy and dedup counters
+// (surfaced in /v1/metrics).
+func (r *Registry) StoreStats() store.Stats { return r.cfg.store.Stats() }
+
 // Names returns the loaded model names, sorted.
 func (r *Registry) Names() []string {
 	r.mu.Lock()
@@ -378,9 +441,14 @@ type ModelStat struct {
 	Arithmetics  []string `json:"arithmetics"`
 	MemoryBits   int      `json:"memory_bits"`
 	Standardized bool     `json:"standardized"`
-	Workers      int      `json:"workers"`
-	BatchWindow  string   `json:"batch_window"`
-	MaxBatch     int      `json:"max_batch"`
+	// ContentHash is the SHA-256 of the model's canonical binary
+	// artifact — its content address in the store and the ETag
+	// /v1/models serves; ArtifactBytes is that artifact's size.
+	ContentHash   string `json:"content_hash"`
+	ArtifactBytes int64  `json:"artifact_bytes"`
+	Workers       int    `json:"workers"`
+	BatchWindow   string `json:"batch_window"`
+	MaxBatch      int    `json:"max_batch"`
 	// MaxInFlight is the admission cap (0 = unlimited); RequestTimeout
 	// the per-request deadline ("0s" = none).
 	MaxInFlight    int    `json:"max_in_flight"`
@@ -401,6 +469,12 @@ type ModelStat struct {
 // fields plus the metrics' own lock, so callers need not hold r.mu.
 func statFor(e *entry) ModelStat {
 	m := e.model
+	// Models with no canonical artifact (zero hash) report an empty
+	// content hash, not 64 zeros.
+	contentHash := ""
+	if e.hash != (artifact.Hash{}) {
+		contentHash = e.hash.String()
+	}
 	return ModelStat{
 		Name:           e.name,
 		Model:          m.String(),
@@ -411,6 +485,8 @@ func statFor(e *entry) ModelStat {
 		Arithmetics:    m.ArithNames(),
 		MemoryBits:     m.MemoryBits(),
 		Standardized:   m.Standardizer() != nil,
+		ContentHash:    contentHash,
+		ArtifactBytes:  e.artBytes,
 		Workers:        e.rt.Workers(),
 		BatchWindow:    e.batcher.Window().String(),
 		MaxBatch:       e.batcher.MaxBatch(),

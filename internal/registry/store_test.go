@@ -1,0 +1,176 @@
+package registry
+
+// Tests for the content-addressed storage plane behind the registry:
+// every load lands the canonical binary artifact in the store, same-hash
+// loads under different names dedup, and binary artifacts load
+// transparently next to JSON ones.
+
+import (
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/artifact"
+	"repro/internal/artifact/store"
+	"repro/internal/engine"
+)
+
+func TestLoadStoresCanonicalArtifact(t *testing.T) {
+	model := posit8Model(11)
+	r := New(WithRuntimeOptions(engine.WithWorkers(1)))
+	defer r.Close()
+	if err := r.Load("m", model); err != nil {
+		t.Fatal(err)
+	}
+	stat, err := r.Stat("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes, wantHash, err := artifact.Canonical(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat.ContentHash != wantHash.String() {
+		t.Fatalf("content hash %s, want %s", stat.ContentHash, wantHash)
+	}
+	if stat.ArtifactBytes != int64(len(wantBytes)) {
+		t.Fatalf("artifact bytes %d, want %d", stat.ArtifactBytes, len(wantBytes))
+	}
+	got, err := r.Store().Get(wantHash)
+	if err != nil {
+		t.Fatalf("canonical bytes not in store: %v", err)
+	}
+	if string(got) != string(wantBytes) {
+		t.Fatal("stored bytes are not the canonical encoding")
+	}
+}
+
+// TestSameHashLoadsDedup: the acceptance contract — loading the same
+// artifact bytes under two names stores them once.
+func TestSameHashLoadsDedup(t *testing.T) {
+	model := posit8Model(12)
+	data, err := json.Marshal(model.(json.Marshaler))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(WithRuntimeOptions(engine.WithWorkers(1)))
+	defer r.Close()
+	if err := r.LoadBytes("first", data); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.LoadBytes("second", data); err != nil {
+		t.Fatal(err)
+	}
+	st := r.StoreStats()
+	if st.Objects != 1 {
+		t.Fatalf("two names over one artifact stored %d objects", st.Objects)
+	}
+	if st.PutDedups != 1 {
+		t.Fatalf("put_dedups = %d, want 1", st.PutDedups)
+	}
+	a, _ := r.Stat("first")
+	b, _ := r.Stat("second")
+	if a.ContentHash != b.ContentHash {
+		t.Fatalf("same artifact, different hashes: %s vs %s", a.ContentHash, b.ContentHash)
+	}
+	// A genuinely different model adds a second object.
+	if err := r.Load("third", posit8Model(13)); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.StoreStats(); st.Objects != 2 {
+		t.Fatalf("distinct model did not add an object: %d", st.Objects)
+	}
+}
+
+// TestLoadPathBinaryAndJSON: LoadPath sniffs the format; both forms of
+// one model serve bit-identical logits and share one content hash.
+func TestLoadPathBinaryAndJSON(t *testing.T) {
+	model := posit8Model(14)
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "m.json")
+	binPath := filepath.Join(dir, "m.bin")
+	if err := model.Save(jsonPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := artifact.Save(model, binPath); err != nil {
+		t.Fatal(err)
+	}
+
+	r := New(WithRuntimeOptions(engine.WithWorkers(1)))
+	defer r.Close()
+	if err := r.LoadPath("js", jsonPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.LoadPath("bin", binPath); err != nil {
+		t.Fatal(err)
+	}
+	js, _ := r.Stat("js")
+	bin, _ := r.Stat("bin")
+	if js.ContentHash != bin.ContentHash {
+		t.Fatalf("JSON and binary forms hash differently: %s vs %s", js.ContentHash, bin.ContentHash)
+	}
+	if st := r.StoreStats(); st.Objects != 1 || st.PutDedups != 1 {
+		t.Fatalf("cross-format dedup failed: %+v", st)
+	}
+	for _, name := range []string{"js", "bin"} {
+		h, err := r.Acquire(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := testInput(3)
+		got, err := h.Batcher().Infer(context.Background(), x)
+		h.Release()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := model.NewInferer().Infer(x)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("%s: logit %d diverges", name, j)
+			}
+		}
+	}
+}
+
+// TestWithDurableStore: a union(mem, disk) store persists artifacts
+// across registry restarts — the warm-load path.
+func TestWithDurableStore(t *testing.T) {
+	root := t.TempDir()
+	disk, err := store.NewDisk(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := posit8Model(15)
+	r1 := New(WithRuntimeOptions(engine.WithWorkers(1)), WithStore(store.NewUnion(store.NewMem(), disk)))
+	if err := r1.Load("m", model); err != nil {
+		t.Fatal(err)
+	}
+	stat, _ := r1.Stat("m")
+	_ = r1.Close()
+
+	// A fresh registry over the same disk root sees the artifact.
+	disk2, err := store.NewDisk(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := New(WithRuntimeOptions(engine.WithWorkers(1)), WithStore(store.NewUnion(store.NewMem(), disk2)))
+	defer r2.Close()
+	h, err := artifact.ParseHash(stat.ContentHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := r2.Store().Get(h)
+	if err != nil {
+		t.Fatalf("artifact did not survive the restart: %v", err)
+	}
+	if err := r2.LoadBytes("m", data); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := r2.Stat("m"); st.ContentHash != stat.ContentHash {
+		t.Fatal("reloaded artifact changed identity")
+	}
+	if st := r2.StoreStats(); st.PutDedups != 1 {
+		t.Fatalf("reload from store did not dedup: %+v", st)
+	}
+}

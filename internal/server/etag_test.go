@@ -1,0 +1,144 @@
+package server
+
+// Conditional-GET tests: /v1/models and /v1/models/{name} carry the
+// artifact content hash as an ETag, and If-None-Match short-circuits to
+// 304 — the cheap membership-sync poll replicas ride on.
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"repro/internal/registry"
+)
+
+// condGet issues a GET with an optional If-None-Match header.
+func condGet(t *testing.T, url, inm string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inm != "" {
+		req.Header.Set("If-None-Match", inm)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+func TestModelStatETag(t *testing.T) {
+	_, ts, _, _ := newTestServer(t)
+	var stat registry.ModelStat
+	resp := getJSON(t, ts.URL+"/v1/models/iris", &stat)
+	if stat.ContentHash == "" {
+		t.Fatal("stat has no content hash")
+	}
+	etag := resp.Header.Get("ETag")
+	if want := `"` + stat.ContentHash + `"`; etag != want {
+		t.Fatalf("ETag = %s, want %s", etag, want)
+	}
+
+	// Matching If-None-Match: 304 with no body, ETag still present.
+	resp = condGet(t, ts.URL+"/v1/models/iris", etag)
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("matching If-None-Match = %d, want 304", resp.StatusCode)
+	}
+	if resp.Header.Get("ETag") != etag {
+		t.Fatal("304 dropped the ETag header")
+	}
+	// Weak form and star also match; a stale tag does not.
+	if resp := condGet(t, ts.URL+"/v1/models/iris", "W/"+etag); resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("weak If-None-Match = %d, want 304", resp.StatusCode)
+	}
+	if resp := condGet(t, ts.URL+"/v1/models/iris", "*"); resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("If-None-Match: * = %d, want 304", resp.StatusCode)
+	}
+	if resp := condGet(t, ts.URL+"/v1/models/iris", `"deadbeef"`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("stale If-None-Match = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestModelListETagTracksMembership: the list ETag is stable across
+// unchanged polls and rolls on any load/unload.
+func TestModelListETagTracksMembership(t *testing.T) {
+	s, ts, m, _ := newTestServer(t)
+	first := condGet(t, ts.URL+"/v1/models", "")
+	etag := first.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("list has no ETag")
+	}
+	if resp := condGet(t, ts.URL+"/v1/models", etag); resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("unchanged list poll = %d, want 304", resp.StatusCode)
+	}
+
+	// Loading a second model (same artifact, new name) changes the set.
+	if err := s.Registry().Load("iris2", m); err != nil {
+		t.Fatal(err)
+	}
+	resp := condGet(t, ts.URL+"/v1/models", etag)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("poll after load = %d, want 200", resp.StatusCode)
+	}
+	etag2 := resp.Header.Get("ETag")
+	if etag2 == etag {
+		t.Fatal("list ETag unchanged after membership change")
+	}
+	// And unloading rolls it again.
+	if err := s.Registry().Unload("iris2"); err != nil {
+		t.Fatal(err)
+	}
+	if resp := condGet(t, ts.URL+"/v1/models", etag2); resp.StatusCode != http.StatusOK {
+		t.Fatalf("poll after unload = %d, want 200", resp.StatusCode)
+	}
+	if resp := condGet(t, ts.URL+"/v1/models", etag); resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("restored membership should match the original tag, got %d", resp.StatusCode)
+	}
+}
+
+// TestLoadResponseETagAndDedupMetrics: POST /v1/models answers with the
+// new model's ETag, and /v1/metrics exposes store-level dedup when the
+// same artifact is loaded under two names.
+func TestLoadResponseETagAndDedupMetrics(t *testing.T) {
+	s, ts, m, _ := newTestServer(t)
+	raw, err := json.Marshal(m.(json.Marshaler))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(map[string]json.RawMessage{
+		"name":     json.RawMessage(`"copy"`),
+		"artifact": raw,
+	})
+	resp, out := postJSON(t, ts.URL+"/v1/models", string(body))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("load = %d (%s)", resp.StatusCode, out)
+	}
+	var stat registry.ModelStat
+	if err := json.Unmarshal(out, &stat); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := resp.Header.Get("ETag"), `"`+stat.ContentHash+`"`; got != want {
+		t.Fatalf("load ETag = %s, want %s", got, want)
+	}
+	orig, _ := s.Registry().Stat("iris")
+	if stat.ContentHash != orig.ContentHash {
+		t.Fatal("re-uploaded artifact changed identity")
+	}
+
+	var metrics struct {
+		Store struct {
+			Objects   int64 `json:"objects"`
+			PutDedups int64 `json:"put_dedups"`
+		} `json:"store"`
+	}
+	getJSON(t, ts.URL+"/v1/metrics", &metrics)
+	if metrics.Store.Objects != 1 {
+		t.Fatalf("store objects = %d, want 1 (dedup)", metrics.Store.Objects)
+	}
+	if metrics.Store.PutDedups != 1 {
+		t.Fatalf("store put_dedups = %d, want 1", metrics.Store.PutDedups)
+	}
+}

@@ -38,16 +38,20 @@
 package server
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/artifact/store"
 	"repro/internal/engine"
 	"repro/internal/nn"
 	"repro/internal/registry"
@@ -279,8 +283,50 @@ type modelList struct {
 	Models []registry.ModelStat `json:"models"`
 }
 
-func (s *Server) handleListModels(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, modelList{Models: s.reg.Stats()})
+// etagMatch reports whether an If-None-Match header matches etag. Weak
+// validators compare equal to their strong form (RFC 9110 §13.1.2 —
+// fine for GET/HEAD, where weak comparison is allowed).
+func etagMatch(header, etag string) bool {
+	for _, c := range strings.Split(header, ",") {
+		c = strings.TrimPrefix(strings.TrimSpace(c), "W/")
+		if c == "*" || c == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// writeConditional sets the ETag header and serves 304 when the
+// client's If-None-Match already names this entity; otherwise it sends
+// the body. Replicas polling /v1/models for membership changes pay one
+// hash comparison, not a JSON body, per unchanged poll.
+func writeConditional(w http.ResponseWriter, r *http.Request, etag string, status int, v any) {
+	if etag != "" {
+		w.Header().Set("ETag", etag)
+		if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, etag) {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+	}
+	writeJSON(w, status, v)
+}
+
+// listETag fingerprints the loaded-model set: sorted name:hash lines,
+// hashed. Any load, unload, or swap changes it; a byte-identical fleet
+// member produces the identical tag.
+func listETag(stats []registry.ModelStat) string {
+	lines := make([]string, 0, len(stats))
+	for _, st := range stats {
+		lines = append(lines, st.Name+":"+st.ContentHash)
+	}
+	sort.Strings(lines)
+	sum := sha256.Sum256([]byte(strings.Join(lines, "\n")))
+	return `"` + hex.EncodeToString(sum[:16]) + `"`
+}
+
+func (s *Server) handleListModels(w http.ResponseWriter, r *http.Request) {
+	stats := s.reg.Stats()
+	writeConditional(w, r, listETag(stats), http.StatusOK, modelList{Models: stats})
 }
 
 // loadRequest is the POST /v1/models body: Name plus exactly one of Path
@@ -333,6 +379,9 @@ func (s *Server) handleLoadModel(w http.ResponseWriter, r *http.Request) {
 		// Unloaded again between Load and Stat; report the load anyway.
 		stat = registry.ModelStat{Name: req.Name}
 	}
+	if stat.ContentHash != "" {
+		w.Header().Set("ETag", `"`+stat.ContentHash+`"`)
+	}
 	writeJSON(w, http.StatusCreated, stat)
 }
 
@@ -374,25 +423,31 @@ func (s *Server) handleUnloadModel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleModelStat(w http.ResponseWriter, r *http.Request) {
-	s.writeModelStat(w, r.PathValue("name"))
+	s.writeModelStat(w, r, r.PathValue("name"))
 }
 
-func (s *Server) handleDefaultModelStat(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleDefaultModelStat(w http.ResponseWriter, r *http.Request) {
 	name, ok := s.defaultModel()
 	if !ok {
 		writeError(w, http.StatusNotFound, "no default model (load one, or address /v1/models/{name})")
 		return
 	}
-	s.writeModelStat(w, name)
+	s.writeModelStat(w, r, name)
 }
 
-func (s *Server) writeModelStat(w http.ResponseWriter, name string) {
+func (s *Server) writeModelStat(w http.ResponseWriter, r *http.Request, name string) {
 	stat, err := s.reg.Stat(name)
 	if err != nil {
 		writeError(w, http.StatusNotFound, "model %q not loaded", name)
 		return
 	}
-	writeJSON(w, http.StatusOK, stat)
+	// The content hash is the entity tag: same hash, same artifact, same
+	// served logits — a 304 is always safe.
+	etag := ""
+	if stat.ContentHash != "" {
+		etag = `"` + stat.ContentHash + `"`
+	}
+	writeConditional(w, r, etag, http.StatusOK, stat)
 }
 
 // --- metrics ---
@@ -409,12 +464,14 @@ type serverMetrics struct {
 
 type metricsResponse struct {
 	Server serverMetrics        `json:"server"`
+	Store  store.Stats          `json:"store"`
 	Models []registry.ModelStat `json:"models"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, metricsResponse{
 		Server: serverMetrics{Panics: s.panics.Load(), Draining: s.draining.Load()},
+		Store:  s.reg.StoreStats(),
 		Models: s.reg.Stats(),
 	})
 }

@@ -11,7 +11,8 @@
 //   - Deep Positron: quantised feed-forward inference built from EMACs,
 //     plus float64 training to produce the networks.
 //   - Serving: the Model interface (uniform and mixed-precision networks
-//     behind one versioned Save/Load artifact) and the context-aware
+//     behind versioned JSON and binary artifacts, content-addressed by
+//     SHA-256 into a pluggable store) and the context-aware
 //     worker-pool Runtime; cmd/positrond serves any artifact over HTTP,
 //     and the Router tier fronts many positrond replicas with circuit
 //     breakers, retries and health-aware proxying (chaos-tested via the
@@ -25,6 +26,8 @@ package positron
 import (
 	"time"
 
+	"repro/internal/artifact"
+	"repro/internal/artifact/store"
 	"repro/internal/core"
 	"repro/internal/datasets"
 	"repro/internal/emac"
@@ -358,6 +361,69 @@ func WithRequestTimeout(d time.Duration) RegistryOption { return registry.WithRe
 func WithRuntimeOptions(opts ...RuntimeOption) RegistryOption {
 	return registry.WithRuntimeOptions(opts...)
 }
+
+// WithArtifactStore sets the content-addressed store a Registry lands
+// every loaded model's canonical binary artifact in (default: a fresh
+// in-memory store). Compose NewUnionStore(NewMemStore(), disk) for a
+// durable store with a warm read cache.
+func WithArtifactStore(s ArtifactStore) RegistryOption { return registry.WithStore(s) }
+
+// --- binary artifacts and the content-addressed store ---
+
+// ArtifactHash is a model artifact's content address: the SHA-256 of
+// its canonical binary encoding. JSON and binary forms of one model
+// share one hash; positrond serves it as the /v1/models ETag.
+type ArtifactHash = artifact.Hash
+
+// ArtifactStore is the content-addressed blob store interface behind
+// the Registry: Put/Get/Has/Delete/List keyed by ArtifactHash, with
+// byte verification on every read.
+type ArtifactStore = store.Store
+
+// ArtifactStoreStats is one store's occupancy and traffic counters
+// (objects, bytes, puts, dedups, gets, hits, corrupt reads).
+type ArtifactStoreStats = store.Stats
+
+// EncodeArtifact serialises a Model into the versioned binary artifact
+// format — deterministic bytes, several times faster to load than the
+// JSON form and a fraction of its size.
+func EncodeArtifact(m Model) ([]byte, error) { return artifact.Encode(m) }
+
+// DecodeArtifact parses a binary artifact. Hostile input is rejected
+// with an error, never a panic.
+func DecodeArtifact(data []byte) (Model, error) { return artifact.Decode(data) }
+
+// ParseArtifact parses a model artifact in either format, sniffing
+// binary by its magic and falling back to the JSON codec.
+func ParseArtifact(data []byte) (Model, error) { return artifact.Parse(data) }
+
+// LoadArtifact reads a model artifact file in either format.
+func LoadArtifact(path string) (Model, error) { return artifact.Load(path) }
+
+// SaveArtifact writes a Model as a binary artifact, atomically (temp
+// file + rename; a crash mid-write leaves no torn file).
+func SaveArtifact(m Model, path string) error { return artifact.Save(m, path) }
+
+// CanonicalArtifact returns a Model's canonical binary encoding and
+// its content hash — the identity dedup, ETags and store keys share.
+func CanonicalArtifact(m Model) ([]byte, ArtifactHash, error) { return artifact.Canonical(m) }
+
+// ParseArtifactHash parses the 64-hex-digit string form of a hash.
+func ParseArtifactHash(s string) (ArtifactHash, error) { return artifact.ParseHash(s) }
+
+// NewMemStore returns an in-memory artifact store (the Registry
+// default).
+func NewMemStore() ArtifactStore { return store.NewMem() }
+
+// NewDiskStore opens (creating if needed) a durable artifact store
+// rooted at dir: one file per artifact, sharded by hash prefix, atomic
+// writes, reads verified against the hash.
+func NewDiskStore(dir string) (ArtifactStore, error) { return store.NewDisk(dir) }
+
+// NewUnionStore overlays a fast store (usually NewMemStore) over a
+// slow, authoritative one (usually a disk store): reads populate the
+// fast layer, writes go through to both.
+func NewUnionStore(fast, slow ArtifactStore) ArtifactStore { return store.NewUnion(fast, slow) }
 
 // InferenceServer is the positrond HTTP handler set over a Registry:
 // model load/unload/list, per-model and default-model inference,
