@@ -8,7 +8,16 @@
 //	positrond -model iris.json                         # one model
 //	positrond -model iris=iris.json -model wbc=wbc.json \
 //	          -default iris -batch-window 2ms -max-batch 64 \
-//	          -max-inflight 256 -request-timeout 2s
+//	          -flush-pipeline 2 -max-inflight 256 -cost-aware \
+//	          -request-timeout 2s
+//
+// -flush-pipeline sets the per-model flush-pipeline depth: that many
+// result planes per shared-output runtime, so the fused batch kernels
+// compute flush N while flush N−1's results demux and flush N+1
+// accumulates (1 serialises flushes end to end). -cost-aware makes the
+// -max-inflight admission gate count samples instead of requests: an
+// explicit batch of n inputs claims n units, so mixed single/batch
+// traffic sheds in proportion to the compute it asks for.
 //
 // Each -model flag is either name=path or a bare path (the name is then
 // derived from the file name: models/Iris.quant.json -> "Iris"). Both
@@ -147,8 +156,12 @@ func main() {
 		"micro-batching window: concurrent single inferences arriving within it share one batch (0 disables)")
 	maxBatch := flag.Int("max-batch", registry.DefaultMaxBatch,
 		"flush a coalesced batch at this size instead of waiting out the window")
+	flushPipeline := flag.Int("flush-pipeline", registry.DefaultFlushPipeline,
+		"flush-pipeline depth: result planes per model, so flush N computes while flush N-1 demuxes and N+1 accumulates (1 serialises flushes)")
 	maxInFlight := flag.Int("max-inflight", 0,
 		"per-model cap on concurrently admitted inference requests; beyond it requests are shed with HTTP 429 (0 = unlimited)")
+	costAware := flag.Bool("cost-aware", false,
+		"weigh the -max-inflight admission gate by sample count: an explicit batch of n inputs claims n units instead of 1")
 	requestTimeout := flag.Duration("request-timeout", 0,
 		"per-request deadline covering batching and queueing; exceeded requests get HTTP 503 instead of hanging (0 = none)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second,
@@ -215,8 +228,12 @@ func main() {
 		),
 		registry.WithBatchWindow(*batchWindow),
 		registry.WithMaxBatch(*maxBatch),
+		registry.WithFlushPipeline(*flushPipeline),
 		registry.WithMaxInFlight(*maxInFlight),
 		registry.WithRequestTimeout(*requestTimeout),
+	}
+	if *costAware {
+		regOpts = append(regOpts, registry.WithCostAwareAdmission())
 	}
 	if *storeDir != "" {
 		disk, err := store.NewDisk(*storeDir)
@@ -270,9 +287,16 @@ func main() {
 		st := reg.StoreStats()
 		fmt.Printf("positrond: artifact store %s: %d object(s), %d bytes\n", *storeDir, st.Objects, st.Bytes)
 	}
+	if *batchWindow > 0 && *maxBatch > 1 {
+		fmt.Printf("positrond: flush pipeline depth %d per model\n", *flushPipeline)
+	}
 	if *maxInFlight > 0 || *requestTimeout > 0 {
-		fmt.Printf("positrond: admission control: max in-flight %d (0 = unlimited), request timeout %s\n",
-			*maxInFlight, *requestTimeout)
+		mode := "per request"
+		if *costAware {
+			mode = "per sample (cost-aware)"
+		}
+		fmt.Printf("positrond: admission control: max in-flight %d (0 = unlimited, %s), request timeout %s\n",
+			*maxInFlight, mode, *requestTimeout)
 	}
 	if len(faultRules) > 0 {
 		fmt.Printf("positrond: fault injection ACTIVE (%d rule(s), seed %d)\n", len(faultRules), *faultSeed)

@@ -73,6 +73,7 @@ type config struct {
 	queueDepth int
 	warmTables bool
 	sharedOut  bool
+	flushDepth int
 }
 
 // Option configures a Runtime at construction.
@@ -99,6 +100,16 @@ func WithWarmTables() Option { return func(c *config) { c.warmTables = true } }
 // internally. Streaming Submit results are unaffected (every Result owns
 // its logits).
 func WithSharedOutputs() Option { return func(c *config) { c.sharedOut = true } }
+
+// WithFlushPipeline sets the number of flush-slot result planes a
+// shared-output runtime owns (see AcquireFlushSlot). With d planes, d
+// batch computations can be in flight at once — one plane computing
+// while another's readers still demultiplex — which is how the serving
+// micro-batcher overlaps collect/compute/demux instead of serialising
+// them end to end. d <= 1 keeps a single plane (flushes serialise on
+// it, the pre-pipeline behaviour). Without WithSharedOutputs the option
+// is inert.
+func WithFlushPipeline(d int) Option { return func(c *config) { c.flushDepth = d } }
 
 // Runtime is a context-aware worker-pool inference runtime over one
 // immutable Model. All methods are safe for concurrent use, including
@@ -130,6 +141,11 @@ type Runtime struct {
 	sharedErrMu   sync.Mutex
 	sharedErr     error
 	sharedDeliver func(id int, logits []float64, err error)
+
+	// flush pipeline: flushDepth leasable result planes (see
+	// AcquireFlushSlot). nil when the runtime is not shared-output.
+	flushDepth int
+	planes     chan *FlushSlot
 }
 
 // NewRuntime starts a runtime over the model. Each worker builds its own
@@ -159,12 +175,33 @@ func NewRuntime(model core.Model, opts ...Option) (*Runtime, error) {
 			}
 		}
 	}
+	if cfg.flushDepth < 1 {
+		cfg.flushDepth = 1
+	}
 	r := &Runtime{
 		model:     model,
 		workers:   cfg.workers,
 		jobs:      make(chan task, cfg.queueDepth),
 		results:   make(chan Result, cfg.queueDepth),
 		sharedOut: cfg.sharedOut,
+	}
+	if cfg.sharedOut {
+		r.flushDepth = cfg.flushDepth
+		r.planes = make(chan *FlushSlot, cfg.flushDepth)
+		for i := 0; i < cfg.flushDepth; i++ {
+			s := &FlushSlot{r: r}
+			s.deliver = func(id int, _ []float64, err error) {
+				if err != nil {
+					s.errMu.Lock()
+					if s.err == nil {
+						s.err = fmt.Errorf("engine: batch chunk at input %d: %w", id, err)
+					}
+					s.errMu.Unlock()
+				}
+				s.wg.Done()
+			}
+			r.planes <- s
+		}
 	}
 	r.sharedDeliver = func(id int, _ []float64, err error) {
 		if err != nil {
@@ -386,6 +423,126 @@ func (r *Runtime) inferBatchShared(ctx context.Context, xs [][]float64) ([][]flo
 	// the caller holds sharedMu, so the reset cannot race the next batch.
 	if err := r.sharedErr; err != nil {
 		r.sharedErr = nil
+		return nil, err
+	}
+	return hdrs, nil
+}
+
+// FlushSlot is one leased result plane of a shared-output runtime's
+// flush pipeline: a runtime-owned flat logits buffer plus the machinery
+// to run one batch into it. Between AcquireFlushSlot and Release the
+// plane belongs to the holder alone, so a second slot's InferBatch can
+// compute while this slot's results are still being read — the
+// serving-plane analogue of the paper's accelerator keeping its EMAC
+// pipeline full across windows. A FlushSlot is single-owner: its
+// methods must not be called concurrently.
+type FlushSlot struct {
+	r       *Runtime
+	buf     []float64
+	hdrs    [][]float64
+	wg      sync.WaitGroup
+	errMu   sync.Mutex
+	err     error
+	deliver func(id int, logits []float64, err error)
+}
+
+// FlushPipelineDepth returns the number of flush-slot result planes (0
+// when the runtime was not built with WithSharedOutputs).
+func (r *Runtime) FlushPipelineDepth() int { return r.flushDepth }
+
+// FlushSlotsInUse returns how many flush slots are currently leased —
+// the live pipeline-depth gauge the serving metrics report.
+func (r *Runtime) FlushSlotsInUse() int {
+	if r.planes == nil {
+		return 0
+	}
+	return r.flushDepth - len(r.planes)
+}
+
+// AcquireFlushSlot leases one result plane, blocking while all
+// FlushPipelineDepth planes are held (backpressure: the pipeline is
+// bounded, a stalled reader can stall at most its own plane's
+// successors). It unblocks with ctx.Err on cancellation and fails with
+// ErrClosed after Close. Callers must Release the slot exactly once.
+func (r *Runtime) AcquireFlushSlot(ctx context.Context) (*FlushSlot, error) {
+	if r.planes == nil {
+		return nil, errors.New("engine: flush slots require WithSharedOutputs")
+	}
+	r.mu.RLock()
+	closed := r.closed
+	r.mu.RUnlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	default:
+	}
+	select {
+	case s := <-r.planes:
+		return s, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Release returns the plane to the pipeline, waking one blocked
+// AcquireFlushSlot. The slot's previous InferBatch results are invalid
+// from this point. Release exactly once per acquisition.
+func (s *FlushSlot) Release() { s.r.planes <- s }
+
+// InferBatch runs one batch through the runtime's worker pool, decoding
+// logits into this slot's plane. It is Runtime.InferBatch with the
+// plane lease replacing the internal serialisation: results are valid
+// until Release (or the slot's next InferBatch), bit-identical to a
+// serial session, and other slots' in-flight batches are unaffected.
+// Cancelling ctx stops submission and returns ctx.Err after every
+// already-submitted chunk has drained.
+func (s *FlushSlot) InferBatch(ctx context.Context, xs [][]float64) ([][]float64, error) {
+	r := s.r
+	for i, x := range xs {
+		if err := r.checkInput(x); err != nil {
+			return nil, fmt.Errorf("engine: batch input %d: %w", i, err)
+		}
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.closed {
+		return nil, ErrClosed
+	}
+	od := r.model.OutputDim()
+	if need := len(xs) * od; cap(s.buf) < need {
+		s.buf = make([]float64, need)
+	}
+	if cap(s.hdrs) < len(xs) {
+		s.hdrs = make([][]float64, len(xs))
+	}
+	hdrs := s.hdrs[:len(xs)]
+	buf := s.buf[:len(xs)*od]
+	for i := range hdrs {
+		hdrs[i] = buf[i*od : (i+1)*od : (i+1)*od]
+	}
+	chunk := r.batchChunk(len(xs))
+	for start := 0; start < len(xs); start += chunk {
+		end := start + chunk
+		if end > len(xs) {
+			end = len(xs)
+		}
+		s.wg.Add(1)
+		t := task{id: start, xs: xs[start:end], dstFlat: buf[start*od : end*od], deliver: s.deliver}
+		if err := r.enqueue(ctx, t); err != nil {
+			s.wg.Done()
+			s.wg.Wait()
+			s.err = nil // delivered chunks may have panicked; the ctx error wins
+			return nil, err
+		}
+	}
+	s.wg.Wait()
+	// wg.Wait orders every deliver write before this read, and the slot
+	// is single-owner, so the reset cannot race the slot's next batch.
+	if err := s.err; err != nil {
+		s.err = nil
 		return nil, err
 	}
 	return hdrs, nil

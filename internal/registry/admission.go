@@ -10,11 +10,17 @@ package registry
 // deadline on each admitted one (WithRequestTimeout); requests beyond
 // the bound are rejected immediately with ErrOverloaded, which the HTTP
 // layer maps to 429 + Retry-After.
+//
+// The gate is weighted: under WithCostAwareAdmission an explicit client
+// batch consumes len(xs) capacity units instead of 1, so a 256-sample
+// batch and 256 single requests cost the same and mixed traffic sheds
+// proportionally to the compute it asks for, not the connection count.
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -27,28 +33,72 @@ var ErrOverloaded = errors.New("registry: model overloaded")
 // registry's per-request deadline before its inference completes.
 var ErrRequestTimeout = errors.New("registry: request timed out")
 
-// admit claims one in-flight slot without blocking. On success it
+// gate is a weighted non-blocking semaphore: a request claims n units or
+// is rejected outright (shed, never queued).
+type gate struct {
+	mu       sync.Mutex
+	capacity int
+	used     int
+}
+
+func newGate(capacity int) *gate { return &gate{capacity: capacity} }
+
+// tryAcquire claims n units if they fit under the cap.
+func (g *gate) tryAcquire(n int) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.used+n > g.capacity {
+		return false
+	}
+	g.used += n
+	return true
+}
+
+// release returns n units. Must mirror a successful tryAcquire(n).
+func (g *gate) release(n int) {
+	g.mu.Lock()
+	g.used -= n
+	g.mu.Unlock()
+}
+
+// Cap returns the gate's total capacity.
+func (g *gate) Cap() int {
+	if g == nil {
+		return 0
+	}
+	return g.capacity
+}
+
+// admit claims cost admission units without blocking. On success it
 // returns the release func (call exactly once, after the request
 // finishes); at the cap it records the rejection and fails with
-// ErrOverloaded.
-func (e *entry) admit() (func(), error) {
-	if e.slots == nil {
+// ErrOverloaded. A cost larger than the whole gate is clamped to the
+// capacity — an oversized batch can still run on an idle model (claiming
+// the entire gate while it does) instead of being unservable at any
+// load.
+func (e *entry) admit(cost int) (func(), error) {
+	if e.gate == nil {
 		e.metrics.ObserveAdmit()
 		return e.metrics.ObserveDone, nil
 	}
-	select {
-	case e.slots <- struct{}{}:
-		e.metrics.ObserveAdmit()
-		return func() {
-			// Gauge down before the slot frees: the next admission's
-			// ObserveAdmit must not race the gauge above the cap.
-			e.metrics.ObserveDone()
-			<-e.slots
-		}, nil
-	default:
-		e.metrics.ObserveRejected()
-		return nil, fmt.Errorf("%w: %q at max in-flight %d", ErrOverloaded, e.name, cap(e.slots))
+	if cost < 1 {
+		cost = 1
 	}
+	if cost > e.gate.Cap() {
+		cost = e.gate.Cap()
+	}
+	if !e.gate.tryAcquire(cost) {
+		e.metrics.ObserveRejected()
+		return nil, fmt.Errorf("%w: %q at max in-flight %d", ErrOverloaded, e.name, e.gate.Cap())
+	}
+	e.metrics.ObserveAdmit()
+	claimed := cost
+	return func() {
+		// Gauge down before the units free: the next admission's
+		// ObserveAdmit must not race the gauge above the cap.
+		e.metrics.ObserveDone()
+		e.gate.release(claimed)
+	}, nil
 }
 
 // withDeadline applies the per-request timeout, when one is configured.
@@ -74,12 +124,12 @@ func (e *entry) mapErr(parent context.Context, err error) error {
 }
 
 // Infer is the admission-controlled single-sample entry point: it claims
-// an in-flight slot (failing fast with ErrOverloaded at the cap),
+// one admission unit (failing fast with ErrOverloaded at the cap),
 // applies the per-request deadline, and runs the sample through the
 // model's micro-batcher. This is what the HTTP layer calls; Batcher()
 // remains available for callers that own their backpressure.
 func (h *Handle) Infer(ctx context.Context, x []float64) ([]float64, error) {
-	release, err := h.e.admit()
+	release, err := h.e.admit(1)
 	if err != nil {
 		return nil, err
 	}
@@ -93,10 +143,17 @@ func (h *Handle) Infer(ctx context.Context, x []float64) ([]float64, error) {
 	return out, nil
 }
 
-// InferBatch is the admission-controlled explicit-batch entry point: one
-// client batch counts as one in-flight request, whatever its size.
+// InferBatch is the admission-controlled explicit-batch entry point. By
+// default one client batch counts as one in-flight request whatever its
+// size; under WithCostAwareAdmission it claims len(xs) admission units,
+// so batch traffic competes for capacity in proportion to the samples it
+// carries.
 func (h *Handle) InferBatch(ctx context.Context, xs [][]float64) ([][]float64, error) {
-	release, err := h.e.admit()
+	cost := 1
+	if h.e.costAware {
+		cost = len(xs)
+	}
+	release, err := h.e.admit(cost)
 	if err != nil {
 		return nil, err
 	}
@@ -110,8 +167,14 @@ func (h *Handle) InferBatch(ctx context.Context, xs [][]float64) ([][]float64, e
 	return out, nil
 }
 
-// MaxInFlight returns the model's admission cap (0 = unlimited).
-func (h *Handle) MaxInFlight() int { return cap(h.e.slots) }
+// MaxInFlight returns the model's admission capacity in units (0 =
+// unlimited): concurrent requests by default, concurrent samples under
+// cost-aware admission.
+func (h *Handle) MaxInFlight() int { return h.e.gate.Cap() }
+
+// CostAware reports whether explicit batches are admitted by sample
+// count.
+func (h *Handle) CostAware() bool { return h.e.costAware }
 
 // RequestTimeout returns the model's per-request deadline (0 = none).
 func (h *Handle) RequestTimeout() time.Duration { return h.e.timeout }

@@ -7,6 +7,14 @@ package registry
 // arrive within a configurable window are coalesced into one InferBatch
 // call, with per-request result demux — the serving analogue of the
 // paper's streaming accelerator keeping its EMAC pipeline full.
+//
+// Over a shared-output runtime the batcher rides the flush pipeline:
+// each window leases one of the runtime's D result planes
+// (engine.AcquireFlushSlot), so flush N+1 starts computing while flush
+// N's results are still being demultiplexed and flush N+2 accumulates —
+// collect, compute and demux overlap instead of serialising end to end.
+// Bit-identity is unaffected: samples are independent, and each window
+// computes into its own plane.
 
 import (
 	"context"
@@ -29,13 +37,22 @@ const DefaultBatchWindow = 2 * time.Millisecond
 // DefaultMaxBatch bounds a coalesced flush when no limit is configured.
 const DefaultMaxBatch = 64
 
+// DefaultFlushPipeline is the flush-slot plane count the registry gives
+// shared-output runtimes when none is configured: two planes — compute
+// flush N while flush N−1 demuxes — captures most of the overlap win at
+// one extra result plane of memory (the Langroudi et al. bounded-memory
+// framing: depth is a budget, not a free variable).
+const DefaultFlushPipeline = 2
+
 // call is one in-flight single-sample request waiting for its flush.
 // ctx is the caller's context: a call whose ctx is done by flush time is
 // dropped from the batch instead of burning an EMAC slot computing a
-// result nobody will read.
+// result nobody will read. enq stamps when the call joined the pending
+// queue, for the queue-wait half of the latency split.
 type call struct {
 	ctx    context.Context
 	x      []float64
+	enq    time.Time
 	logits []float64
 	err    error
 	done   chan struct{}
@@ -43,11 +60,12 @@ type call struct {
 
 // Batcher coalesces single-sample Infer calls in front of one Runtime.
 // All methods are safe for concurrent use. When the runtime was built
-// with engine.WithSharedOutputs, the batcher serialises every inference
-// on it — coalesced flushes and explicit InferBatch calls alike — and
-// copies results out of the shared buffer before the next batch can
-// start; over an ordinary runtime, batches run concurrently and the
-// allocating InferBatch results are returned as-is.
+// with engine.WithSharedOutputs, every inference on it — coalesced
+// flushes and explicit InferBatch calls alike — runs through a leased
+// flush slot and results are copied out of the slot's plane before it is
+// released; with D > 1 planes, flushes pipeline. Over an ordinary
+// runtime, batches run concurrently and the allocating InferBatch
+// results are returned as-is.
 type Batcher struct {
 	rt       *engine.Runtime
 	window   time.Duration
@@ -57,15 +75,16 @@ type Batcher struct {
 	outDim   int
 	shared   bool
 
-	// flushMu serialises runtime access when shared (shared-output
-	// safety); unused otherwise.
-	flushMu sync.Mutex
-
 	// mu guards the pending queue, the window timer and closed.
 	mu      sync.Mutex
 	pending []*call
 	timer   *time.Timer
 	closed  bool
+
+	// flights counts in-progress runtime operations (flushes and direct
+	// batches). Close waits for it, so the runtime can be closed
+	// afterwards without failing a flush that was mid-pipeline.
+	flights sync.WaitGroup
 }
 
 // NewBatcher wraps a runtime with a micro-batcher. window <= 0 or
@@ -105,6 +124,19 @@ func (b *Batcher) checkInput(x []float64) error {
 	return nil
 }
 
+// beginOp registers one runtime operation so Close can wait out every
+// in-flight flush before the registry closes the runtime underneath
+// them. Fails with ErrBatcherClosed after Close.
+func (b *Batcher) beginOp() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrBatcherClosed
+	}
+	b.flights.Add(1)
+	return nil
+}
+
 // Infer runs one sample. If other Infer calls arrive within the window
 // (or until maxBatch is reached), they share one runtime batch; results
 // are demultiplexed per caller and are bit-identical to an unbatched
@@ -117,13 +149,11 @@ func (b *Batcher) Infer(ctx context.Context, x []float64) ([]float64, error) {
 	}
 	start := time.Now()
 	if b.Window() == 0 {
-		b.mu.Lock()
-		closed := b.closed
-		b.mu.Unlock()
-		if closed {
-			return nil, ErrBatcherClosed
+		if err := b.beginOp(); err != nil {
+			return nil, err
 		}
 		out, err := b.inferDirect(ctx, [][]float64{x}, false)
+		b.flights.Done()
 		if err != nil {
 			return nil, err
 		}
@@ -131,7 +161,7 @@ func (b *Batcher) Infer(ctx context.Context, x []float64) ([]float64, error) {
 		return out[0], nil
 	}
 
-	c := &call{ctx: ctx, x: x, done: make(chan struct{})}
+	c := &call{ctx: ctx, x: x, enq: start, done: make(chan struct{})}
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
@@ -140,8 +170,10 @@ func (b *Batcher) Infer(ctx context.Context, x []float64) ([]float64, error) {
 	b.pending = append(b.pending, c)
 	if len(b.pending) >= b.maxBatch {
 		batch := b.takeLocked()
+		b.flights.Add(1)
 		b.mu.Unlock()
 		b.run(batch) // flush rides this caller's goroutine
+		b.flights.Done()
 	} else {
 		if len(b.pending) == 1 {
 			b.timer = time.AfterFunc(b.window, b.flush)
@@ -162,9 +194,9 @@ func (b *Batcher) Infer(ctx context.Context, x []float64) ([]float64, error) {
 }
 
 // InferBatch runs an explicit client batch directly (no coalescing —
-// the client already amortised the call), serialised with the flushes so
-// the shared-output runtime buffer is never overwritten mid-read. The
-// returned slices are caller-owned.
+// the client already amortised the call) through its own flush slot, so
+// it pipelines with coalesced windows instead of serialising against
+// them. The returned slices are caller-owned.
 func (b *Batcher) InferBatch(ctx context.Context, xs [][]float64) ([][]float64, error) {
 	if len(xs) == 0 {
 		// Reject before the runtime: a zero-sample batch has no result to
@@ -176,12 +208,10 @@ func (b *Batcher) InferBatch(ctx context.Context, xs [][]float64) ([][]float64, 
 			return nil, fmt.Errorf("registry: batch input %d: %w", i, err)
 		}
 	}
-	b.mu.Lock()
-	closed := b.closed
-	b.mu.Unlock()
-	if closed {
-		return nil, ErrBatcherClosed
+	if err := b.beginOp(); err != nil {
+		return nil, err
 	}
+	defer b.flights.Done()
 	start := time.Now()
 	out, err := b.inferDirect(ctx, xs, false)
 	if err != nil {
@@ -191,12 +221,13 @@ func (b *Batcher) InferBatch(ctx context.Context, xs [][]float64) ([][]float64, 
 	return out, nil
 }
 
-// inferDirect runs one runtime batch. Over a shared-output runtime it
-// holds flushMu for the call and copies the results out of the shared
-// buffer into one fresh flat allocation (no other batch can start until
-// the copy is done); over an ordinary runtime, batches run concurrently
-// on the whole pool and the freshly allocated logits are caller-owned
-// already.
+// inferDirect runs one runtime batch for a caller that wants the results
+// back (the passthrough and explicit-batch paths). Over a shared-output
+// runtime it leases a flush slot — waiting for a free plane is this
+// path's queue wait — and copies the results out of the plane into one
+// fresh flat allocation before releasing it; over an ordinary runtime,
+// batches run concurrently on the whole pool and the freshly allocated
+// logits are caller-owned already.
 func (b *Batcher) inferDirect(ctx context.Context, xs [][]float64, coalesced bool) ([][]float64, error) {
 	if !b.shared {
 		out, err := b.rt.InferBatch(ctx, xs)
@@ -206,12 +237,21 @@ func (b *Batcher) inferDirect(ctx context.Context, xs [][]float64, coalesced boo
 		b.metrics.ObserveFlush(len(xs), coalesced)
 		return out, nil
 	}
-	b.flushMu.Lock()
-	defer b.flushMu.Unlock()
-	out, err := b.rt.InferBatch(ctx, xs)
+	acq := time.Now()
+	slot, err := b.rt.AcquireFlushSlot(ctx)
 	if err != nil {
 		return nil, err
 	}
+	b.metrics.ObserveQueueWait(time.Since(acq))
+	b.metrics.ObservePipelineDepth(b.rt.FlushSlotsInUse())
+	computeStart := time.Now()
+	out, err := slot.InferBatch(ctx, xs)
+	if err != nil {
+		slot.Release()
+		return nil, err
+	}
+	b.metrics.ObserveCompute(time.Since(computeStart))
+	b.metrics.ObserveFlush(len(xs), coalesced)
 	od := b.outDim
 	flat := make([]float64, len(out)*od)
 	hdrs := make([][]float64, len(out))
@@ -220,7 +260,7 @@ func (b *Batcher) inferDirect(ctx context.Context, xs [][]float64, coalesced boo
 		copy(dst, logits)
 		hdrs[i] = dst
 	}
-	b.metrics.ObserveFlush(len(xs), coalesced)
+	slot.Release()
 	return hdrs, nil
 }
 
@@ -240,17 +280,29 @@ func (b *Batcher) takeLocked() []*call {
 func (b *Batcher) flush() {
 	b.mu.Lock()
 	batch := b.takeLocked()
+	if len(batch) == 0 {
+		b.mu.Unlock()
+		return
+	}
+	b.flights.Add(1)
 	b.mu.Unlock()
 	b.run(batch)
+	b.flights.Done()
 }
 
-// run executes one coalesced batch and demultiplexes results to the
+// run executes one coalesced window and demultiplexes results to the
 // waiting callers. The flush context is Background: one caller's
 // cancellation must not abort its batch-mates' inferences. Calls whose
 // own context is already done are dropped before the runtime sees the
 // batch — the caller returned at cancellation but its entry stayed in
 // the pending queue, and computing it would waste EMAC compute, occupy
 // a coalesced batch slot, and skew the batch-size histogram.
+//
+// Over a shared-output runtime the window computes in a leased flush
+// slot: the demux copy happens after the slot's InferBatch returns but
+// the plane is released the moment the copy is done — with D > 1 planes
+// the next window's compute is already running while this one's callers
+// are still being woken, so demux is off the compute critical path.
 func (b *Batcher) run(batch []*call) {
 	live := batch[:0]
 	for _, c := range batch {
@@ -269,23 +321,67 @@ func (b *Batcher) run(batch []*call) {
 	for i, c := range live {
 		xs[i] = c.x
 	}
-	out, err := b.inferDirect(context.Background(), xs, true)
-	if err != nil {
-		for _, c := range live {
-			c.err = err
+	if !b.shared {
+		out, err := b.rt.InferBatch(context.Background(), xs)
+		if err != nil {
+			b.failAll(live, err)
+			return
+		}
+		b.metrics.ObserveFlush(len(xs), true)
+		for i, c := range live {
+			c.logits = out[i]
 			close(c.done)
 		}
 		return
 	}
+	slot, err := b.rt.AcquireFlushSlot(context.Background())
+	if err != nil {
+		b.failAll(live, err)
+		return
+	}
+	// The window's queue wait ends here: the flush is about to compute.
+	now := time.Now()
+	for _, c := range live {
+		b.metrics.ObserveQueueWait(now.Sub(c.enq))
+	}
+	b.metrics.ObservePipelineDepth(b.rt.FlushSlotsInUse())
+	out, err := slot.InferBatch(context.Background(), xs)
+	if err != nil {
+		slot.Release()
+		b.failAll(live, err)
+		return
+	}
+	b.metrics.ObserveCompute(time.Since(now))
+	b.metrics.ObserveFlush(len(xs), true)
+	// Demux copy: one flat caller-owned allocation for the window, then
+	// the plane frees for the next flush before the callers wake.
+	od := b.outDim
+	flat := make([]float64, len(out)*od)
 	for i, c := range live {
-		c.logits = out[i]
+		dst := flat[i*od : (i+1)*od : (i+1)*od]
+		copy(dst, out[i])
+		c.logits = dst
+	}
+	slot.Release()
+	for _, c := range live {
 		close(c.done)
 	}
 }
 
-// Close stops accepting new work and synchronously flushes any pending
-// coalesced calls, so no caller is left waiting. It does not close the
-// underlying runtime (the registry owns that ordering). Idempotent.
+// failAll delivers err to every live call of a window.
+func (b *Batcher) failAll(live []*call, err error) {
+	for _, c := range live {
+		c.err = err
+		close(c.done)
+	}
+}
+
+// Close stops accepting new work, synchronously flushes any pending
+// coalesced calls, and waits for every in-flight flush to finish — so
+// no caller is left waiting and the owner may close the runtime
+// immediately afterwards without failing a mid-pipeline window. It does
+// not close the underlying runtime (the registry owns that ordering).
+// Idempotent.
 func (b *Batcher) Close() {
 	b.mu.Lock()
 	if b.closed {
@@ -296,4 +392,5 @@ func (b *Batcher) Close() {
 	batch := b.takeLocked()
 	b.mu.Unlock()
 	b.run(batch)
+	b.flights.Wait()
 }

@@ -35,6 +35,11 @@ func bucketFor(size int) int {
 	return b
 }
 
+// ewmaAlpha weights the exponentially-decaying averages behind the
+// dynamic Retry-After hint: each new sample contributes 20%, so the
+// hint tracks sustained shifts in load without chasing one outlier.
+const ewmaAlpha = 0.2
+
 // Metrics accumulates serving statistics for one model. All methods are
 // safe for concurrent use; a nil *Metrics discards every observation.
 type Metrics struct {
@@ -49,6 +54,24 @@ type Metrics struct {
 	hist      [histBuckets]int64
 	ring      [latencyRing]time.Duration
 	ringN     int // samples written (may exceed latencyRing)
+
+	// latency split: time a request spends waiting for its flush to
+	// start (pending queue + plane acquisition) vs the flush compute
+	// itself, each with its own percentile ring.
+	queueRing   [latencyRing]time.Duration
+	queueN      int
+	computeRing [latencyRing]time.Duration
+	computeN    int
+
+	// maxPipeline is the deepest flush-slot occupancy observed at any
+	// flush start — > 1 proves windows really overlapped.
+	maxPipeline int
+
+	// EWMAs (in ns) behind RetryHint: how long requests currently wait
+	// to start, and how often flushes currently complete.
+	queueWaitEWMA float64
+	flushGapEWMA  float64
+	lastFlush     time.Time
 }
 
 // ObserveFlush records one runtime batch of the given size; coalesced
@@ -61,6 +84,7 @@ func (m *Metrics) ObserveFlush(size int, coalesced bool) {
 	if m == nil || size <= 0 {
 		return
 	}
+	now := time.Now()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.requests += int64(size)
@@ -72,6 +96,64 @@ func (m *Metrics) ObserveFlush(size int, coalesced bool) {
 			m.maxCoal = size
 		}
 	}
+	if !m.lastFlush.IsZero() {
+		gap := float64(now.Sub(m.lastFlush))
+		m.flushGapEWMA += ewmaAlpha * (gap - m.flushGapEWMA)
+	}
+	m.lastFlush = now
+}
+
+// ObserveQueueWait records how long one request waited before its flush
+// started computing: pending-queue time for coalesced calls, flush-slot
+// acquisition for direct batches.
+func (m *Metrics) ObserveQueueWait(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.queueRing[m.queueN%latencyRing] = d
+	m.queueN++
+	m.queueWaitEWMA += ewmaAlpha * (float64(d) - m.queueWaitEWMA)
+}
+
+// ObserveCompute records one flush's runtime-batch duration — the
+// compute half of the queue-wait/compute latency split.
+func (m *Metrics) ObserveCompute(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.computeRing[m.computeN%latencyRing] = d
+	m.computeN++
+}
+
+// ObservePipelineDepth records the flush-slot occupancy seen at a flush
+// start; the running max proves (or disproves) that windows overlap.
+func (m *Metrics) ObservePipelineDepth(depth int) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	if depth > m.maxPipeline {
+		m.maxPipeline = depth
+	}
+	m.mu.Unlock()
+}
+
+// RetryHint derives a backoff suggestion for shed or timed-out requests
+// from the observed load: the current queue-wait EWMA plus one observed
+// flush interval — roughly when a freed slot plausibly reaches a new
+// arrival. Zero when nothing has been observed yet; callers clamp to
+// their protocol's sane range.
+func (m *Metrics) RetryHint() time.Duration {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return time.Duration(m.queueWaitEWMA + m.flushGapEWMA)
 }
 
 // ObserveAdmit records one request passing the admission gate (in-flight
@@ -156,10 +238,23 @@ type Snapshot struct {
 	// milliseconds.
 	P50Ms float64 `json:"p50_ms"`
 	P99Ms float64 `json:"p99_ms"`
+	// QueueWaitP50Ms/P99Ms split out the time requests spend waiting for
+	// their flush to start; ComputeP50Ms/P99Ms are the flush compute
+	// durations. Together they attribute the end-to-end latency above.
+	QueueWaitP50Ms float64 `json:"queue_wait_p50_ms"`
+	QueueWaitP99Ms float64 `json:"queue_wait_p99_ms"`
+	ComputeP50Ms   float64 `json:"compute_p50_ms"`
+	ComputeP99Ms   float64 `json:"compute_p99_ms"`
+	// MaxPipelineDepth is the deepest flush-slot occupancy observed at a
+	// flush start — > 1 proves flush windows actually overlapped.
+	MaxPipelineDepth int `json:"max_pipeline_depth"`
+	// RetryHintMs is the current load-derived Retry-After suggestion
+	// (unclamped; 0 until traffic has been observed).
+	RetryHintMs float64 `json:"retry_hint_ms"`
 }
 
 // Snapshot returns a consistent copy of the counters and the latency
-// percentiles over the ring buffer.
+// percentiles over the ring buffers.
 func (m *Metrics) Snapshot() Snapshot {
 	if m == nil {
 		return Snapshot{BatchSizeHist: map[string]int64{}}
@@ -173,6 +268,8 @@ func (m *Metrics) Snapshot() Snapshot {
 		Rejected:         m.rejected,
 		TimedOut:         m.timedOut,
 		InFlight:         m.inFlight,
+		MaxPipelineDepth: m.maxPipeline,
+		RetryHintMs:      (m.queueWaitEWMA + m.flushGapEWMA) / float64(time.Millisecond),
 		BatchSizeHist:    make(map[string]int64, histBuckets),
 	}
 	for i, n := range m.hist {
@@ -180,21 +277,41 @@ func (m *Metrics) Snapshot() Snapshot {
 			s.BatchSizeHist[bucketLabels[i]] = n
 		}
 	}
-	n := m.ringN
-	if n > latencyRing {
-		n = latencyRing
-	}
-	lats := make([]time.Duration, n)
-	copy(lats, m.ring[:n])
+	lats, n := copyRing(&m.ring, m.ringN)
+	queue, _ := copyRing(&m.queueRing, m.queueN)
+	compute, _ := copyRing(&m.computeRing, m.computeN)
 	m.mu.Unlock()
 
 	s.LatencySamples = n
-	if n > 0 {
-		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-		s.P50Ms = float64(lats[percentileIndex(n, 50)]) / float64(time.Millisecond)
-		s.P99Ms = float64(lats[percentileIndex(n, 99)]) / float64(time.Millisecond)
-	}
+	s.P50Ms, s.P99Ms = ringPercentiles(lats)
+	s.QueueWaitP50Ms, s.QueueWaitP99Ms = ringPercentiles(queue)
+	s.ComputeP50Ms, s.ComputeP99Ms = ringPercentiles(compute)
 	return s
+}
+
+// copyRing snapshots the filled part of a percentile ring. Caller holds
+// m.mu.
+func copyRing(ring *[latencyRing]time.Duration, written int) ([]time.Duration, int) {
+	n := written
+	if n > latencyRing {
+		n = latencyRing
+	}
+	out := make([]time.Duration, n)
+	copy(out, ring[:n])
+	return out, n
+}
+
+// ringPercentiles sorts a ring snapshot and returns its p50/p99 in
+// milliseconds (zeros when empty).
+func ringPercentiles(lats []time.Duration) (p50, p99 float64) {
+	n := len(lats)
+	if n == 0 {
+		return 0, 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	p50 = float64(lats[percentileIndex(n, 50)]) / float64(time.Millisecond)
+	p99 = float64(lats[percentileIndex(n, 99)]) / float64(time.Millisecond)
+	return p50, p99
 }
 
 // percentileIndex returns the nearest-rank index for percentile p over n

@@ -1,0 +1,442 @@
+package registry
+
+// Flush-pipeline and cost-aware-admission coverage. The slowModel double
+// stretches every fused batch call by a fixed delay, so two explicit
+// batches fired together are deterministically in flight at once — the
+// pipeline-depth gauge must observe >= 2 leased planes — while results
+// stay bit-identical to a serial session. CI runs this file under -race.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// slowModel wraps a core.Model so every fused batch inference takes at
+// least delay: long enough that concurrent flushes overlap on any host,
+// short enough to keep the tests quick.
+type slowModel struct {
+	core.Model
+	delay time.Duration
+}
+
+func (m *slowModel) NewInferer() core.Inferer {
+	return &slowInferer{Inferer: m.Model.NewInferer(), delay: m.delay}
+}
+
+type slowInferer struct {
+	core.Inferer
+	delay time.Duration
+}
+
+func (s *slowInferer) InferBatchInto(dst []float64, xs [][]float64) []float64 {
+	time.Sleep(s.delay)
+	return s.Inferer.InferBatchInto(dst, xs)
+}
+
+// newPipelineRegistry loads one slow posit8 model into a registry built
+// with the given options and returns its pinned handle.
+func newPipelineRegistry(t *testing.T, delay time.Duration, opts ...Option) *Handle {
+	t.Helper()
+	r := New(append([]Option{WithRuntimeOptions(engine.WithWorkers(2))}, opts...)...)
+	t.Cleanup(func() { r.Close() })
+	if err := r.Load("m", &slowModel{Model: posit8Model(47), delay: delay}); err != nil {
+		t.Fatal(err)
+	}
+	h, err := r.Acquire("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(h.Release)
+	return h
+}
+
+// TestPipelinedBitIdentityAtDepth2 drives the flush pipeline to depth
+// >= 2 — concurrent explicit batches each lease their own result plane
+// while coalesced windows flow between them — and asserts every result
+// is bit-identical to an unbatched serial session. This is the tentpole
+// exactness contract: overlap must never leak one flush's plane into
+// another's results.
+func TestPipelinedBitIdentityAtDepth2(t *testing.T) {
+	h := newPipelineRegistry(t, 10*time.Millisecond,
+		WithFlushPipeline(2),
+		WithBatchWindow(time.Millisecond),
+		WithMaxBatch(4),
+	)
+	if d := h.Runtime().FlushPipelineDepth(); d != 2 {
+		t.Fatalf("FlushPipelineDepth = %d, want 2", d)
+	}
+	ref := h.Model().NewInferer()
+
+	const singles, batches, batchSize = 16, 4, 6
+	var wg sync.WaitGroup
+	singleOut := make([][]float64, singles)
+	singleErr := make([]error, singles)
+	for i := 0; i < singles; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			singleOut[i], singleErr[i] = h.Infer(context.Background(), testInput(i))
+		}(i)
+	}
+	batchOut := make([][][]float64, batches)
+	batchErr := make([]error, batches)
+	for g := 0; g < batches; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			xs := make([][]float64, batchSize)
+			for i := range xs {
+				xs[i] = testInput(100 + g*batchSize + i)
+			}
+			batchOut[g], batchErr[g] = h.InferBatch(context.Background(), xs)
+		}(g)
+	}
+	wg.Wait()
+
+	for i := 0; i < singles; i++ {
+		if singleErr[i] != nil {
+			t.Fatalf("single %d: %v", i, singleErr[i])
+		}
+		want := ref.Infer(testInput(i))
+		for j := range want {
+			if singleOut[i][j] != want[j] {
+				t.Fatalf("single %d logit %d: pipelined %v != serial %v", i, j, singleOut[i][j], want[j])
+			}
+		}
+	}
+	for g := 0; g < batches; g++ {
+		if batchErr[g] != nil {
+			t.Fatalf("batch %d: %v", g, batchErr[g])
+		}
+		for i := range batchOut[g] {
+			want := ref.Infer(testInput(100 + g*batchSize + i))
+			for j := range want {
+				if batchOut[g][i][j] != want[j] {
+					t.Fatalf("batch %d sample %d logit %d: pipelined %v != serial %v",
+						g, i, j, batchOut[g][i][j], want[j])
+				}
+			}
+		}
+	}
+
+	snap := h.Metrics().Snapshot()
+	if snap.MaxPipelineDepth < 2 {
+		t.Fatalf("max pipeline depth = %d: concurrent 10ms flushes never overlapped", snap.MaxPipelineDepth)
+	}
+	if snap.Requests != singles+batches*batchSize {
+		t.Fatalf("requests = %d, want %d", snap.Requests, singles+batches*batchSize)
+	}
+	// The latency split observed both halves: requests waited (for a
+	// window or a plane) and flushes computed for >= the injected delay.
+	if snap.ComputeP50Ms < 10 {
+		t.Fatalf("compute p50 = %vms, want >= the 10ms injected delay", snap.ComputeP50Ms)
+	}
+	if snap.LatencySamples == 0 || snap.P99Ms < snap.ComputeP50Ms {
+		t.Fatalf("latency split inconsistent: %+v", snap)
+	}
+}
+
+// TestCloseMidPipelineDrains closes the batcher (then the runtime, in
+// the registry's entry-teardown order) while flushes are mid-pipeline:
+// every in-flight caller must get its bit-identical result — never an
+// error, never a hang — and the metrics must count exactly the flushes
+// that ran, with no phantom entries from the teardown.
+func TestCloseMidPipelineDrains(t *testing.T) {
+	model := &slowModel{Model: posit8Model(48), delay: 20 * time.Millisecond}
+	rt, err := engine.NewRuntime(model,
+		engine.WithWorkers(2), engine.WithSharedOutputs(), engine.WithFlushPipeline(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Metrics{}
+	b := NewBatcher(rt, time.Hour, 3, m) // coalesced windows flush only via Close
+	ref := model.Model.NewInferer()      // the undecorated plane: same bits, no sleep
+
+	// Two explicit batches occupy both planes; one coalesced call parks
+	// in the pending queue awaiting the (never-firing) window timer.
+	const batchSize = 4
+	var wg sync.WaitGroup
+	results := make([][][]float64, 2)
+	errs := make([]error, 2)
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			xs := make([][]float64, batchSize)
+			for i := range xs {
+				xs[i] = testInput(200 + g*batchSize + i)
+			}
+			results[g], errs[g] = b.InferBatch(context.Background(), xs)
+		}(g)
+	}
+	parked := make(chan struct{})
+	var parkedOut []float64
+	var parkedErr error
+	go func() {
+		defer close(parked)
+		parkedOut, parkedErr = b.Infer(context.Background(), testInput(300))
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		b.mu.Lock()
+		pend := len(b.pending)
+		b.mu.Unlock()
+		if pend == 1 && rt.FlushSlotsInUse() == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pipeline never filled: pending=%d in use=%d", pend, rt.FlushSlotsInUse())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Tear down in the registry's order: batcher (flushes the parked
+	// call, waits out in-flight flushes), then the runtime.
+	b.Close()
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	wg.Wait()
+	for g := 0; g < 2; g++ {
+		if errs[g] != nil {
+			t.Fatalf("mid-pipeline batch %d failed across Close: %v", g, errs[g])
+		}
+		for i := range results[g] {
+			want := ref.Infer(testInput(200 + g*batchSize + i))
+			for j := range want {
+				if results[g][i][j] != want[j] {
+					t.Fatalf("batch %d sample %d logit %d diverged across Close", g, i, j)
+				}
+			}
+		}
+	}
+	select {
+	case <-parked:
+	case <-time.After(5 * time.Second):
+		t.Fatal("parked caller left hanging by Close")
+	}
+	if parkedErr != nil {
+		t.Fatalf("parked caller: %v", parkedErr)
+	}
+	want := ref.Infer(testInput(300))
+	for j := range want {
+		if parkedOut[j] != want[j] {
+			t.Fatalf("parked caller logit %d diverged across Close", j)
+		}
+	}
+
+	// Exactly 3 flushes ran (two explicit, one close-time); nothing
+	// phantom was recorded during teardown.
+	snap := m.Snapshot()
+	if snap.Batches != 3 || snap.Requests != 2*batchSize+1 {
+		t.Fatalf("flush accounting after Close: %+v, want 3 batches / %d requests", snap, 2*batchSize+1)
+	}
+	if _, err := b.Infer(context.Background(), testInput(0)); !errors.Is(err, ErrBatcherClosed) {
+		t.Fatalf("infer after Close = %v, want ErrBatcherClosed", err)
+	}
+}
+
+// TestMetricsQueueComputeSplit exercises the new observation channels
+// directly: percentile rings, the EWMA-backed retry hint, and the
+// pipeline-depth high-water mark (including nil-receiver no-ops).
+func TestMetricsQueueComputeSplit(t *testing.T) {
+	m := &Metrics{}
+	for i := 1; i <= 100; i++ {
+		m.ObserveQueueWait(time.Duration(i) * time.Millisecond)
+		m.ObserveCompute(time.Duration(2*i) * time.Millisecond)
+	}
+	m.ObservePipelineDepth(1)
+	m.ObservePipelineDepth(3)
+	m.ObservePipelineDepth(2)
+	s := m.Snapshot()
+	if s.QueueWaitP50Ms != 50 || s.QueueWaitP99Ms != 99 {
+		t.Fatalf("queue-wait percentiles: p50=%v p99=%v", s.QueueWaitP50Ms, s.QueueWaitP99Ms)
+	}
+	if s.ComputeP50Ms != 100 || s.ComputeP99Ms != 198 {
+		t.Fatalf("compute percentiles: p50=%v p99=%v", s.ComputeP50Ms, s.ComputeP99Ms)
+	}
+	if s.MaxPipelineDepth != 3 {
+		t.Fatalf("max pipeline depth = %d, want 3", s.MaxPipelineDepth)
+	}
+	if m.RetryHint() <= 0 {
+		t.Fatal("retry hint empty after observed queue waits")
+	}
+	// Two flushes an observed gap apart give the hint its second term.
+	m.ObserveFlush(1, false)
+	time.Sleep(2 * time.Millisecond)
+	m.ObserveFlush(1, false)
+	if hint := m.RetryHint(); hint < time.Millisecond {
+		t.Fatalf("retry hint %v ignores the flush gap", hint)
+	}
+
+	var nilM *Metrics
+	nilM.ObserveQueueWait(time.Second)
+	nilM.ObserveCompute(time.Second)
+	nilM.ObservePipelineDepth(5)
+	if nilM.RetryHint() != 0 {
+		t.Fatal("nil metrics retry hint")
+	}
+}
+
+// TestCostAwareAdmissionWeighsBatches: under WithCostAwareAdmission an
+// explicit batch claims len(xs) admission units — parked singles plus a
+// batch that would overflow the gate are shed with the rejected counter
+// moving, an in-budget batch passes, and an oversized batch clamps to
+// the whole gate instead of becoming unservable.
+func TestCostAwareAdmissionWeighsBatches(t *testing.T) {
+	h := newAdmissionRegistry(t,
+		WithMaxInFlight(4),
+		WithCostAwareAdmission(),
+		WithBatchWindow(time.Hour), // parked singles hold their units
+		WithMaxBatch(1000),
+	)
+	if !h.CostAware() {
+		t.Fatal("CostAware = false")
+	}
+	if h.MaxInFlight() != 4 {
+		t.Fatalf("MaxInFlight = %d, want 4", h.MaxInFlight())
+	}
+
+	// Park two singles: 2 of 4 units held.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	parked := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			_, err := h.Infer(ctx, testInput(i))
+			parked <- err
+		}(i)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for h.Metrics().Snapshot().InFlight != 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("parked singles never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	three := [][]float64{testInput(10), testInput(11), testInput(12)}
+	if _, err := h.InferBatch(context.Background(), three); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("3-sample batch over a 2/4 gate: %v, want ErrOverloaded", err)
+	}
+	if snap := h.Metrics().Snapshot(); snap.Rejected != 1 {
+		t.Fatalf("rejected = %d after cost-aware shed, want 1", snap.Rejected)
+	}
+	two := [][]float64{testInput(13), testInput(14)}
+	if out, err := h.InferBatch(context.Background(), two); err != nil || len(out) != 2 {
+		t.Fatalf("2-sample batch within budget: %v, %v", out, err)
+	}
+
+	// Free the singles; a batch larger than the whole gate clamps to the
+	// gate and runs.
+	cancel()
+	<-parked
+	<-parked
+	deadline = time.Now().Add(5 * time.Second)
+	for h.Metrics().Snapshot().InFlight != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("units never freed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	nine := make([][]float64, 9)
+	for i := range nine {
+		nine[i] = testInput(20 + i)
+	}
+	if out, err := h.InferBatch(context.Background(), nine); err != nil || len(out) != 9 {
+		t.Fatalf("oversized batch on an idle gate: %v, %v", out, err)
+	}
+	if snap := h.Metrics().Snapshot(); snap.InFlight != 0 {
+		t.Fatalf("in-flight gauge = %d after oversized batch drained", snap.InFlight)
+	}
+}
+
+// TestCostAwareMixedBurst fires singles and explicit batches at a small
+// cost-aware gate concurrently: accounting balances (served + rejected =
+// fired, the rejected counter matches observed sheds), served results
+// are bit-identical to a serial session, and the gauge drains to zero.
+func TestCostAwareMixedBurst(t *testing.T) {
+	h := newAdmissionRegistry(t,
+		WithMaxInFlight(4),
+		WithCostAwareAdmission(),
+		WithBatchWindow(5*time.Millisecond),
+		WithMaxBatch(8),
+	)
+	ref := h.Model().NewInferer()
+
+	const n = 32
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		rejected int
+		served   int
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%4 == 0 { // every 4th request is a 3-sample explicit batch
+				xs := [][]float64{testInput(i), testInput(i + 1000), testInput(i + 2000)}
+				out, err := h.InferBatch(context.Background(), xs)
+				mu.Lock()
+				defer mu.Unlock()
+				switch {
+				case errors.Is(err, ErrOverloaded):
+					rejected++
+				case err != nil:
+					t.Errorf("batch %d: %v", i, err)
+				default:
+					served++
+					for s := range xs {
+						want := ref.Infer(xs[s])
+						for j := range want {
+							if out[s][j] != want[j] {
+								t.Errorf("batch %d sample %d logit %d diverged", i, s, j)
+							}
+						}
+					}
+				}
+				return
+			}
+			out, err := h.Infer(context.Background(), testInput(i))
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case errors.Is(err, ErrOverloaded):
+				rejected++
+			case err != nil:
+				t.Errorf("single %d: %v", i, err)
+			default:
+				served++
+				want := ref.Infer(testInput(i))
+				for j := range want {
+					if out[j] != want[j] {
+						t.Errorf("single %d logit %d diverged", i, j)
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if served == 0 {
+		t.Fatal("no request survived the burst")
+	}
+	if served+rejected != n {
+		t.Fatalf("served %d + rejected %d != fired %d", served, rejected, n)
+	}
+	snap := h.Metrics().Snapshot()
+	if snap.Rejected != int64(rejected) {
+		t.Fatalf("metrics rejected = %d, observed %d", snap.Rejected, rejected)
+	}
+	if snap.InFlight != 0 {
+		t.Fatalf("in-flight gauge = %d after burst drained", snap.InFlight)
+	}
+}

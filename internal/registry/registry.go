@@ -45,6 +45,8 @@ type config struct {
 	maxBatch    int
 	maxInFlight int
 	reqTimeout  time.Duration
+	flushDepth  int
+	costAware   bool
 	store       store.Store
 }
 
@@ -79,12 +81,33 @@ func WithMaxBatch(n int) Option {
 
 // WithMaxInFlight caps the concurrently admitted inference requests per
 // model (each Handle.Infer or Handle.InferBatch counts once, for its
-// whole lifetime including micro-batcher queueing). A request arriving
-// at the cap is rejected immediately with ErrOverloaded — shed, not
-// silently queued — which the HTTP layer maps to 429. n <= 0 (the
-// default) leaves admission unlimited.
+// whole lifetime including micro-batcher queueing; under
+// WithCostAwareAdmission an explicit batch counts len(xs) instead). A
+// request arriving at the cap is rejected immediately with
+// ErrOverloaded — shed, not silently queued — which the HTTP layer maps
+// to 429. n <= 0 (the default) leaves admission unlimited.
 func WithMaxInFlight(n int) Option {
 	return func(c *config) { c.maxInFlight = n }
+}
+
+// WithFlushPipeline sets the flush-pipeline depth D for every
+// shared-output runtime the registry builds: D leasable result planes,
+// so the runtime computes flush N while flush N−1's results demux and
+// flush N+1 accumulates. d = 1 serialises flushes (the pre-pipeline
+// behaviour); d <= 0 resets to DefaultFlushPipeline. Ignored when
+// micro-batching is disabled (those runtimes run unserialised on the
+// allocating path already).
+func WithFlushPipeline(d int) Option {
+	return func(c *config) { c.flushDepth = d }
+}
+
+// WithCostAwareAdmission makes the admission gate weigh explicit batches
+// by sample count: Handle.InferBatch claims len(xs) of the
+// WithMaxInFlight capacity instead of 1, so mixed single/batch traffic
+// sheds in proportion to the compute requested. Oversized batches clamp
+// to the full capacity rather than becoming unservable.
+func WithCostAwareAdmission() Option {
+	return func(c *config) { c.costAware = true }
 }
 
 // WithStore sets the content-addressed artifact store behind the
@@ -121,11 +144,13 @@ type entry struct {
 	hash     artifact.Hash
 	artBytes int64
 
-	// admission gate: slots bounds concurrently admitted requests (nil =
-	// unlimited), timeout bounds one admitted request end to end (0 =
-	// none). See admission.go.
-	slots   chan struct{}
-	timeout time.Duration
+	// admission gate: gate bounds concurrently admitted work in weighted
+	// units (nil = unlimited; costAware weighs explicit batches by sample
+	// count), timeout bounds one admitted request end to end (0 = none).
+	// See admission.go.
+	gate      *gate
+	costAware bool
+	timeout   time.Duration
 
 	refs     int  // in-flight handles
 	unloaded bool // out of the name table; close when refs hit 0
@@ -159,6 +184,9 @@ func New(opts ...Option) *Registry {
 	cfg := config{window: DefaultBatchWindow, maxBatch: DefaultMaxBatch}
 	for _, opt := range opts {
 		opt(&cfg)
+	}
+	if cfg.flushDepth <= 0 {
+		cfg.flushDepth = DefaultFlushPipeline
 	}
 	if cfg.store == nil {
 		cfg.store = store.NewMem()
@@ -237,7 +265,7 @@ func (r *Registry) Load(name string, model core.Model) error {
 	// passthrough path concurrent requests keep the pool unserialised.
 	opts := append([]engine.Option{}, r.cfg.rtOpts...)
 	if r.cfg.window > 0 && r.cfg.maxBatch > 1 {
-		opts = append(opts, engine.WithSharedOutputs())
+		opts = append(opts, engine.WithSharedOutputs(), engine.WithFlushPipeline(r.cfg.flushDepth))
 	}
 	rt, err := engine.NewRuntime(model, opts...)
 	if err != nil {
@@ -256,8 +284,9 @@ func (r *Registry) Load(name string, model core.Model) error {
 		timeout:  r.cfg.reqTimeout,
 		done:     make(chan struct{}),
 	}
+	e.costAware = r.cfg.costAware
 	if r.cfg.maxInFlight > 0 {
-		e.slots = make(chan struct{}, r.cfg.maxInFlight)
+		e.gate = newGate(r.cfg.maxInFlight)
 	}
 
 	r.mu.Lock()
@@ -449,10 +478,17 @@ type ModelStat struct {
 	Workers       int    `json:"workers"`
 	BatchWindow   string `json:"batch_window"`
 	MaxBatch      int    `json:"max_batch"`
-	// MaxInFlight is the admission cap (0 = unlimited); RequestTimeout
-	// the per-request deadline ("0s" = none).
-	MaxInFlight    int    `json:"max_in_flight"`
-	RequestTimeout string `json:"request_timeout"`
+	// FlushPipeline is the runtime's flush-slot plane count (0 when the
+	// model serves on the unserialised allocating path); PipelineInUse
+	// samples how many planes are leased right now.
+	FlushPipeline int `json:"flush_pipeline"`
+	PipelineInUse int `json:"pipeline_in_use"`
+	// MaxInFlight is the admission capacity in units (0 = unlimited);
+	// CostAwareAdmission marks those units as samples rather than
+	// requests; RequestTimeout is the per-request deadline ("0s" = none).
+	MaxInFlight        int    `json:"max_in_flight"`
+	CostAwareAdmission bool   `json:"cost_aware_admission"`
+	RequestTimeout     string `json:"request_timeout"`
 	// QueueLen/QueueCap sample the runtime job queue — the backpressure
 	// signal behind admission control.
 	QueueLen int `json:"queue_len"`
@@ -476,27 +512,30 @@ func statFor(e *entry) ModelStat {
 		contentHash = e.hash.String()
 	}
 	return ModelStat{
-		Name:           e.name,
-		Model:          m.String(),
-		Kind:           m.Kind(),
-		InputDim:       m.InputDim(),
-		OutputDim:      m.OutputDim(),
-		Layers:         m.NumLayers(),
-		Arithmetics:    m.ArithNames(),
-		MemoryBits:     m.MemoryBits(),
-		Standardized:   m.Standardizer() != nil,
-		ContentHash:    contentHash,
-		ArtifactBytes:  e.artBytes,
-		Workers:        e.rt.Workers(),
-		BatchWindow:    e.batcher.Window().String(),
-		MaxBatch:       e.batcher.MaxBatch(),
-		MaxInFlight:    cap(e.slots),
-		RequestTimeout: e.timeout.String(),
-		QueueLen:       e.rt.QueueLen(),
-		QueueCap:       e.rt.QueueCap(),
-		Panics:         e.rt.Panics(),
-		LoadedAt:       e.loaded.UTC().Format(time.RFC3339),
-		Metrics:        e.metrics.Snapshot(),
+		Name:               e.name,
+		Model:              m.String(),
+		Kind:               m.Kind(),
+		InputDim:           m.InputDim(),
+		OutputDim:          m.OutputDim(),
+		Layers:             m.NumLayers(),
+		Arithmetics:        m.ArithNames(),
+		MemoryBits:         m.MemoryBits(),
+		Standardized:       m.Standardizer() != nil,
+		ContentHash:        contentHash,
+		ArtifactBytes:      e.artBytes,
+		Workers:            e.rt.Workers(),
+		BatchWindow:        e.batcher.Window().String(),
+		MaxBatch:           e.batcher.MaxBatch(),
+		FlushPipeline:      e.rt.FlushPipelineDepth(),
+		PipelineInUse:      e.rt.FlushSlotsInUse(),
+		MaxInFlight:        e.gate.Cap(),
+		CostAwareAdmission: e.costAware,
+		RequestTimeout:     e.timeout.String(),
+		QueueLen:           e.rt.QueueLen(),
+		QueueCap:           e.rt.QueueCap(),
+		Panics:             e.rt.Panics(),
+		LoadedAt:           e.loaded.UTC().Format(time.RFC3339),
+		Metrics:            e.metrics.Snapshot(),
 	}
 }
 

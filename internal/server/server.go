@@ -499,13 +499,26 @@ type inferResponse struct {
 }
 
 // retryAfter suggests a whole-seconds backoff for shed or timed-out
-// requests: one batch window, floored at 1s (the header does not admit
-// sub-second values).
+// requests, derived from observed load: the model's queue-wait EWMA plus
+// one observed flush interval (Metrics.RetryHint) — roughly when a freed
+// admission unit plausibly reaches a retry — floored at one batch window
+// for cold models. Clamped to [1s, 30s]: the header does not admit
+// sub-second values, and past 30s the hint is telling the client the
+// model is wedged, not busy.
 func retryAfter(h *registry.Handle) string {
-	if w := h.Batcher().Window(); w > time.Second {
-		return strconv.Itoa(int((w + time.Second - 1) / time.Second))
+	d := h.Metrics().RetryHint()
+	if w := h.Batcher().Window(); d < w {
+		d = w
 	}
-	return "1"
+	const lo, hi = time.Second, 30 * time.Second
+	switch {
+	case d < lo:
+		d = lo
+	case d > hi:
+		d = hi
+	}
+	// Round up to whole seconds — never hint sooner than the estimate.
+	return strconv.Itoa(int((d + time.Second - 1) / time.Second))
 }
 
 func (s *Server) handleModelInfer(w http.ResponseWriter, r *http.Request) {
@@ -576,8 +589,8 @@ func (s *Server) infer(w http.ResponseWriter, r *http.Request, name string) {
 	switch {
 	case err == nil:
 	case errors.Is(err, registry.ErrOverloaded):
-		// Shed, not queued: tell the client to back off. One batch window
-		// (rounded up to a whole second) is when capacity plausibly frees.
+		// Shed, not queued: tell the client to back off for the
+		// load-derived hint (queue-wait EWMA + flush interval).
 		w.Header().Set("Retry-After", retryAfter(h))
 		writeError(w, http.StatusTooManyRequests, "%v", err)
 		return
