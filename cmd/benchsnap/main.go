@@ -18,6 +18,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"sync"
@@ -26,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/artifact"
+	"repro/internal/artifact/store"
 	"repro/internal/core"
 	"repro/internal/emac"
 	"repro/internal/engine"
@@ -276,6 +279,43 @@ func main() {
 		}
 	})
 	snap.Results = append(snap.Results, loadJSON, loadBin)
+	if !*check {
+		// ArtifactFetch: the two ends of the store read path a replica
+		// sees — a local in-memory tier hit vs a cold peer fetch over
+		// loopback HTTP (GET /v1/artifacts/{hash} + re-hash verification).
+		// The spread is what the union's pull-through cache bridges: only
+		// the first fetch of a hash pays the peer row.
+		localStore := store.NewMem()
+		hash, err := localStore.Put(binBytes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap:", err)
+			os.Exit(1)
+		}
+		peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/octet-stream")
+			_, _ = w.Write(binBytes)
+		}))
+		remote := store.NewRemote([]string{peer.URL})
+		snap.Results = append(snap.Results,
+			measure("ArtifactFetch/local", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := localStore.Get(hash); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}),
+			measure("ArtifactFetch/peer", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := remote.Get(hash); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}),
+		)
+		peer.Close()
+	}
 	// FlushPipeline: sustained-load serving throughput through the
 	// micro-batcher over a shared-output runtime — 16 client goroutines
 	// streaming single-sample inferences into a 200µs window (max batch

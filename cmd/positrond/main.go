@@ -27,12 +27,28 @@
 // unless -default names another.
 //
 // Every loaded model is fingerprinted (SHA-256 of its canonical binary
-// encoding) into a content-addressed artifact store: /v1/models serves
-// the hash as an ETag (If-None-Match polls answer 304), same-hash loads
-// under different names share one stored blob, and -store-dir makes the
+// encoding) into a content-addressed artifact store — the source of
+// truth for model bytes: /v1/models serves the hash as an ETag
+// (If-None-Match polls answer 304), same-hash loads under different
+// names share one stored blob and one runtime, and -store-dir makes the
 // store durable on disk (warm restarts, byte-verified reads):
 //
 //	positrond -model iris.quant.bin -store-dir /var/lib/positron/artifacts
+//
+// -peers composes a read-only peer-fetch tier under the local store:
+// a model loaded by hash (POST /v1/models {"name":..., "hash":...})
+// whose bytes are missing locally is pulled from a peer's
+// GET /v1/artifacts/{hash}, re-hash verified, persisted into the local
+// tiers, and served — so a replica may boot with no -model flags at all
+// and an empty -store-dir, then be populated over HTTP:
+//
+//	positrond -addr :8081 -store-dir /var/lib/positron/artifacts \
+//	          -peers 127.0.0.1:8080,127.0.0.1:8082
+//
+// -store-gc runs a reference-aware sweep on that interval (also
+// available on demand via POST /v1/store/gc): blobs no loaded model or
+// in-flight load references are removed, which is how bytes stranded by
+// DELETE /v1/models/{name} get reclaimed.
 //
 // Router mode fronts a set of replicas instead of serving models
 // itself: health-probed, circuit-broken, retrying proxy with
@@ -58,10 +74,13 @@
 //	GET    /healthz                  liveness probe (503 once draining)
 //	GET    /readyz                   readiness probe
 //	GET    /v1/models                list loaded models
-//	POST   /v1/models                load {"name":..., "path":...} or
-//	                                 {"name":..., "artifact":{...}}
+//	POST   /v1/models                load {"name":..., "path":...},
+//	                                 {"name":..., "artifact":{...}} or
+//	                                 {"name":..., "hash":"<sha256>"}
 //	GET    /v1/models/{name}         model metadata and stats
 //	DELETE /v1/models/{name}         graceful unload
+//	GET    /v1/artifacts/{hash}      raw canonical artifact bytes (ETag = hash)
+//	POST   /v1/store/gc              sweep unreferenced artifact blobs
 //	POST   /v1/models/{name}/infer   {"input": [...]} or {"inputs": [[...], ...]}
 //	GET    /v1/metrics               per-model batching and latency metrics
 //	                                 (per-replica breaker state in router mode)
@@ -168,6 +187,10 @@ func main() {
 		"grace period for in-flight requests on shutdown")
 	storeDir := flag.String("store-dir", "",
 		"durable content-addressed artifact store directory: loaded artifacts persist there by SHA-256 with an in-memory read cache (empty = in-memory only)")
+	peers := flag.String("peers", "",
+		"comma-separated peer base URLs; artifacts missing locally are fetched by hash from a peer's GET /v1/artifacts/{hash}, verified, and cached into the local store tiers")
+	storeGC := flag.Duration("store-gc", 0,
+		"run a reference-aware artifact store sweep on this interval, removing blobs no loaded model references (0 disables; POST /v1/store/gc is always available)")
 
 	// Router mode.
 	route := flag.String("route", "",
@@ -214,8 +237,14 @@ func main() {
 		return
 	}
 
-	if len(models) == 0 {
-		fmt.Fprintln(os.Stderr, "positrond: at least one -model is required (or -route for router mode)")
+	var peerURLs []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerURLs = append(peerURLs, p)
+		}
+	}
+	if len(models) == 0 && len(peerURLs) == 0 {
+		fmt.Fprintln(os.Stderr, "positrond: at least one -model is required (or -peers to join empty, or -route for router mode)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -235,12 +264,23 @@ func main() {
 	if *costAware {
 		regOpts = append(regOpts, registry.WithCostAwareAdmission())
 	}
+	// Store composition: local tiers first (mem, optionally mem-over-disk),
+	// then the read-only peer-fetch tier as the slowest layer — a local
+	// miss pulls from a peer, verifies, and persists into the local tiers.
+	var local store.Store = store.NewMem()
 	if *storeDir != "" {
 		disk, err := store.NewDisk(*storeDir)
 		if err != nil {
 			fatal(fmt.Errorf("opening artifact store: %w", err))
 		}
-		regOpts = append(regOpts, registry.WithStore(store.NewUnion(store.NewMem(), disk)))
+		local = store.NewUnion(local, disk)
+	}
+	if *storeDir != "" || len(peerURLs) > 0 {
+		st := local
+		if len(peerURLs) > 0 {
+			st = store.NewUnion(local, store.NewRemote(peerURLs))
+		}
+		regOpts = append(regOpts, registry.WithStore(st))
 	}
 	reg := registry.New(regOpts...)
 	for _, mf := range models {
@@ -249,17 +289,23 @@ func main() {
 		}
 	}
 	def := *defaultModel
-	if def == "" {
+	if def == "" && len(models) > 0 {
 		def = models[0].name
 	}
-	if _, err := reg.Stat(def); err != nil {
-		fatal(fmt.Errorf("default model %q is not among the loaded models", def))
+	if def != "" {
+		if _, err := reg.Stat(def); err != nil {
+			fatal(fmt.Errorf("default model %q is not among the loaded models", def))
+		}
 	}
 	dir := *modelDir
-	if dir == "" {
+	if dir == "" && len(models) > 0 {
 		dir = filepath.Dir(models[0].path)
 	}
-	srv := server.New(reg, def, server.WithModelDir(dir))
+	var srvOpts []server.Option
+	if dir != "" {
+		srvOpts = append(srvOpts, server.WithModelDir(dir))
+	}
+	srv := server.New(reg, def, srvOpts...)
 
 	httpSrv := &http.Server{
 		Addr:    *addr,
@@ -287,6 +333,12 @@ func main() {
 		st := reg.StoreStats()
 		fmt.Printf("positrond: artifact store %s: %d object(s), %d bytes\n", *storeDir, st.Objects, st.Bytes)
 	}
+	if len(peerURLs) > 0 {
+		fmt.Printf("positrond: peer artifact fetch from %d peer(s): %s\n", len(peerURLs), strings.Join(peerURLs, ", "))
+	}
+	if *storeGC > 0 {
+		fmt.Printf("positrond: artifact store GC every %s\n", *storeGC)
+	}
 	if *batchWindow > 0 && *maxBatch > 1 {
 		fmt.Printf("positrond: flush pipeline depth %d per model\n", *flushPipeline)
 	}
@@ -305,6 +357,24 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *storeGC > 0 {
+		go func() {
+			tick := time.NewTicker(*storeGC)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					if removed, freed, err := reg.GC(); err != nil {
+						fmt.Fprintln(os.Stderr, "positrond: store gc:", err)
+					} else if removed > 0 {
+						fmt.Printf("positrond: store gc removed %d blob(s), %d bytes\n", removed, freed)
+					}
+				}
+			}
+		}()
+	}
 	select {
 	case <-ctx.Done():
 		fmt.Println("positrond: shutting down...")

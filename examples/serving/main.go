@@ -2,7 +2,11 @@
 // twice (a uniform posit(8,0) network and a mixed-precision one), load
 // both into the multi-model registry, serve them side by side over HTTP
 // with dynamic micro-batching, and query load/infer/metrics/unload —
-// exactly what cmd/positrond does as a standalone daemon.
+// exactly what cmd/positrond does as a standalone daemon. The finale is
+// the artifact plane: a second replica with an empty store joins, loads
+// a model purely by content hash through the peer-fetch tier, serves
+// bit-identical logits, and a reference-aware GC sweep reclaims the
+// blob the earlier unload stranded.
 package main
 
 import (
@@ -213,6 +217,60 @@ func main() {
 	getInto(base+"/v1/models", &list)
 	fmt.Printf("after unload: %d model(s) still serving\n", len(list.Models))
 
+	// Peer artifact fetch: a second replica boots with an EMPTY store —
+	// no artifact files, no -model flags — and a read-only remote tier
+	// pointing at the first. Loading by content hash pulls the canonical
+	// bytes over /v1/artifacts/{hash}, verifies them against the address,
+	// persists them locally, and serves bit-identical logits.
+	var stat struct {
+		ContentHash string `json:"content_hash"`
+	}
+	getInto(base+"/v1/models/posit8", &stat)
+	regB := positron.NewRegistry(
+		positron.WithRuntimeOptions(positron.WithWorkers(2)),
+		positron.WithArtifactStore(positron.NewUnionStore(
+			positron.NewMemStore(), positron.NewRemoteStore([]string{base}))),
+	)
+	if err := regB.LoadHash("posit8", mustHash(stat.ContentHash)); err != nil {
+		panic(err)
+	}
+	srvB := positron.NewServer(regB, "posit8")
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	httpB := &http.Server{Handler: srvB}
+	go func() { _ = httpB.Serve(lnB) }()
+	baseB := "http://" + lnB.Addr().String()
+	var outA, outB struct {
+		Result struct {
+			Logits []float64 `json:"logits"`
+		} `json:"result"`
+	}
+	decode(post(base+"/v1/models/posit8/infer", sample), &outA)
+	decode(post(baseB+"/v1/models/posit8/infer", sample), &outB)
+	fmt.Printf("peer-fetched replica: logits match origin = %v (sha256:%.12s)\n",
+		fmt.Sprint(outA.Result.Logits) == fmt.Sprint(outB.Result.Logits), stat.ContentHash)
+
+	// Reference-aware GC: unloading "mixed" above stranded its blob in
+	// the origin's store; a sweep reclaims exactly the unreferenced bytes
+	// while every loaded model's artifact is pinned in place.
+	var gc struct {
+		Removed    int   `json:"removed"`
+		FreedBytes int64 `json:"freed_bytes"`
+	}
+	decode(post(base+"/v1/store/gc", nil), &gc)
+	fmt.Printf("store gc: removed %d unreferenced blob(s), freed %d bytes\n", gc.Removed, gc.FreedBytes)
+
+	shutdownB, cancelB := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelB()
+	if err := httpB.Shutdown(shutdownB); err != nil {
+		panic(err)
+	}
+	if err := srvB.Close(); err != nil {
+		panic(err)
+	}
+
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
@@ -222,6 +280,14 @@ func main() {
 		panic(err)
 	}
 	fmt.Println("daemon closed cleanly")
+}
+
+func mustHash(s string) positron.ArtifactHash {
+	h, err := positron.ParseArtifactHash(s)
+	if err != nil {
+		panic(err)
+	}
+	return h
 }
 
 func post(url string, body []byte) *http.Response {

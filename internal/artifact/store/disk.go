@@ -153,6 +153,52 @@ func (d *Disk) List() ([]artifact.Hash, error) {
 	return out, err
 }
 
+// GC implements Store: walks the shards and deletes every blob the live
+// predicate does not claim. Each candidate goes through Delete, so the
+// occupancy cache stays exact and the sweep serialises correctly
+// against concurrent Puts of the same hash (the predicate runs at
+// delete time — a hash pinned before its Put can never be swept).
+func (d *Disk) GC(live func(artifact.Hash) bool) (int, int64, error) {
+	d.gcRuns.Add(1)
+	hashes, err := d.List()
+	if err != nil {
+		return 0, 0, err
+	}
+	removed, freed := 0, int64(0)
+	for _, h := range hashes {
+		// The liveness check runs under the same mutex as Put's
+		// exists-check, so "pin, then Put" owners are safe: either the pin
+		// lands first (live() sees it and the blob survives) or the Put
+		// serialises after the removal and recreates the blob.
+		d.mu.Lock()
+		if live != nil && live(h) {
+			d.mu.Unlock()
+			continue
+		}
+		info, err := os.Stat(d.path(h))
+		if err != nil {
+			d.mu.Unlock()
+			if errors.Is(err, fs.ErrNotExist) {
+				continue // already gone (concurrent Delete)
+			}
+			d.gcFreed.Add(freed)
+			return removed, freed, err
+		}
+		if err := os.Remove(d.path(h)); err != nil {
+			d.mu.Unlock()
+			d.gcFreed.Add(freed)
+			return removed, freed, err
+		}
+		d.objects--
+		d.bytes -= info.Size()
+		d.mu.Unlock()
+		removed++
+		freed += info.Size()
+	}
+	d.gcFreed.Add(freed)
+	return removed, freed, nil
+}
+
 // Stats implements Store.
 func (d *Disk) Stats() Stats {
 	d.mu.Lock()

@@ -90,6 +90,26 @@ func (m *Mem) List() ([]artifact.Hash, error) {
 	return out, nil
 }
 
+// GC implements Store: every blob the live predicate does not claim is
+// dropped from the map.
+func (m *Mem) GC(live func(artifact.Hash) bool) (int, int64, error) {
+	m.gcRuns.Add(1)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	removed, freed := 0, int64(0)
+	for h, data := range m.blobs {
+		if live != nil && live(h) {
+			continue
+		}
+		delete(m.blobs, h)
+		m.bytes -= int64(len(data))
+		removed++
+		freed += int64(len(data))
+	}
+	m.gcFreed.Add(freed)
+	return removed, freed, nil
+}
+
 // Stats implements Store.
 func (m *Mem) Stats() Stats {
 	m.mu.RLock()

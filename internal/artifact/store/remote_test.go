@@ -1,0 +1,199 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/artifact"
+)
+
+// peerServer is a minimal stand-in for a replica's artifact endpoint:
+// it serves the blobs map at /v1/artifacts/{hash} the way
+// internal/server does, with an optional mangle hook to simulate a
+// corrupt or truncating peer.
+func peerServer(t *testing.T, blobs map[artifact.Hash][]byte, mangle func(w http.ResponseWriter, data []byte) bool) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hex := strings.TrimPrefix(r.URL.Path, "/v1/artifacts/")
+		h, err := artifact.ParseHash(hex)
+		if err != nil {
+			http.Error(w, "bad hash", http.StatusBadRequest)
+			return
+		}
+		data, ok := blobs[h]
+		if !ok {
+			http.Error(w, "not found", http.StatusNotFound)
+			return
+		}
+		if r.Method == http.MethodHead {
+			w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+			return
+		}
+		if mangle != nil && mangle(w, data) {
+			return
+		}
+		w.Write(data)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestRemoteFetchAndVerify: the happy path — bytes come back, re-hash
+// to their address, and count as hits.
+func TestRemoteFetchAndVerify(t *testing.T) {
+	blob := []byte("peer-owned artifact")
+	h := artifact.Sum(blob)
+	srv := peerServer(t, map[artifact.Hash][]byte{h: blob}, nil)
+	r := NewRemote([]string{srv.URL})
+
+	got, err := r.Get(h)
+	if err != nil || !bytes.Equal(got, blob) {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if ok, err := r.Has(h); err != nil || !ok {
+		t.Fatalf("Has = %v, %v", ok, err)
+	}
+	if ok, _ := r.Has(artifact.Sum([]byte("absent"))); ok {
+		t.Fatal("Has reports an absent hash")
+	}
+	if _, err := r.Get(artifact.Sum([]byte("absent"))); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get absent: %v", err)
+	}
+	st := r.Stats()
+	if st.Gets != 2 || st.Hits != 1 {
+		t.Fatalf("gets/hits = %d/%d, want 2/1", st.Gets, st.Hits)
+	}
+}
+
+// TestRemoteCorruptPeer: a peer serving bytes that do not hash to the
+// requested address must yield ErrCorrupt, never the bytes.
+func TestRemoteCorruptPeer(t *testing.T) {
+	blob := []byte("authentic artifact")
+	h := artifact.Sum(blob)
+	srv := peerServer(t, map[artifact.Hash][]byte{h: blob}, func(w http.ResponseWriter, data []byte) bool {
+		bad := append([]byte(nil), data...)
+		bad[0] ^= 0xFF
+		w.Write(bad)
+		return true
+	})
+	r := NewRemote([]string{srv.URL})
+	if _, err := r.Get(h); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt peer Get: %v", err)
+	}
+	if st := r.Stats(); st.Corrupt != 1 {
+		t.Fatalf("corrupt counter = %d, want 1", st.Corrupt)
+	}
+}
+
+// TestRemoteTruncatedPeer: a body cut short — whether by a shorter
+// write or a mid-stream disconnect — must also land on ErrCorrupt.
+func TestRemoteTruncatedPeer(t *testing.T) {
+	blob := bytes.Repeat([]byte("posit weights "), 64)
+	h := artifact.Sum(blob)
+	for name, mangle := range map[string]func(w http.ResponseWriter, data []byte) bool{
+		"short-body": func(w http.ResponseWriter, data []byte) bool {
+			w.Write(data[:len(data)/2])
+			return true
+		},
+		"disconnect-mid-body": func(w http.ResponseWriter, data []byte) bool {
+			w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+			w.Write(data[:len(data)/2])
+			w.(http.Flusher).Flush()
+			// The handler returns without writing the rest; the client
+			// sees an unexpected EOF against the declared length.
+			return true
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			srv := peerServer(t, map[artifact.Hash][]byte{h: blob}, mangle)
+			r := NewRemote([]string{srv.URL})
+			if _, err := r.Get(h); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("truncated peer Get: %v", err)
+			}
+		})
+	}
+}
+
+// TestRemoteFailover: a peer that lacks the blob (or is down) is
+// skipped; a later peer that has it serves the fetch.
+func TestRemoteFailover(t *testing.T) {
+	blob := []byte("only on the second peer")
+	h := artifact.Sum(blob)
+	empty := peerServer(t, nil, nil)
+	full := peerServer(t, map[artifact.Hash][]byte{h: blob}, nil)
+	down := httptest.NewServer(http.NotFoundHandler())
+	down.Close() // connection refused
+
+	r := NewRemote([]string{down.URL, empty.URL, full.URL})
+	got, err := r.Get(h)
+	if err != nil || !bytes.Equal(got, blob) {
+		t.Fatalf("failover Get = %q, %v", got, err)
+	}
+}
+
+// TestRemoteReadOnly: the peer tier refuses writes.
+func TestRemoteReadOnly(t *testing.T) {
+	r := NewRemote([]string{"http://peer.invalid"})
+	if !r.ReadOnly() || !isReadOnly(r) {
+		t.Fatal("Remote must report read-only")
+	}
+	if _, err := r.Put([]byte("x")); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := r.Delete(artifact.Hash{}); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Delete: %v", err)
+	}
+	if removed, freed, err := r.GC(nil); removed != 0 || freed != 0 || err != nil {
+		t.Fatalf("GC = %d, %d, %v", removed, freed, err)
+	}
+}
+
+// TestRemotePullThroughPersists: the composition positrond runs —
+// Union(local, Remote) — must fetch a missing blob from the peer once,
+// persist it locally, and serve every later read without peer traffic.
+func TestRemotePullThroughPersists(t *testing.T) {
+	blob := []byte("artifact born on a peer")
+	h := artifact.Sum(blob)
+	srv := peerServer(t, map[artifact.Hash][]byte{h: blob}, nil)
+
+	disk, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := NewUnion(NewMem(), disk)
+	remote := NewRemote([]string{srv.URL})
+	u := NewUnion(local, remote)
+
+	got, err := u.Get(h)
+	if err != nil || !bytes.Equal(got, blob) {
+		t.Fatalf("pull-through Get = %q, %v", got, err)
+	}
+	// The fetch persisted all the way down to disk: a restart would
+	// still have the blob without re-fetching.
+	if ok, _ := disk.Has(h); !ok {
+		t.Fatal("fetched blob did not persist to the durable tier")
+	}
+	peerGets := remote.Stats().Gets
+	if _, err := u.Get(h); err != nil {
+		t.Fatal(err)
+	}
+	if got := remote.Stats().Gets; got != peerGets {
+		t.Fatalf("warm read still hit the peer (%d -> %d)", peerGets, got)
+	}
+	// Local view for the artifacts endpoint: the writable local union,
+	// never the peer tier.
+	if got := Local(u); got != Store(local) {
+		t.Fatalf("Local = %T, want the local union", got)
+	}
+	// The per-tier stats satellite: the slow tier of the outer union is
+	// the remote, and its single fetch is visible.
+	st := u.Stats()
+	if st.Slow == nil || st.Slow.Hits != 1 {
+		t.Fatalf("remote tier hits not observable: %+v", st.Slow)
+	}
+}

@@ -7,7 +7,7 @@
 // fleet distributing model artifacts to millions-of-users replicas
 // needs from its storage plane.
 //
-// Three implementations compose:
+// Four implementations compose:
 //
 //   - Mem    — a mutex-guarded in-process map; the warm cache.
 //   - Disk   — a directory sharded by hash prefix, written atomically
@@ -15,7 +15,16 @@
 //     the store and concurrent writers of one hash are safe.
 //   - Union  — a read-through overlay (fast layer over slow layer,
 //     e.g. mem-over-disk): Gets populate the fast layer, Puts
-//     write through to both.
+//     write through to both. A read-only slow layer (Remote)
+//     turns the union into pull-through replication: fetched
+//     blobs persist into the fast tiers.
+//   - Remote — a read-only tier that fetches blobs from peer
+//     replicas over HTTP (GET /v1/artifacts/{hash}), re-hashing
+//     every fetch so a corrupt peer can never inject bytes.
+//
+// The store is reference-aware: GC sweeps blobs the caller's live
+// predicate does not claim, so an owner (the serving registry) that
+// pins its loaded hashes can reclaim everything else.
 package store
 
 import (
@@ -34,6 +43,10 @@ var ErrNotFound = errors.New("store: artifact not found")
 // past the atomic-rename discipline.
 var ErrCorrupt = errors.New("store: artifact bytes do not match their hash")
 
+// ErrReadOnly is returned by Put/Delete/GC on stores that cannot accept
+// writes (Remote: peers own their blobs; this replica only reads them).
+var ErrReadOnly = errors.New("store: store is read-only")
+
 // Store is a content-addressed blob store. Implementations are safe for
 // concurrent use.
 type Store interface {
@@ -50,6 +63,13 @@ type Store interface {
 	Delete(h artifact.Hash) error
 	// List returns the stored hashes, in no particular order.
 	List() ([]artifact.Hash, error)
+	// GC removes every blob for which live returns false (nil live
+	// means nothing is live) and reports how many blobs and bytes it
+	// freed. The predicate is consulted once per candidate at delete
+	// time, so an owner that pins hashes under its own lock stays
+	// race-free: a blob pinned before it was stored can never be in
+	// the sweep.
+	GC(live func(artifact.Hash) bool) (removed int, freed int64, err error)
 	// Stats reports occupancy and operation counters.
 	Stats() Stats
 }
@@ -69,13 +89,22 @@ type Stats struct {
 	Gets    int64 `json:"gets"`
 	Hits    int64 `json:"hits"`
 	Corrupt int64 `json:"corrupt"`
+	// GCRuns counts GC sweeps; GCFreedBytes the bytes they reclaimed.
+	GCRuns       int64 `json:"gc_runs"`
+	GCFreedBytes int64 `json:"gc_freed_bytes"`
+	// Fast and Slow carry the per-tier breakdown of a composed store
+	// (Union); nil for leaf stores. They make tier hit rates — how
+	// often a read was served from memory vs disk vs a peer fetch —
+	// observable through /v1/metrics.
+	Fast *Stats `json:"fast,omitempty"`
+	Slow *Stats `json:"slow,omitempty"`
 }
 
 // counters is the atomic operation-counter block shared by the
 // implementations (occupancy is tracked per-implementation, under its
 // own synchronisation).
 type counters struct {
-	puts, putDedups, gets, hits, corrupt atomic.Int64
+	puts, putDedups, gets, hits, corrupt, gcRuns, gcFreed atomic.Int64
 }
 
 func (c *counters) fill(s *Stats) {
@@ -84,6 +113,33 @@ func (c *counters) fill(s *Stats) {
 	s.Gets = c.gets.Load()
 	s.Hits = c.hits.Load()
 	s.Corrupt = c.corrupt.Load()
+	s.GCRuns = c.gcRuns.Load()
+	s.GCFreedBytes = c.gcFreed.Load()
+}
+
+// readOnlyStore marks stores that cannot accept writes; Union adapts
+// around them (no write-through, no delete-through, no sweep).
+type readOnlyStore interface{ ReadOnly() bool }
+
+// isReadOnly reports whether s refuses writes.
+func isReadOnly(s Store) bool {
+	ro, ok := s.(readOnlyStore)
+	return ok && ro.ReadOnly()
+}
+
+// Local unwraps a store down to its purely local view: a Union whose
+// slow tier is read-only (peers) yields its fast side, recursively.
+// Serving GET /v1/artifacts/{hash} MUST read through Local — answering
+// a peer's fetch by fetching from peers would let two replicas missing
+// the same blob recurse into each other forever.
+func Local(s Store) Store {
+	for {
+		u, ok := s.(*Union)
+		if !ok || !isReadOnly(u.slow) {
+			return s
+		}
+		s = u.fast
+	}
 }
 
 // verify re-hashes data against its claimed address.

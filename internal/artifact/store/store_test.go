@@ -149,6 +149,210 @@ func TestConcurrentPutSameHash(t *testing.T) {
 	}
 }
 
+// TestGCContract: the reference-aware sweep over every implementation —
+// blobs the live predicate claims survive, everything else is removed
+// and accounted, and the gc counters show up in Stats.
+func TestGCContract(t *testing.T) {
+	for name, build := range implementations(t) {
+		t.Run(name, func(t *testing.T) {
+			s := build()
+			pinned := []byte("pinned artifact")
+			hPinned, err := s.Put(pinned)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var garbage []artifact.Hash
+			var garbageBytes int64
+			for i := 0; i < 3; i++ {
+				blob := []byte(fmt.Sprintf("stranded blob %d", i))
+				h, err := s.Put(blob)
+				if err != nil {
+					t.Fatal(err)
+				}
+				garbage = append(garbage, h)
+				garbageBytes += int64(len(blob))
+			}
+			removed, freed, err := s.GC(func(h artifact.Hash) bool { return h == hPinned })
+			if err != nil {
+				t.Fatal(err)
+			}
+			if removed != len(garbage) {
+				t.Fatalf("removed = %d, want %d", removed, len(garbage))
+			}
+			if freed != garbageBytes {
+				t.Fatalf("freed = %d, want %d", freed, garbageBytes)
+			}
+			if got, err := s.Get(hPinned); err != nil || !bytes.Equal(got, pinned) {
+				t.Fatalf("pinned blob swept: %v", err)
+			}
+			for _, h := range garbage {
+				if ok, _ := s.Has(h); ok {
+					t.Fatalf("garbage %s survived GC", h)
+				}
+			}
+			st := s.Stats()
+			if st.Objects != 1 || st.Bytes != int64(len(pinned)) {
+				t.Fatalf("post-GC occupancy: %d objects, %d bytes", st.Objects, st.Bytes)
+			}
+			if st.GCRuns != 1 {
+				t.Fatalf("gc_runs = %d, want 1", st.GCRuns)
+			}
+			if st.GCFreedBytes != garbageBytes {
+				t.Fatalf("gc_freed_bytes = %d, want %d", st.GCFreedBytes, garbageBytes)
+			}
+
+			// A nil predicate means nothing is live: full sweep.
+			if removed, _, err := s.GC(nil); err != nil || removed != 1 {
+				t.Fatalf("nil-live GC: removed %d, %v", removed, err)
+			}
+			if st := s.Stats(); st.Objects != 0 || st.Bytes != 0 {
+				t.Fatalf("store not empty after full sweep: %+v", st)
+			}
+		})
+	}
+}
+
+// TestUnionDeleteHasTierSemantics: Has and Delete must see blobs that
+// live in only one tier, and Delete must clear both.
+func TestUnionDeleteHasTierSemantics(t *testing.T) {
+	disk, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := NewMem()
+	u := NewUnion(mem, disk)
+
+	fastOnly, err := mem.Put([]byte("fast-tier only"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowOnly, err := disk.Put([]byte("slow-tier only"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := u.Put([]byte("both tiers"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, h := range map[string]artifact.Hash{
+		"fast-only": fastOnly, "slow-only": slowOnly, "both": both,
+	} {
+		if ok, err := u.Has(h); err != nil || !ok {
+			t.Fatalf("Has(%s) = %v, %v", name, ok, err)
+		}
+	}
+
+	// Delete-through: a blob present in either tier deletes cleanly.
+	for name, h := range map[string]artifact.Hash{
+		"fast-only": fastOnly, "slow-only": slowOnly, "both": both,
+	} {
+		if err := u.Delete(h); err != nil {
+			t.Fatalf("Delete(%s): %v", name, err)
+		}
+		for tier, layer := range map[string]Store{"fast": mem, "slow": disk} {
+			if ok, _ := layer.Has(h); ok {
+				t.Fatalf("Delete(%s) left the blob in the %s tier", name, tier)
+			}
+		}
+	}
+	if err := u.Delete(both); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Delete absent: %v", err)
+	}
+}
+
+// TestUnionStatsPerTier: the fast/slow breakdown satellite — the nested
+// stats must reflect each tier's own counters.
+func TestUnionStatsPerTier(t *testing.T) {
+	disk, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := disk.Put([]byte("cold blob")) // slow tier only
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := NewUnion(NewMem(), disk)
+	if _, err := u.Get(h); err != nil { // cold: miss fast, hit slow, warm fast
+		t.Fatal(err)
+	}
+	if _, err := u.Get(h); err != nil { // warm: hit fast
+		t.Fatal(err)
+	}
+	st := u.Stats()
+	if st.Fast == nil || st.Slow == nil {
+		t.Fatalf("per-tier stats missing: %+v", st)
+	}
+	if st.Slow.Hits != 1 {
+		t.Fatalf("slow hits = %d, want 1 (one cold read)", st.Slow.Hits)
+	}
+	if st.Fast.Hits != 1 {
+		t.Fatalf("fast hits = %d, want 1 (one warm read)", st.Fast.Hits)
+	}
+	if st.Gets != 2 || st.Hits != 2 {
+		t.Fatalf("union gets/hits = %d/%d, want 2/2", st.Gets, st.Hits)
+	}
+}
+
+// TestUnionReadOnlySlow: with a read-only slow tier (no peers behind
+// it) the fast layer becomes authoritative — writes, listing, stats and
+// GC all operate locally and never touch the peer tier.
+func TestUnionReadOnlySlow(t *testing.T) {
+	mem := NewMem()
+	remote := NewRemote(nil) // zero peers, but still read-only
+	u := NewUnion(mem, remote)
+
+	blob := []byte("locally owned")
+	h, err := u.Put(blob)
+	if err != nil {
+		t.Fatalf("Put over read-only slow: %v", err)
+	}
+	if ok, _ := mem.Has(h); !ok {
+		t.Fatal("Put did not land in the fast tier")
+	}
+	if _, err := u.Put(blob); err != nil {
+		t.Fatal(err)
+	}
+	st := u.Stats()
+	if st.Objects != 1 || st.Bytes != int64(len(blob)) {
+		t.Fatalf("occupancy should come from the fast tier: %+v", st)
+	}
+	if st.PutDedups != 1 {
+		t.Fatalf("put_dedups = %d, want 1", st.PutDedups)
+	}
+	hashes, err := u.List()
+	if err != nil || len(hashes) != 1 || hashes[0] != h {
+		t.Fatalf("List = %v, %v", hashes, err)
+	}
+	if err := u.Delete(h); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := mem.Has(h); ok {
+		t.Fatal("Delete did not clear the fast tier")
+	}
+	if _, err := u.Put(blob); err != nil {
+		t.Fatal(err)
+	}
+	if removed, freed, err := u.GC(nil); err != nil || removed != 1 || freed != int64(len(blob)) {
+		t.Fatalf("GC = %d, %d, %v", removed, freed, err)
+	}
+
+	// Local unwraps to the fast side so the artifacts endpoint can never
+	// recurse into peers.
+	if got := Local(u); got != Store(mem) {
+		t.Fatalf("Local(%T) = %T, want the fast tier", u, got)
+	}
+	// A writable slow tier is already local; Local is the identity.
+	d, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	writable := NewUnion(NewMem(), d)
+	if got := Local(writable); got != Store(writable) {
+		t.Fatalf("Local over writable slow = %T, want identity", got)
+	}
+}
+
 // TestDiskDetectsCorruption: bytes rotted on disk must surface as
 // ErrCorrupt, never be returned as the artifact.
 func TestDiskDetectsCorruption(t *testing.T) {

@@ -9,6 +9,13 @@ import "repro/internal/artifact"
 // disk read, every load after that is a map lookup. Puts write through
 // to both layers, so the slow layer is always complete and a crash
 // loses nothing but warmth.
+//
+// When the slow layer is read-only (a Remote peer tier), the union
+// inverts its authority: the fast layer holds this replica's blobs and
+// the slow layer is only a fetch path. Puts, Deletes, List, Stats and
+// GC then operate on the fast layer alone, while Get still falls
+// through to peers and persists what it pulls — pull-through
+// replication.
 type Union struct {
 	counters
 	fast, slow Store
@@ -21,9 +28,17 @@ func NewUnion(fast, slow Store) *Union {
 
 // Put implements Store: write-through to the slow layer first (it is
 // the durable one; if it fails the artifact is not stored), then warm
-// the fast layer.
+// the fast layer. A read-only slow layer is skipped entirely — peers
+// own their blobs; we only write ours.
 func (u *Union) Put(data []byte) (artifact.Hash, error) {
 	u.puts.Add(1)
+	if isReadOnly(u.slow) {
+		h := artifact.Sum(data)
+		if ok, err := u.fast.Has(h); err == nil && ok {
+			u.putDedups.Add(1)
+		}
+		return u.fast.Put(data)
+	}
 	if ok, err := u.slow.Has(artifact.Sum(data)); err == nil && ok {
 		u.putDedups.Add(1)
 	}
@@ -62,10 +77,13 @@ func (u *Union) Has(h artifact.Hash) (bool, error) {
 	return u.slow.Has(h)
 }
 
-// Delete implements Store: removed from both layers; present in
-// neither is ErrNotFound.
+// Delete implements Store: removed from both writable layers; present
+// in neither is ErrNotFound.
 func (u *Union) Delete(h artifact.Hash) error {
 	fastErr := u.fast.Delete(h)
+	if isReadOnly(u.slow) {
+		return fastErr
+	}
 	slowErr := u.slow.Delete(h)
 	if slowErr == nil || fastErr == nil {
 		return nil
@@ -74,16 +92,49 @@ func (u *Union) Delete(h artifact.Hash) error {
 }
 
 // List implements Store: the slow layer is authoritative (the fast
-// layer is a subset by construction).
-func (u *Union) List() ([]artifact.Hash, error) { return u.slow.List() }
+// layer is a subset by construction) — unless the slow layer is
+// read-only, in which case the fast layer holds everything local.
+func (u *Union) List() ([]artifact.Hash, error) {
+	if isReadOnly(u.slow) {
+		return u.fast.List()
+	}
+	return u.slow.List()
+}
 
-// Stats implements Store: occupancy of the authoritative slow layer,
-// with the union's own read-through counters (fast-layer hit ratio is
-// visible as fast.Stats().Hits vs the union's Gets).
+// GC implements Store: both writable layers are swept with the same
+// predicate. A read-only slow layer is never swept — its blobs belong
+// to peers. Removed/freed report the authoritative layer's reclaim (the
+// fast layer is a cache of it), so the numbers match what List would no
+// longer show.
+func (u *Union) GC(live func(artifact.Hash) bool) (int, int64, error) {
+	u.gcRuns.Add(1)
+	if isReadOnly(u.slow) {
+		removed, freed, err := u.fast.GC(live)
+		u.gcFreed.Add(freed)
+		return removed, freed, err
+	}
+	if _, _, err := u.fast.GC(live); err != nil {
+		return 0, 0, err
+	}
+	removed, freed, err := u.slow.GC(live)
+	u.gcFreed.Add(freed)
+	return removed, freed, err
+}
+
+// Stats implements Store: occupancy of the authoritative layer, the
+// union's own read-through counters, and the per-tier breakdown nested
+// under fast/slow — tier hit rates (memory vs disk vs peer fetch) are
+// observable without reaching into the composition.
 func (u *Union) Stats() Stats {
-	slow := u.slow.Stats()
-	s := Stats{Objects: slow.Objects, Bytes: slow.Bytes}
+	auth := u.slow
+	if isReadOnly(u.slow) {
+		auth = u.fast
+	}
+	occ := auth.Stats()
+	s := Stats{Objects: occ.Objects, Bytes: occ.Bytes}
 	u.fill(&s)
+	fast, slow := u.fast.Stats(), u.slow.Stats()
+	s.Fast, s.Slow = &fast, &slow
 	return s
 }
 

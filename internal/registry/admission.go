@@ -76,7 +76,7 @@ func (g *gate) Cap() int {
 // capacity — an oversized batch can still run on an idle model (claiming
 // the entire gate while it does) instead of being unservable at any
 // load.
-func (e *entry) admit(cost int) (func(), error) {
+func (e *entry) admit(name string, cost int) (func(), error) {
 	if e.gate == nil {
 		e.metrics.ObserveAdmit()
 		return e.metrics.ObserveDone, nil
@@ -89,7 +89,7 @@ func (e *entry) admit(cost int) (func(), error) {
 	}
 	if !e.gate.tryAcquire(cost) {
 		e.metrics.ObserveRejected()
-		return nil, fmt.Errorf("%w: %q at max in-flight %d", ErrOverloaded, e.name, e.gate.Cap())
+		return nil, fmt.Errorf("%w: %q at max in-flight %d", ErrOverloaded, name, e.gate.Cap())
 	}
 	e.metrics.ObserveAdmit()
 	claimed := cost
@@ -112,13 +112,13 @@ func (e *entry) withDeadline(ctx context.Context) (context.Context, context.Canc
 // mapErr rewrites a deadline expiry caused by the registry's own
 // request timeout into ErrRequestTimeout (and counts it). A caller whose
 // own context was cancelled or expired keeps its error untouched.
-func (e *entry) mapErr(parent context.Context, err error) error {
+func (e *entry) mapErr(name string, parent context.Context, err error) error {
 	if err == nil || e.timeout <= 0 {
 		return err
 	}
 	if errors.Is(err, context.DeadlineExceeded) && parent.Err() == nil {
 		e.metrics.ObserveTimeout()
-		return fmt.Errorf("%w: %q after %s", ErrRequestTimeout, e.name, e.timeout)
+		return fmt.Errorf("%w: %q after %s", ErrRequestTimeout, name, e.timeout)
 	}
 	return err
 }
@@ -129,7 +129,7 @@ func (e *entry) mapErr(parent context.Context, err error) error {
 // model's micro-batcher. This is what the HTTP layer calls; Batcher()
 // remains available for callers that own their backpressure.
 func (h *Handle) Infer(ctx context.Context, x []float64) ([]float64, error) {
-	release, err := h.e.admit(1)
+	release, err := h.e.admit(h.name, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -138,7 +138,7 @@ func (h *Handle) Infer(ctx context.Context, x []float64) ([]float64, error) {
 	defer cancel()
 	out, err := h.e.batcher.Infer(rctx, x)
 	if err != nil {
-		return nil, h.e.mapErr(ctx, err)
+		return nil, h.e.mapErr(h.name, ctx, err)
 	}
 	return out, nil
 }
@@ -153,7 +153,7 @@ func (h *Handle) InferBatch(ctx context.Context, xs [][]float64) ([][]float64, e
 	if h.e.costAware {
 		cost = len(xs)
 	}
-	release, err := h.e.admit(cost)
+	release, err := h.e.admit(h.name, cost)
 	if err != nil {
 		return nil, err
 	}
@@ -162,7 +162,7 @@ func (h *Handle) InferBatch(ctx context.Context, xs [][]float64) ([][]float64, e
 	defer cancel()
 	out, err := h.e.batcher.InferBatch(rctx, xs)
 	if err != nil {
-		return nil, h.e.mapErr(ctx, err)
+		return nil, h.e.mapErr(h.name, ctx, err)
 	}
 	return out, nil
 }

@@ -1,11 +1,19 @@
 // Package registry is the multi-model serving layer between the engine
-// Runtime and the positrond HTTP front-end. A Registry owns named
-// (Model, Runtime, Batcher, Metrics) entries with reference-counted
-// lifecycle: models load from an artifact path or raw uploaded JSON,
-// requests acquire a handle for the duration of one inference, and
-// unload is graceful — the entry leaves the name table immediately (new
-// acquires fail), then the runtime closes via the existing Runtime.Close
-// drain semantics once the last in-flight handle releases.
+// Runtime and the positrond HTTP front-end. A Registry owns loaded
+// (Model, Runtime, Batcher, Metrics) entries keyed by artifact content
+// hash, with a name table binding serving names to entries — two names
+// over the same bytes share one runtime. Lifecycle is
+// reference-counted: models load from an artifact path, raw uploaded
+// bytes, or a bare store hash; requests acquire a handle for the
+// duration of one inference; and unload is graceful — the name leaves
+// the table immediately (new acquires fail), then the runtime closes
+// via the existing Runtime.Close drain semantics once the last binding
+// is gone and the last in-flight handle releases.
+//
+// The content-addressed store is the source of truth for model bytes:
+// every load lands canonical bytes in the store first and decodes the
+// model from store-owned bytes, so a model is exactly its artifact.
+// Registry.GC sweeps blobs no live entry or in-flight load pins.
 //
 // The paper's premise — precision-adaptable EMACs make low-precision
 // inference cheap enough to deploy widely — lands here as many small
@@ -111,11 +119,12 @@ func WithCostAwareAdmission() Option {
 }
 
 // WithStore sets the content-addressed artifact store behind the
-// registry. Every loaded model's canonical binary bytes are Put into it
-// keyed by content hash, so same-hash loads under different names store
-// the bytes once, /v1/models can serve the hash as an ETag, and with a
-// durable store (e.g. a mem-over-disk union) restarts warm-load from
-// local bytes instead of re-fetching artifacts. The default is a fresh
+// registry. It is the source of truth for model bytes: loads land
+// canonical bytes there first and decode from store-owned bytes,
+// same-hash loads under different names store the bytes once and share
+// a runtime, LoadHash instantiates a model from the store alone (which
+// with a peer-backed store means fetching it across the fleet), and
+// Registry.GC reclaims blobs nothing references. The default is a fresh
 // in-memory store.
 func WithStore(s store.Store) Option {
 	return func(c *config) { c.store = s }
@@ -130,17 +139,19 @@ func WithRequestTimeout(d time.Duration) Option {
 	return func(c *config) { c.reqTimeout = d }
 }
 
-// entry is one loaded model and its serving machinery.
+// entry is one loaded model and its serving machinery, keyed in the
+// registry by its artifact content hash — several names may bind to one
+// entry and share its runtime.
 type entry struct {
-	name    string
+	key     artifact.Hash // registry object key (surrogate when hash is zero)
 	model   core.Model
 	rt      *engine.Runtime
 	batcher *Batcher
 	metrics *Metrics
-	loaded  time.Time
 
 	// hash/artBytes identify the model's canonical binary artifact in
-	// the content-addressed store: its SHA-256 and byte size.
+	// the content-addressed store: its SHA-256 and byte size. A zero
+	// hash marks a model outside the binary codec (no store entry).
 	hash     artifact.Hash
 	artBytes int64
 
@@ -152,16 +163,23 @@ type entry struct {
 	costAware bool
 	timeout   time.Duration
 
+	bound    int  // names currently bound to this entry
 	refs     int  // in-flight handles
-	unloaded bool // out of the name table; close when refs hit 0
+	unloaded bool // out of the object table; close when refs hit 0
 
 	closeOnce sync.Once
 	done      chan struct{} // closed once the runtime has drained and closed
 }
 
+// binding maps one serving name onto an entry.
+type binding struct {
+	e      *entry
+	loaded time.Time
+}
+
 // close tears down one entry: the batcher first (flushes stragglers,
 // rejects new work), then the runtime (drains in-flight inferences).
-// Called at most once, with refs == 0.
+// Called at most once, with refs == 0 and bound == 0.
 func (e *entry) close() {
 	e.batcher.Close()
 	_ = e.rt.Close()
@@ -174,7 +192,10 @@ type Registry struct {
 	cfg config
 
 	mu      sync.Mutex
-	entries map[string]*entry
+	objects map[artifact.Hash]*entry // live entries by content key
+	names   map[string]*binding      // serving names onto entries
+	pins    map[artifact.Hash]int    // hashes held live by in-flight loads
+	anonSeq uint64                   // surrogate-key counter for hashless models
 	closed  bool
 }
 
@@ -191,7 +212,12 @@ func New(opts ...Option) *Registry {
 	if cfg.store == nil {
 		cfg.store = store.NewMem()
 	}
-	return &Registry{cfg: cfg, entries: make(map[string]*entry)}
+	return &Registry{
+		cfg:     cfg,
+		objects: make(map[artifact.Hash]*entry),
+		names:   make(map[string]*binding),
+		pins:    make(map[artifact.Hash]int),
+	}
 }
 
 // validName rejects names that would not round-trip through a URL path
@@ -214,9 +240,75 @@ func validName(name string) error {
 	return nil
 }
 
-// Load registers a model under name, building its runtime (one
-// shared-nothing worker pool) and micro-batcher. It fails with ErrExists
-// when the name is taken and ErrRegistryClosed after Close.
+// precheck is the cheap gate before paying for hashing, store IO, or a
+// runtime build: a duplicate or post-Close load should fail before it
+// spins anything up. The authoritative check repeats under the lock in
+// loadEntry, since the tables can change in between.
+func (r *Registry) precheck(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrRegistryClosed
+	}
+	if _, ok := r.names[name]; ok {
+		return fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	return nil
+}
+
+// pin holds an artifact hash live against GC for the duration of a
+// load, before its bytes are even in the store: a blob pinned before
+// its Put can never be in a sweep (the GC predicate runs at delete
+// time, under the store's own lock).
+func (r *Registry) pin(h artifact.Hash) {
+	r.mu.Lock()
+	r.pins[h]++
+	r.mu.Unlock()
+}
+
+// unpin releases a load-time pin. Once the entry is in the object
+// table, table membership keeps the hash live instead.
+func (r *Registry) unpin(h artifact.Hash) {
+	r.mu.Lock()
+	if r.pins[h]--; r.pins[h] <= 0 {
+		delete(r.pins, h)
+	}
+	r.mu.Unlock()
+}
+
+// isLive is the GC predicate: a hash is live while an in-flight load
+// pins it or a loaded entry owns it.
+func (r *Registry) isLive(h artifact.Hash) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.pins[h] > 0 {
+		return true
+	}
+	_, ok := r.objects[h]
+	return ok
+}
+
+// GC sweeps the artifact store, removing every blob no loaded model or
+// in-flight load references, and reports how many blobs and bytes it
+// reclaimed. This is the reclamation path for Unload: a model's bytes
+// outlive its name (they are the warm cache for the next load of the
+// same hash, and peers may still fetch them) until a sweep decides the
+// space matters more.
+func (r *Registry) GC() (removed int, freed int64, err error) {
+	return r.cfg.store.GC(r.isLive)
+}
+
+// Load registers a model under name. Its canonical bytes land in the
+// store first and the served model is decoded back from store-owned
+// bytes, so what serves is exactly what the store holds. A name over
+// bytes already loaded binds to the existing entry and shares its
+// runtime; otherwise a new runtime (one shared-nothing worker pool) and
+// micro-batcher are built. Load fails with ErrExists when the name is
+// taken and ErrRegistryClosed after Close.
+//
+// Models outside the binary codec (test doubles, experimental planes)
+// have no canonical artifact: they load and serve as given, with a zero
+// hash and no store entry.
 func (r *Registry) Load(name string, model core.Model) error {
 	if err := validName(name); err != nil {
 		return err
@@ -224,85 +316,43 @@ func (r *Registry) Load(name string, model core.Model) error {
 	if model == nil {
 		return errors.New("registry: nil model")
 	}
-	// Cheap pre-check before paying for the runtime build: a duplicate
-	// or post-Close load should not spin up (and tear down) a worker
-	// pool with warm tables. The authoritative check repeats under the
-	// lock after the build, since the table can change in between.
-	r.mu.Lock()
-	if r.closed {
-		r.mu.Unlock()
-		return ErrRegistryClosed
-	}
-	if _, ok := r.entries[name]; ok {
-		r.mu.Unlock()
-		return fmt.Errorf("%w: %q", ErrExists, name)
-	}
-	r.mu.Unlock()
-
-	// Fingerprint the model and store its canonical binary bytes: the
-	// hash is the model's fleet-wide identity (served as the /v1/models
-	// ETag), and the content-addressed store dedups same-hash loads
-	// under different names. Done outside the lock — hashing is cheap
-	// but a durable store may touch disk.
-	// Models outside the binary codec (test doubles, experimental planes)
-	// have no canonical artifact: they load and serve normally, with a
-	// zero hash and no store entry.
-	data, hash, err := artifact.Canonical(model)
-	switch {
-	case errors.Is(err, artifact.ErrUnsupported):
-		data, hash = nil, artifact.Hash{}
-	case err != nil:
+	if err := r.precheck(name); err != nil {
 		return err
-	default:
-		if _, err := r.cfg.store.Put(data); err != nil {
-			return fmt.Errorf("registry: storing artifact for %q: %w", name, err)
-		}
 	}
 
-	// Build the runtime outside the lock: warm tables can take a while
-	// and must not stall unrelated lookups. Shared outputs only when the
-	// micro-batcher will serialise access and copy results out; on the
-	// passthrough path concurrent requests keep the pool unserialised.
-	opts := append([]engine.Option{}, r.cfg.rtOpts...)
-	if r.cfg.window > 0 && r.cfg.maxBatch > 1 {
-		opts = append(opts, engine.WithSharedOutputs(), engine.WithFlushPipeline(r.cfg.flushDepth))
+	data, hash, err := artifact.Canonical(model)
+	if errors.Is(err, artifact.ErrUnsupported) {
+		// No canonical bytes to own; serve the caller's object under a
+		// surrogate key so it gets its own entry and never aliases.
+		r.mu.Lock()
+		r.anonSeq++
+		key := artifact.Sum([]byte(fmt.Sprintf("registry: anonymous model %d", r.anonSeq)))
+		r.mu.Unlock()
+		return r.loadEntry(name, key, artifact.Hash{}, 0, model)
 	}
-	rt, err := engine.NewRuntime(model, opts...)
 	if err != nil {
 		return err
 	}
-	metrics := &Metrics{}
-	e := &entry{
-		name:     name,
-		model:    model,
-		rt:       rt,
-		batcher:  NewBatcher(rt, r.cfg.window, r.cfg.maxBatch, metrics),
-		metrics:  metrics,
-		loaded:   time.Now(),
-		hash:     hash,
-		artBytes: int64(len(data)),
-		timeout:  r.cfg.reqTimeout,
-		done:     make(chan struct{}),
-	}
-	e.costAware = r.cfg.costAware
-	if r.cfg.maxInFlight > 0 {
-		e.gate = newGate(r.cfg.maxInFlight)
-	}
 
-	r.mu.Lock()
-	if r.closed {
-		r.mu.Unlock()
-		_ = rt.Close()
-		return ErrRegistryClosed
+	// Store-first: pin the hash (so a concurrent GC can never sweep the
+	// bytes out from under this load), land the bytes, then decode the
+	// serving model from what the store returns — not from the caller's
+	// object. Done outside the lock: hashing is cheap but a durable
+	// store may touch disk.
+	r.pin(hash)
+	defer r.unpin(hash)
+	if _, err := r.cfg.store.Put(data); err != nil {
+		return fmt.Errorf("registry: storing artifact for %q: %w", name, err)
 	}
-	if _, ok := r.entries[name]; ok {
-		r.mu.Unlock()
-		_ = rt.Close()
-		return fmt.Errorf("%w: %q", ErrExists, name)
+	stored, err := r.cfg.store.Get(hash)
+	if err != nil {
+		return fmt.Errorf("registry: reading back artifact for %q: %w", name, err)
 	}
-	r.entries[name] = e
-	r.mu.Unlock()
-	return nil
+	decoded, err := artifact.Parse(stored)
+	if err != nil {
+		return fmt.Errorf("registry: decoding stored artifact for %q: %w", name, err)
+	}
+	return r.loadEntry(name, hash, hash, int64(len(stored)), decoded)
 }
 
 // LoadPath loads an artifact file (uniform or mixed) under name. Binary
@@ -321,7 +371,8 @@ func (r *Registry) LoadPath(name, path string) error {
 // LoadBytes loads an artifact from raw bytes — the upload path: clients
 // POST the artifact body to the daemon instead of referencing a file on
 // the server's disk. Binary and JSON artifacts are detected
-// transparently.
+// transparently; either way the canonical binary form is what the store
+// keeps and the served model decodes from.
 func (r *Registry) LoadBytes(name string, data []byte) error {
 	model, err := artifact.Parse(data)
 	if err != nil {
@@ -330,18 +381,129 @@ func (r *Registry) LoadBytes(name string, data []byte) error {
 	return r.Load(name, model)
 }
 
+// LoadHash registers a model under name from its content address alone:
+// the bytes come out of the store (which, over a peer-backed tier, may
+// mean fetching and persisting them from another replica), decode, and
+// serve. A store miss surfaces as store.ErrNotFound — the caller asked
+// for bytes the fleet does not have.
+func (r *Registry) LoadHash(name string, h artifact.Hash) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	if h == (artifact.Hash{}) {
+		return errors.New("registry: zero artifact hash")
+	}
+	if err := r.precheck(name); err != nil {
+		return err
+	}
+
+	r.pin(h)
+	defer r.unpin(h)
+	data, err := r.cfg.store.Get(h)
+	if err != nil {
+		return fmt.Errorf("registry: artifact %s: %w", h, err)
+	}
+	model, err := artifact.Parse(data)
+	if err != nil {
+		return fmt.Errorf("registry: decoding artifact %s: %w", h, err)
+	}
+	return r.loadEntry(name, h, h, int64(len(data)), model)
+}
+
+// loadEntry binds name to the entry for key, building the entry (runtime
+// + micro-batcher) if no live one exists. The runtime build happens
+// outside the lock — warm tables can take a while and must not stall
+// unrelated lookups — so a lost build race resolves by binding to the
+// winner and discarding the fresh runtime.
+func (r *Registry) loadEntry(name string, key, hash artifact.Hash, artBytes int64, model core.Model) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrRegistryClosed
+	}
+	if _, ok := r.names[name]; ok {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	if e, ok := r.objects[key]; ok {
+		// Alias fast path: the content is already serving; share its
+		// runtime instead of building another worker pool.
+		e.bound++
+		r.names[name] = &binding{e: e, loaded: time.Now()}
+		r.mu.Unlock()
+		return nil
+	}
+	r.mu.Unlock()
+
+	// Shared outputs only when the micro-batcher will serialise access
+	// and copy results out; on the passthrough path concurrent requests
+	// keep the pool unserialised.
+	opts := append([]engine.Option{}, r.cfg.rtOpts...)
+	if r.cfg.window > 0 && r.cfg.maxBatch > 1 {
+		opts = append(opts, engine.WithSharedOutputs(), engine.WithFlushPipeline(r.cfg.flushDepth))
+	}
+	rt, err := engine.NewRuntime(model, opts...)
+	if err != nil {
+		return err
+	}
+	metrics := &Metrics{}
+	e := &entry{
+		key:      key,
+		model:    model,
+		rt:       rt,
+		batcher:  NewBatcher(rt, r.cfg.window, r.cfg.maxBatch, metrics),
+		metrics:  metrics,
+		hash:     hash,
+		artBytes: artBytes,
+		timeout:  r.cfg.reqTimeout,
+		done:     make(chan struct{}),
+	}
+	e.costAware = r.cfg.costAware
+	if r.cfg.maxInFlight > 0 {
+		e.gate = newGate(r.cfg.maxInFlight)
+	}
+
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		_ = rt.Close()
+		return ErrRegistryClosed
+	}
+	if _, ok := r.names[name]; ok {
+		r.mu.Unlock()
+		_ = rt.Close()
+		return fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	if winner, ok := r.objects[key]; ok {
+		// A concurrent load of the same content won the build race; its
+		// runtime serves both names, ours closes unused.
+		winner.bound++
+		r.names[name] = &binding{e: winner, loaded: time.Now()}
+		r.mu.Unlock()
+		_ = rt.Close()
+		return nil
+	}
+	e.bound = 1
+	r.objects[key] = e
+	r.names[name] = &binding{e: e, loaded: time.Now()}
+	r.mu.Unlock()
+	return nil
+}
+
 // Handle pins one model for the duration of a request: the entry cannot
 // finish unloading while handles are outstanding. Release exactly once
 // (idempotent) when done.
 type Handle struct {
-	r *Registry
-	e *entry
+	r    *Registry
+	e    *entry
+	name string
 
 	once sync.Once
 }
 
-// Name returns the model's registry name.
-func (h *Handle) Name() string { return h.e.name }
+// Name returns the registry name this handle was acquired under (one
+// entry may serve several names).
+func (h *Handle) Name() string { return h.name }
 
 // Model returns the pinned model plane.
 func (h *Handle) Model() core.Model { return h.e.model }
@@ -385,32 +547,43 @@ func (r *Registry) Acquire(name string) (*Handle, error) {
 	if r.closed {
 		return nil, ErrRegistryClosed
 	}
-	e, ok := r.entries[name]
+	b, ok := r.names[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
-	e.refs++
-	return &Handle{r: r, e: e}, nil
+	b.e.refs++
+	return &Handle{r: r, e: b.e, name: name}, nil
 }
 
-// Unload removes the named model and blocks until its runtime has
-// drained and closed: the name disappears immediately (new Acquires
-// fail), in-flight requests finish on their handles, then the batcher
-// flushes and Runtime.Close drains the pool. After Close it fails with
-// ErrRegistryClosed — checked before the name lookup, so clients can
-// tell shutdown (every name is gone) from a genuinely unknown model.
+// Unload removes the named model: the name disappears immediately (new
+// Acquires fail). If other names still bind the same entry, Unload
+// returns at once and the shared runtime keeps serving them. For the
+// last name it blocks until the runtime has drained and closed:
+// in-flight requests finish on their handles, then the batcher flushes
+// and Runtime.Close drains the pool. The artifact bytes stay in the
+// store until a GC sweep finds them unreferenced. After Close it fails
+// with ErrRegistryClosed — checked before the name lookup, so clients
+// can tell shutdown (every name is gone) from a genuinely unknown
+// model.
 func (r *Registry) Unload(name string) error {
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
 		return ErrRegistryClosed
 	}
-	e, ok := r.entries[name]
+	b, ok := r.names[name]
 	if !ok {
 		r.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
-	delete(r.entries, name)
+	delete(r.names, name)
+	e := b.e
+	e.bound--
+	if e.bound > 0 {
+		r.mu.Unlock()
+		return nil
+	}
+	delete(r.objects, e.key)
 	e.unloaded = true
 	idle := e.refs == 0
 	r.mu.Unlock()
@@ -423,20 +596,22 @@ func (r *Registry) Unload(name string) error {
 }
 
 // Store returns the content-addressed artifact store behind the
-// registry. Unload does not remove artifact bytes from it — blobs are
-// immutable, may back several names at once, and double as the warm
-// cache for the next load of the same hash.
+// registry — the source of truth for model bytes. Unload does not
+// remove artifact bytes from it (blobs are immutable, may back several
+// names at once, serve peer fetches, and double as the warm cache for
+// the next load of the same hash); Registry.GC is the reclamation path.
 func (r *Registry) Store() store.Store { return r.cfg.store }
 
-// StoreStats reports the artifact store's occupancy and dedup counters
-// (surfaced in /v1/metrics).
+// StoreStats reports the artifact store's occupancy, dedup, and GC
+// counters (surfaced in /v1/metrics), including per-tier breakdowns for
+// composed stores.
 func (r *Registry) StoreStats() store.Stats { return r.cfg.store.Stats() }
 
 // Names returns the loaded model names, sorted.
 func (r *Registry) Names() []string {
 	r.mu.Lock()
-	names := make([]string, 0, len(r.entries))
-	for name := range r.entries {
+	names := make([]string, 0, len(r.names))
+	for name := range r.names {
 		names = append(names, name)
 	}
 	r.mu.Unlock()
@@ -444,11 +619,11 @@ func (r *Registry) Names() []string {
 	return names
 }
 
-// Len returns the number of loaded models.
+// Len returns the number of loaded model names.
 func (r *Registry) Len() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.entries)
+	return len(r.names)
 }
 
 // Closed reports whether Close has been called — the readiness probe's
@@ -475,9 +650,12 @@ type ModelStat struct {
 	// /v1/models serves; ArtifactBytes is that artifact's size.
 	ContentHash   string `json:"content_hash"`
 	ArtifactBytes int64  `json:"artifact_bytes"`
-	Workers       int    `json:"workers"`
-	BatchWindow   string `json:"batch_window"`
-	MaxBatch      int    `json:"max_batch"`
+	// Aliases counts the names currently bound to this model's entry
+	// (same content hash → shared runtime); 1 when this name is alone.
+	Aliases     int    `json:"aliases"`
+	Workers     int    `json:"workers"`
+	BatchWindow string `json:"batch_window"`
+	MaxBatch    int    `json:"max_batch"`
 	// FlushPipeline is the runtime's flush-slot plane count (0 when the
 	// model serves on the unserialised allocating path); PipelineInUse
 	// samples how many planes are leased right now.
@@ -501,9 +679,11 @@ type ModelStat struct {
 	Metrics  Snapshot `json:"metrics"`
 }
 
-// statFor builds one entry's record; it reads only immutable entry
-// fields plus the metrics' own lock, so callers need not hold r.mu.
-func statFor(e *entry) ModelStat {
+// statFor builds one binding's record; aliases is sampled by the caller
+// under r.mu, everything else reads immutable entry fields plus the
+// metrics' own lock.
+func statFor(name string, b *binding, aliases int) ModelStat {
+	e := b.e
 	m := e.model
 	// Models with no canonical artifact (zero hash) report an empty
 	// content hash, not 64 zeros.
@@ -512,7 +692,7 @@ func statFor(e *entry) ModelStat {
 		contentHash = e.hash.String()
 	}
 	return ModelStat{
-		Name:               e.name,
+		Name:               name,
 		Model:              m.String(),
 		Kind:               m.Kind(),
 		InputDim:           m.InputDim(),
@@ -523,6 +703,7 @@ func statFor(e *entry) ModelStat {
 		Standardized:       m.Standardizer() != nil,
 		ContentHash:        contentHash,
 		ArtifactBytes:      e.artBytes,
+		Aliases:            aliases,
 		Workers:            e.rt.Workers(),
 		BatchWindow:        e.batcher.Window().String(),
 		MaxBatch:           e.batcher.MaxBatch(),
@@ -534,7 +715,7 @@ func statFor(e *entry) ModelStat {
 		QueueLen:           e.rt.QueueLen(),
 		QueueCap:           e.rt.QueueCap(),
 		Panics:             e.rt.Panics(),
-		LoadedAt:           e.loaded.UTC().Format(time.RFC3339),
+		LoadedAt:           b.loaded.UTC().Format(time.RFC3339),
 		Metrics:            e.metrics.Snapshot(),
 	}
 }
@@ -542,25 +723,34 @@ func statFor(e *entry) ModelStat {
 // Stat returns one model's introspection record.
 func (r *Registry) Stat(name string) (ModelStat, error) {
 	r.mu.Lock()
-	e, ok := r.entries[name]
+	b, ok := r.names[name]
+	var aliases int
+	if ok {
+		aliases = b.e.bound
+	}
 	r.mu.Unlock()
 	if !ok {
 		return ModelStat{}, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
-	return statFor(e), nil
+	return statFor(name, b, aliases), nil
 }
 
 // Stats returns every loaded model's record, sorted by name.
 func (r *Registry) Stats() []ModelStat {
+	type named struct {
+		name    string
+		b       *binding
+		aliases int
+	}
 	r.mu.Lock()
-	entries := make([]*entry, 0, len(r.entries))
-	for _, e := range r.entries {
-		entries = append(entries, e)
+	bindings := make([]named, 0, len(r.names))
+	for name, b := range r.names {
+		bindings = append(bindings, named{name, b, b.e.bound})
 	}
 	r.mu.Unlock()
-	stats := make([]ModelStat, len(entries))
-	for i, e := range entries {
-		stats[i] = statFor(e)
+	stats := make([]ModelStat, len(bindings))
+	for i, n := range bindings {
+		stats[i] = statFor(n.name, n.b, n.aliases)
 	}
 	sort.Slice(stats, func(i, j int) bool { return stats[i].Name < stats[j].Name })
 	return stats
@@ -576,11 +766,15 @@ func (r *Registry) Close() error {
 		return nil
 	}
 	r.closed = true
-	entries := make([]*entry, 0, len(r.entries))
-	for name, e := range r.entries {
-		delete(r.entries, name)
+	entries := make([]*entry, 0, len(r.objects))
+	for key, e := range r.objects {
+		delete(r.objects, key)
+		e.bound = 0
 		e.unloaded = true
 		entries = append(entries, e)
+	}
+	for name := range r.names {
+		delete(r.names, name)
 	}
 	r.mu.Unlock()
 

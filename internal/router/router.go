@@ -503,18 +503,21 @@ func (rt *Router) writeBuffered(w http.ResponseWriter, resp *bufferedResponse, r
 	_, _ = w.Write(resp.body)
 }
 
-// modelFromPath extracts the model name for affinity hashing
-// ("/v1/models/{name}/..." → name; anything else shares the "" key).
+// modelFromPath extracts the affinity key for rendezvous hashing:
+// "/v1/models/{name}/..." → the model name, "/v1/artifacts/{hash}" →
+// the content hash (so repeated fetches of one artifact hit the same
+// replica's warm cache), anything else shares the "" key.
 func modelFromPath(path string) string {
-	const prefix = "/v1/models/"
-	if !strings.HasPrefix(path, prefix) {
-		return ""
+	for _, prefix := range []string{"/v1/models/", "/v1/artifacts/"} {
+		if strings.HasPrefix(path, prefix) {
+			rest := path[len(prefix):]
+			if i := strings.IndexByte(rest, '/'); i >= 0 {
+				return rest[:i]
+			}
+			return rest
+		}
 	}
-	rest := path[len(prefix):]
-	if i := strings.IndexByte(rest, '/'); i >= 0 {
-		return rest[:i]
-	}
-	return rest
+	return ""
 }
 
 // idempotent reports whether a request is safe to retry after it may

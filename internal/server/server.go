@@ -19,8 +19,17 @@
 //	                                ({"inputs": [[...], ...]}) inference
 //	GET    /v1/metrics              per-model request counts, batch-size
 //	                                histogram, p50/p99 latency
+//	GET    /v1/artifacts/{hash}     raw canonical artifact bytes by
+//	                                content address (ETag = hash; served
+//	                                from the local store tiers only, so
+//	                                peers can fetch without recursion)
+//	POST   /v1/store/gc             sweep unreferenced artifact blobs
 //	GET    /v1/model                default-model metadata  (PR 3 alias)
 //	POST   /v1/infer                default-model inference (PR 3 alias)
+//
+// POST /v1/models also accepts {"name": "...", "hash": "..."}: the model
+// loads from the content-addressed store alone, which over a peer-backed
+// store means fetching the bytes from another replica by hash.
 //
 // Errors are JSON ({"error": "..."}): 400 for malformed bodies or inputs
 // of the wrong feature width, 403 for path loads outside the configured
@@ -28,6 +37,7 @@
 // uploads are accepted), 404 for unknown models, 409 for duplicate
 // loads, 405 for wrong methods. Inference observes request-context
 // cancellation, so a disconnected client stops occupying the pool.
+// The artifact endpoint answers with the raw binary, not JSON.
 //
 // Inference rides each model's admission gate: with a registry
 // max-in-flight cap configured, requests beyond the cap are shed with
@@ -51,6 +61,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/artifact/store"
 	"repro/internal/engine"
 	"repro/internal/nn"
@@ -110,6 +121,8 @@ func New(reg *registry.Registry, defaultName string, opts ...Option) *Server {
 	s.mux.HandleFunc("DELETE /v1/models/{name}", s.handleUnloadModel)
 	s.mux.HandleFunc("POST /v1/models/{name}/infer", s.handleModelInfer)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/artifacts/{hash}", s.handleArtifact)
+	s.mux.HandleFunc("POST /v1/store/gc", s.handleStoreGC)
 	s.mux.HandleFunc("GET /v1/model", s.handleDefaultModelStat)
 	s.mux.HandleFunc("POST /v1/infer", s.handleDefaultInfer)
 	s.mux.HandleFunc("/healthz", methodNotAllowed)
@@ -118,6 +131,8 @@ func New(reg *registry.Registry, defaultName string, opts ...Option) *Server {
 	s.mux.HandleFunc("/v1/models/{name}", methodNotAllowed)
 	s.mux.HandleFunc("/v1/models/{name}/infer", methodNotAllowed)
 	s.mux.HandleFunc("/v1/metrics", methodNotAllowed)
+	s.mux.HandleFunc("/v1/artifacts/{hash}", methodNotAllowed)
+	s.mux.HandleFunc("/v1/store/gc", methodNotAllowed)
 	s.mux.HandleFunc("/v1/model", methodNotAllowed)
 	s.mux.HandleFunc("/v1/infer", methodNotAllowed)
 	return s
@@ -329,13 +344,15 @@ func (s *Server) handleListModels(w http.ResponseWriter, r *http.Request) {
 	writeConditional(w, r, listETag(stats), http.StatusOK, modelList{Models: stats})
 }
 
-// loadRequest is the POST /v1/models body: Name plus exactly one of Path
-// (an artifact on the server's filesystem) or Artifact (the raw artifact
-// JSON, uploaded inline).
+// loadRequest is the POST /v1/models body: Name plus exactly one of
+// Path (an artifact on the server's filesystem), Artifact (the raw
+// artifact JSON, uploaded inline), or Hash (a content address to load
+// from the store — with a peer-backed store, fetched across the fleet).
 type loadRequest struct {
 	Name     string          `json:"name"`
 	Path     string          `json:"path,omitempty"`
 	Artifact json.RawMessage `json:"artifact,omitempty"`
+	Hash     string          `json:"hash,omitempty"`
 }
 
 func (s *Server) handleLoadModel(w http.ResponseWriter, r *http.Request) {
@@ -346,12 +363,19 @@ func (s *Server) handleLoadModel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "malformed body: %v", err)
 		return
 	}
-	if (req.Path == "") == (len(req.Artifact) == 0) {
-		writeError(w, http.StatusBadRequest, `body must set exactly one of "path" or "artifact"`)
+	sources := 0
+	for _, set := range []bool{req.Path != "", len(req.Artifact) != 0, req.Hash != ""} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		writeError(w, http.StatusBadRequest, `body must set exactly one of "path", "artifact", or "hash"`)
 		return
 	}
 	var err error
-	if req.Path != "" {
+	switch {
+	case req.Path != "":
 		path, ok := s.allowedPath(req.Path)
 		if !ok {
 			writeError(w, http.StatusForbidden,
@@ -359,7 +383,14 @@ func (s *Server) handleLoadModel(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		err = s.reg.LoadPath(req.Name, path)
-	} else {
+	case req.Hash != "":
+		h, perr := artifact.ParseHash(req.Hash)
+		if perr != nil {
+			writeError(w, http.StatusBadRequest, "%v", perr)
+			return
+		}
+		err = s.reg.LoadHash(req.Name, h)
+	default:
 		err = s.reg.LoadBytes(req.Name, req.Artifact)
 	}
 	switch {
@@ -369,6 +400,11 @@ func (s *Server) handleLoadModel(w http.ResponseWriter, r *http.Request) {
 		return
 	case errors.Is(err, registry.ErrRegistryClosed):
 		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	case errors.Is(err, store.ErrNotFound):
+		// Load-by-hash asked for bytes neither this replica nor its
+		// peers hold.
+		writeError(w, http.StatusNotFound, "%v", err)
 		return
 	default:
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -448,6 +484,64 @@ func (s *Server) writeModelStat(w http.ResponseWriter, r *http.Request, name str
 		etag = `"` + stat.ContentHash + `"`
 	}
 	writeConditional(w, r, etag, http.StatusOK, stat)
+}
+
+// --- artifact plane ---
+
+// handleArtifact serves raw canonical artifact bytes by content address
+// — the peer-fetch endpoint behind store.Remote. It reads through the
+// store's local view only: answering a peer's fetch by fetching from
+// peers would let two replicas missing the same blob recurse into each
+// other forever. The hash is the ETag, so a peer that already holds the
+// bytes revalidates for free.
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	h, err := artifact.ParseHash(r.PathValue("hash"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	etag := `"` + h.String() + `"`
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, etag) {
+		w.Header().Set("ETag", etag)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	data, err := store.Local(s.reg.Store()).Get(h)
+	switch {
+	case err == nil:
+	case errors.Is(err, store.ErrNotFound):
+		writeError(w, http.StatusNotFound, "artifact %s not in store", h)
+		return
+	case errors.Is(err, store.ErrCorrupt):
+		// Refuse to propagate rot into the fleet.
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.Header().Set("ETag", etag)
+	_, _ = w.Write(data)
+}
+
+// gcResponse is the POST /v1/store/gc body.
+type gcResponse struct {
+	Removed    int   `json:"removed"`
+	FreedBytes int64 `json:"freed_bytes"`
+}
+
+// handleStoreGC sweeps unreferenced blobs out of the artifact store —
+// the admin reclamation endpoint behind Registry.GC. Loaded models and
+// in-flight loads are pinned; everything else goes.
+func (s *Server) handleStoreGC(w http.ResponseWriter, _ *http.Request) {
+	removed, freed, err := s.reg.GC()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "store gc: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, gcResponse{Removed: removed, FreedBytes: freed})
 }
 
 // --- metrics ---

@@ -425,6 +425,14 @@ func NewDiskStore(dir string) (ArtifactStore, error) { return store.NewDisk(dir)
 // fast layer, writes go through to both.
 func NewUnionStore(fast, slow ArtifactStore) ArtifactStore { return store.NewUnion(fast, slow) }
 
+// NewRemoteStore returns a read-only store that fetches artifacts by
+// hash from peer positrond replicas (GET /v1/artifacts/{hash}), with
+// every fetched blob re-hashed against its address before it is
+// returned. Compose it as the slowest tier of a union —
+// NewUnionStore(local, NewRemoteStore(peers)) — so local misses pull
+// from a peer and persist into the local tiers.
+func NewRemoteStore(peers []string) ArtifactStore { return store.NewRemote(peers) }
+
 // InferenceServer is the positrond HTTP handler set over a Registry:
 // model load/unload/list, per-model and default-model inference,
 // /v1/metrics. Mount it on any http.Server.
